@@ -1,0 +1,61 @@
+//! Beam-search engine micro-benchmarks: linear-buffer vs two-heap queues
+//! and flat vs adjacency-list graph layouts (Figure 17's micro level),
+//! plus the visited-set trick vs a HashSet.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gass_bench::beam_search_two_heaps;
+use gass_core::distance::{DistCounter, Space};
+use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::search::{beam_search, SearchScratch};
+use gass_core::visited::VisitedSet;
+use gass_data::synth::deep_like;
+use gass_graphs::{HnswIndex, HnswParams};
+use std::hint::black_box;
+
+fn bench_beam(c: &mut Criterion) {
+    let n = 5_000;
+    let base = deep_like(n, 1);
+    let queries = deep_like(16, 2);
+    let index = HnswIndex::build(base.clone(), HnswParams { m: 12, ef_construction: 64, seed: 3 });
+    let flat: &FlatGraph = index.base_graph();
+    let mut lists = AdjacencyGraph::new(n);
+    for u in 0..n as u32 {
+        lists.set_neighbors(u, flat.neighbors(u).to_vec());
+    }
+    let counter = DistCounter::new();
+    let space = Space::new(index.store(), &counter);
+    let mut scratch = SearchScratch::new(n, 64);
+    let mut visited = VisitedSet::new(n);
+
+    let mut group = c.benchmark_group("beam_search");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for l in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("flat_linear", l), &l, |b, &l| {
+            b.iter(|| {
+                for (_, q) in queries.iter() {
+                    black_box(beam_search(flat, space, q, &[0], 10, l, &mut scratch));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lists_linear", l), &l, |b, &l| {
+            b.iter(|| {
+                for (_, q) in queries.iter() {
+                    black_box(beam_search(&lists, space, q, &[0], 10, l, &mut scratch));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flat_two_heaps", l), &l, |b, &l| {
+            b.iter(|| {
+                for (_, q) in queries.iter() {
+                    black_box(beam_search_two_heaps(flat, space, q, &[0], 10, l, &mut visited));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beam);
+criterion_main!(benches);

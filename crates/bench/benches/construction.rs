@@ -1,0 +1,30 @@
+//! Per-method construction throughput at a fixed small tier — the
+//! micro-level companion to Figure 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gass_data::synth::deep_like;
+use gass_graphs::{build_method, MethodKind};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let base = deep_like(1_200, 1);
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for kind in [
+        MethodKind::Hnsw,
+        MethodKind::Vamana,
+        MethodKind::Elpis,
+        MethodKind::KGraph,
+        MethodKind::Hcnng,
+    ] {
+        group.bench_with_input(BenchmarkId::new("build", kind.name()), &kind, |b, &kind| {
+            b.iter(|| black_box(build_method(kind, base.clone(), 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

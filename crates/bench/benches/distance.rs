@@ -1,0 +1,25 @@
+//! Distance-kernel micro-benchmarks: the innermost loop of every method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for dim in [96usize, 128, 256, 960] {
+        let a: Vec<f32> = (0..dim).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..dim).map(|i| (i as f32).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("l2_sq", dim), &dim, |bench, _| {
+            bench.iter(|| gass_core::l2_sq(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
+            bench.iter(|| gass_core::distance::dot(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Diversification micro-benchmarks: cost of pruning a 100-candidate list
+//! under each ND strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gass_core::distance::{DistCounter, Space};
+use gass_core::nd::NdStrategy;
+use gass_core::neighbor::Neighbor;
+use gass_data::synth::deep_like;
+use std::hint::black_box;
+
+fn bench_nd(c: &mut Criterion) {
+    let base = deep_like(2_000, 1);
+    let counter = DistCounter::new();
+    let space = Space::new(&base, &counter);
+    let cands: Vec<Neighbor> = gass_data::exact_knn(&base, base.get(0), 101)
+        .into_iter()
+        .filter(|n| n.id != 0)
+        .take(100)
+        .collect();
+
+    let mut group = c.benchmark_group("nd_diversify_100");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for nd in [
+        NdStrategy::NoNd,
+        NdStrategy::Rnd,
+        NdStrategy::rrnd_default(),
+        NdStrategy::mond_default(),
+    ] {
+        group.bench_with_input(BenchmarkId::new("strategy", nd.label()), &nd, |b, nd| {
+            b.iter(|| black_box(nd.diversify(space, 0, &cands, 32)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nd);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Extension experiment: concurrent query throughput of the scalable
+//! methods — the wall-clock companion to Figure 16. ELPIS's intra-query
+//! parallelism trades per-query latency for thread occupancy; this
+//! harness shows how each method's QPS scales with inter-query
+//! parallelism instead.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin ext_throughput
+//! ```
+
+use gass_bench::{num_queries, results_dir, tiers};
+use gass_core::index::QueryParams;
+use gass_data::DatasetKind;
+use gass_eval::{measure_throughput, Table};
+use gass_graphs::{build_method, MethodKind};
+
+fn main() {
+    let n = tiers()[1].n;
+    let (base, queries) = DatasetKind::Deep.generate(n, num_queries(), 333);
+    println!("Extension: concurrent QPS, Deep (n={n}), L=80, k=10\n");
+
+    let mut table = Table::new(vec![
+        "method", "threads", "qps", "p50_us", "p99_us",
+    ]);
+    let params = QueryParams::new(10, 80).with_seed_count(16);
+    for kind in MethodKind::scalable() {
+        let built = build_method(kind, base.clone(), 333);
+        for threads in [1usize, 2, 4, 8] {
+            let rep =
+                measure_throughput(built.index.as_ref(), &queries, &params, threads, 4);
+            table.row(vec![
+                kind.name(),
+                threads.to_string(),
+                format!("{:.0}", rep.qps),
+                format!("{:.1}", rep.p50_us),
+                format!("{:.1}", rep.p99_us),
+            ]);
+        }
+        eprintln!("done: {}", kind.name());
+    }
+    table.emit(&results_dir(), "ext_throughput").expect("write results");
+    println!(
+        "Inter-query parallelism favors single-threaded searchers (HNSW, \
+         Vamana); ELPIS's intra-query threads compete with the pool, which \
+         is why the paper positions its parallelism for latency, not QPS."
+    );
+}

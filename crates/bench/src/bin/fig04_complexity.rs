@@ -1,0 +1,58 @@
+//! Figure 4: dataset complexity — mean LID (4a) and LRC (4b) per dataset.
+//!
+//! Paper shape to reproduce: Pow0/Pow5/Pow50, Seismic and Text2Img have
+//! the highest LID and lowest LRC (hard); Sift, Deep and ImageNet are the
+//! easiest.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig04_complexity
+//! ```
+
+use gass_bench::results_dir;
+use gass_data::DatasetKind;
+use gass_eval::{dataset_complexity, Table};
+
+fn main() {
+    // The paper samples 1M points and k=100; we sample a tier-scaled
+    // subset with k=100 against the whole subset.
+    let n = 4_000 * gass_bench::scale();
+    let probes = 25;
+    let k = 100;
+    println!("Figure 4: LID / LRC on {n}-vector samples, {probes} probes, k={k}\n");
+
+    let mut table = Table::new(vec!["dataset", "mean_LID", "mean_LRC", "paper_expectation"]);
+    let expectations = |name: &str| match name {
+        "ImageNet" | "Deep" | "Sift" => "easy (low LID, high LRC)",
+        "GIST" | "SALD" => "moderate",
+        _ => "hard (high LID, low LRC)",
+    };
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for kind in DatasetKind::real_datasets()
+        .into_iter()
+        .chain(DatasetKind::power_law_datasets())
+    {
+        // GIST is 960-d: keep its sample smaller so the harness stays
+        // laptop-friendly.
+        let nn = if kind == DatasetKind::Gist { n / 4 } else { n };
+        let store = kind.generate_base(nn, 1234);
+        let rep = dataset_complexity(&store, probes, k, 99);
+        rows.push((kind.name(), rep.mean_lid, rep.mean_lrc));
+        table.row(vec![
+            kind.name(),
+            format!("{:.2}", rep.mean_lid),
+            format!("{:.3}", rep.mean_lrc),
+            expectations(&kind.name()).to_string(),
+        ]);
+        eprintln!("done: {}", kind.name());
+    }
+    table.emit(&results_dir(), "fig04_complexity").expect("write results");
+
+    // Shape check: the easy trio must rank below the hard trio on LID.
+    let lid_of = |name: &str| rows.iter().find(|r| r.0 == name).map(|r| r.1).unwrap();
+    let easy = ["ImageNet", "Deep", "Sift"].iter().map(|d| lid_of(d)).fold(0.0, f64::max);
+    let hard = ["Seismic", "RandPow0", "Text2Img"].iter().map(|d| lid_of(d)).fold(f64::MAX, f64::min);
+    println!(
+        "shape check — max(easy LID) = {easy:.2} < min(hard LID) = {hard:.2}: {}",
+        easy < hard
+    );
+}

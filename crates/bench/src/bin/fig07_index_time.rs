@@ -1,0 +1,56 @@
+//! Figure 7: indexing time across methods and dataset sizes (Deep).
+//!
+//! Paper shape to reproduce: II-based methods (ELPIS, HNSW) build fastest;
+//! NSG/SSG pay for their EFANNA base; SPTAG variants are by far the
+//! slowest; only HNSW/ELPIS/Vamana appear at the largest tiers.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig07_index_time
+//! ```
+
+use gass_bench::{results_dir, tiers};
+use gass_data::DatasetKind;
+use gass_eval::{fmt_count, Table};
+use gass_graphs::{build_method, MethodKind};
+
+fn main() {
+    let mut table = Table::new(vec!["tier", "method", "build_seconds", "build_dist_calcs"]);
+    let all_tiers = tiers();
+
+    for (ti, tier) in all_tiers.iter().enumerate() {
+        let base = DatasetKind::Deep.generate_base(tier.n, 3);
+        // Mirror the paper's exclusions: the heavy builders drop out after
+        // the small tiers (they exceeded 24–48h / RAM in the paper).
+        let roster: Vec<MethodKind> = match ti {
+            0 => MethodKind::all_sota(),
+            1 => vec![
+                MethodKind::Hnsw,
+                MethodKind::Elpis,
+                MethodKind::Vamana,
+                MethodKind::Nsg,
+                MethodKind::Ssg,
+                MethodKind::Hcnng,
+                MethodKind::SptagBkt,
+                MethodKind::SptagKdt,
+            ],
+            _ => MethodKind::scalable(),
+        };
+        for kind in roster {
+            let t = std::time::Instant::now();
+            let built = build_method(kind, base.clone(), 5);
+            let secs = t.elapsed().as_secs_f64();
+            table.row(vec![
+                tier.label.to_string(),
+                kind.name(),
+                format!("{secs:.2}"),
+                fmt_count(built.build.dist_calcs),
+            ]);
+            eprintln!("done: {} {} ({secs:.1}s)", tier.label, kind.name());
+        }
+    }
+    table.emit(&results_dir(), "fig07_index_time").expect("write results");
+    println!(
+        "Read as Fig. 7 (log-scale bars per tier). Expected ordering at \
+         every tier: ELPIS <= HNSW < Vamana << NSG/SSG << SPTAG-*."
+    );
+}

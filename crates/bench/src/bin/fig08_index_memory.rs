@@ -1,0 +1,55 @@
+//! Figure 8: peak memory during index construction (Deep).
+//!
+//! The paper reads VmPeak from /proc; we report both the process VmPeak
+//! delta around each build (coarse — allocator high-water marks persist)
+//! and the exact structural bytes, which are the reproducible series.
+//!
+//! Paper shape: EFANNA/KGraph (and hence NSG/SSG/DPG) and HCNNG have
+//! outsized construction footprints; ELPIS is the leanest at scale
+//! (smaller M/beam per leaf); HNSW pays for its contiguous slot layout.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig08_index_memory
+//! ```
+
+use gass_bench::{results_dir, small_tiers};
+use gass_data::DatasetKind;
+use gass_eval::{fmt_bytes, vm_peak_bytes, Table};
+use gass_graphs::{build_method, MethodKind};
+
+fn main() {
+    let mut table = Table::new(vec![
+        "tier",
+        "method",
+        "raw_data",
+        "graph_bytes",
+        "aux_bytes",
+        "total_structural",
+        "vm_peak_after",
+    ]);
+
+    for tier in small_tiers() {
+        let base = DatasetKind::Deep.generate_base(tier.n, 3);
+        let raw = base.heap_bytes();
+        for kind in MethodKind::all_sota() {
+            let built = build_method(kind, base.clone(), 5);
+            let s = built.index.stats();
+            table.row(vec![
+                tier.label.to_string(),
+                kind.name(),
+                fmt_bytes(raw),
+                fmt_bytes(s.graph_bytes),
+                fmt_bytes(s.aux_bytes),
+                fmt_bytes(raw + s.graph_bytes + s.aux_bytes),
+                vm_peak_bytes().map_or("n/a".into(), fmt_bytes),
+            ]);
+            eprintln!("done: {} {}", tier.label, kind.name());
+        }
+    }
+    table.emit(&results_dir(), "fig08_index_memory").expect("write results");
+    println!(
+        "Read as Fig. 8: total_structural per method (raw data included, \
+         per the paper's convention). ELPIS's aux includes its leaf-local \
+         vector copies; EFANNA-derived methods carry their forest."
+    );
+}

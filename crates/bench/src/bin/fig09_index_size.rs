@@ -1,0 +1,49 @@
+//! Figure 9: final index size (including raw data) vs the construction
+//! footprint of Figure 8 — the gap is the transient construction state.
+//!
+//! Paper shape: EFANNA/KGraph/HCNNG (and their derivatives) consume far
+//! more during construction than their final index retains; II-based
+//! methods build nearly in place.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig09_index_size
+//! ```
+
+use gass_bench::{results_dir, small_tiers};
+use gass_core::nd::NdStrategy;
+use gass_data::DatasetKind;
+use gass_eval::{fmt_bytes, Table};
+use gass_graphs::{build_method, MethodKind};
+
+fn main() {
+    let mut table = Table::new(vec![
+        "tier",
+        "method",
+        "final_index_size",
+        "edges",
+        "avg_degree",
+        "bytes_per_vector",
+    ]);
+
+    for tier in small_tiers() {
+        let base = DatasetKind::Deep.generate_base(tier.n, 3);
+        let raw = base.heap_bytes();
+        let mut roster = MethodKind::all_sota();
+        roster.push(MethodKind::Baseline(NdStrategy::Rnd));
+        for kind in roster {
+            let built = build_method(kind, base.clone(), 5);
+            let s = built.index.stats();
+            let total = raw + s.graph_bytes + s.aux_bytes;
+            table.row(vec![
+                tier.label.to_string(),
+                kind.name(),
+                fmt_bytes(total),
+                s.edges.to_string(),
+                format!("{:.1}", s.avg_degree),
+                format!("{:.0}", total as f64 / tier.n as f64),
+            ]);
+            eprintln!("done: {} {}", tier.label, kind.name());
+        }
+    }
+    table.emit(&results_dir(), "fig09_index_size").expect("write results");
+}

@@ -1,0 +1,55 @@
+//! Figure 10: memory footprint during *query answering* — what must stay
+//! resident to serve searches (raw vectors + graph + seed structures +
+//! per-thread scratch).
+//!
+//! Paper shape: Vamana smallest (graph + data only, modest degree), ELPIS
+//! next (small leaf graphs but duplicated contiguous leaf storage), HNSW
+//! pays for slotted layout + hierarchy.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig10_query_memory
+//! ```
+
+use gass_bench::{results_dir, small_tiers};
+use gass_data::DatasetKind;
+use gass_eval::{fmt_bytes, Table};
+use gass_graphs::{build_method, MethodKind};
+
+fn main() {
+    let mut table = Table::new(vec![
+        "tier",
+        "method",
+        "resident_total",
+        "of_which_graph",
+        "of_which_aux",
+        "scratch_per_thread",
+    ]);
+
+    for tier in small_tiers() {
+        let base = DatasetKind::Deep.generate_base(tier.n, 3);
+        let raw = base.heap_bytes();
+        for kind in [
+            MethodKind::Vamana,
+            MethodKind::Elpis,
+            MethodKind::Hnsw,
+            MethodKind::Nsg,
+            MethodKind::Ssg,
+            MethodKind::SptagBkt,
+        ] {
+            let built = build_method(kind, base.clone(), 5);
+            let s = built.index.stats();
+            // Query-time scratch: visited stamps (4B/node) + beam buffer.
+            let scratch = tier.n * 4 + 320 * std::mem::size_of::<(u64, bool)>();
+            table.row(vec![
+                tier.label.to_string(),
+                kind.name(),
+                fmt_bytes(raw + s.graph_bytes + s.aux_bytes + scratch),
+                fmt_bytes(s.graph_bytes),
+                fmt_bytes(s.aux_bytes),
+                fmt_bytes(scratch),
+            ]);
+            eprintln!("done: {} {}", tier.label, kind.name());
+        }
+    }
+    table.emit(&results_dir(), "fig10_query_memory").expect("write results");
+}

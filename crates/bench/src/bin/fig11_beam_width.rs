@@ -1,0 +1,47 @@
+//! Figure 11: beam width required to reach each accuracy level, per
+//! method.
+//!
+//! Paper shape: ELPIS needs the smallest beam width for a given accuracy
+//! (it searches small, coherent leaf graphs); a very high required beam
+//! width means the search must wander a wide region.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig11_beam_width
+//! ```
+
+use gass_bench::{num_queries, results_dir, small_tiers};
+use gass_data::DatasetKind;
+use gass_eval::{cost_to_reach, Table};
+use gass_graphs::{build_method, MethodKind};
+
+fn main() {
+    let k = 10;
+    let targets = [0.90f64, 0.95, 0.99];
+    let ls = [10usize, 20, 40, 80, 160, 320, 640];
+    let tier = small_tiers()[1];
+    let (base, queries) = DatasetKind::Deep.generate(tier.n, num_queries(), 41);
+    let truth = gass_data::ground_truth(&base, &queries, k);
+    println!("Figure 11: beam width to reach target recall, Deep{} ({} vectors)\n", tier.label, tier.n);
+
+    let mut table = Table::new(vec!["method", "L@0.90", "L@0.95", "L@0.99"]);
+    for kind in [
+        MethodKind::Elpis,
+        MethodKind::Hnsw,
+        MethodKind::Vamana,
+        MethodKind::Nsg,
+        MethodKind::Ssg,
+        MethodKind::SptagBkt,
+        MethodKind::Hcnng,
+        MethodKind::Ngt,
+    ] {
+        let built = build_method(kind, base.clone(), 5);
+        let mut cells = vec![kind.name()];
+        for &t in &targets {
+            let hit = cost_to_reach(built.index.as_ref(), &queries, &truth, k, t, &ls, 16);
+            cells.push(hit.map_or(">640".into(), |p| p.beam_width.to_string()));
+        }
+        table.row(cells);
+        eprintln!("done: {}", kind.name());
+    }
+    table.emit(&results_dir(), "fig11_beam_width").expect("write results");
+}

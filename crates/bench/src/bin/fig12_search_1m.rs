@@ -1,0 +1,31 @@
+//! Figure 12: query performance at the 1M tier across six datasets and
+//! every method — recall vs distance calculations curves.
+//!
+//! Paper shape: ELPIS and NSG/SSG lead on Sift; HCNNG/ELPIS on Seismic;
+//! NGT/SSG/NSG on Deep; HCNNG then SPTAG/NSG on SALD; NSG/SSG and HNSW on
+//! ImageNet; LSHAPG needs more computation for high accuracy everywhere.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig12_search_1m
+//! ```
+
+use gass_bench::{run_search_figure, tiers};
+use gass_data::DatasetKind;
+use gass_graphs::MethodKind;
+
+fn main() {
+    let n = tiers()[0].n;
+    let workloads = [
+        (DatasetKind::Sift, n),
+        (DatasetKind::Deep, n),
+        (DatasetKind::Seismic, n),
+        (DatasetKind::Sald, n),
+        (DatasetKind::ImageNet, n),
+        (DatasetKind::Gist, n / 4), // 960-d: smaller sample, as flagged in DESIGN.md
+    ];
+    run_search_figure("fig12_search_1m", &workloads, &MethodKind::all_sota(), 10, 101);
+    println!(
+        "Read as Fig. 12: per dataset, plot recall (x) vs dist_calcs_per_query \
+         (y, log). The leaders should match the paper's per-dataset ranking."
+    );
+}

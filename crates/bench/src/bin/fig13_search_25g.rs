@@ -1,0 +1,56 @@
+//! Figure 13: query performance at the 25GB tier (Deep, Sift, SALD,
+//! Seismic) plus the power-law distribution study (13e/13f: RandPow 0, 5
+//! and 50).
+//!
+//! Paper shape: SSG/NSG/NGT/HCNNG drop off relative to their 1M showing;
+//! ELPIS takes the overall lead (sharing it with SPTAG-BKT on SALD); no
+//! method exceeds ~0.8 recall on Seismic; on the power-law family ELPIS
+//! stays on top across skew levels and most methods improve as skew
+//! grows.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig13_search_25g
+//! ```
+
+use gass_bench::{run_search_figure, tiers};
+use gass_data::DatasetKind;
+use gass_graphs::MethodKind;
+
+fn main() {
+    let n = tiers()[1].n;
+    // The paper drops KGraph, DPG, SPTAG-KDT, HCNNG and EFANNA from the
+    // 25GB plots for clarity (far behind the leaders).
+    let methods = [
+        MethodKind::Elpis,
+        MethodKind::Hnsw,
+        MethodKind::Vamana,
+        MethodKind::Nsg,
+        MethodKind::Ssg,
+        MethodKind::Ngt,
+        MethodKind::SptagBkt,
+        MethodKind::Lshapg,
+    ];
+    let workloads = [
+        (DatasetKind::Deep, n),
+        (DatasetKind::Sift, n),
+        (DatasetKind::Sald, n),
+        (DatasetKind::Seismic, n),
+    ];
+    run_search_figure("fig13_search_25g", &workloads, &methods, 10, 103);
+
+    // 13e/13f: data distributions.
+    let dist_methods = [
+        MethodKind::Efanna,
+        MethodKind::Vamana,
+        MethodKind::Ssg,
+        MethodKind::Hnsw,
+        MethodKind::Elpis,
+        MethodKind::SptagBkt,
+    ];
+    let pow_workloads = [
+        (DatasetKind::RandPow(0), n),
+        (DatasetKind::RandPow(5), n),
+        (DatasetKind::RandPow(50), n),
+    ];
+    run_search_figure("fig13ef_powerlaw", &pow_workloads, &dist_methods, 10, 104);
+}

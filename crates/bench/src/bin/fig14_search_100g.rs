@@ -1,0 +1,17 @@
+//! Figure 14: query performance at the 100GB tier — only the methods
+//! whose construction scaled (HNSW, ELPIS, Vamana).
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig14_search_100g
+//! ```
+
+use gass_bench::{run_search_figure, tiers};
+use gass_data::DatasetKind;
+use gass_graphs::MethodKind;
+
+fn main() {
+    let n = tiers()[2].n;
+    let workloads = [(DatasetKind::Deep, n), (DatasetKind::Sift, n)];
+    run_search_figure("fig14_search_100g", &workloads, &MethodKind::scalable(), 10, 105);
+    println!("Read as Fig. 14: ELPIS and HNSW should lead, Vamana close behind.");
+}

@@ -1,0 +1,63 @@
+//! Figure 15: hard query workloads — Deep queries with 1%…10% Gaussian
+//! noise, comparing the best ND-based methods (HNSW, NSG) against the
+//! best DC-based methods (ELPIS, SPTAG-BKT).
+//!
+//! Paper shape: SPTAG-BKT wins at 1% noise; as noise grows its seed trees
+//! misroute and it deteriorates while ELPIS takes the lead.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig15_hardness
+//! ```
+
+use gass_bench::{beam_sweep, num_queries, results_dir, tiers};
+use gass_data::{noisy_queries, DatasetKind};
+use gass_eval::{sweep, Table};
+use gass_graphs::{build_method, MethodKind};
+
+fn main() {
+    let n = tiers()[0].n;
+    let k = 10;
+    let base = DatasetKind::Deep.generate_base(n, 151);
+    let methods = [
+        MethodKind::Hnsw,
+        MethodKind::Nsg,
+        MethodKind::Elpis,
+        MethodKind::SptagBkt,
+    ];
+    let noise_levels = [0.01f32, 0.02, 0.05, 0.10];
+
+    let mut table = Table::new(vec![
+        "noise", "method", "L", "recall", "dist_calcs_per_query",
+    ]);
+    let built: Vec<_> = methods
+        .iter()
+        .map(|&m| {
+            let b = build_method(m, base.clone(), 151);
+            eprintln!("built: {}", m.name());
+            (m, b)
+        })
+        .collect();
+
+    for &sigma2 in &noise_levels {
+        let queries = noisy_queries(&base, num_queries(), sigma2, 997);
+        let truth = gass_data::ground_truth(&base, &queries, k);
+        for (m, b) in &built {
+            for p in sweep(b.index.as_ref(), &queries, &truth, k, &beam_sweep(), 16) {
+                table.row(vec![
+                    format!("{:.0}%", sigma2 * 100.0),
+                    m.name(),
+                    p.beam_width.to_string(),
+                    format!("{:.4}", p.recall),
+                    (p.dist_calcs / queries.len() as u64).to_string(),
+                ]);
+            }
+            eprintln!("done: {:.0}% {}", sigma2 * 100.0, m.name());
+        }
+    }
+    table.emit(&results_dir(), "fig15_hardness").expect("write results");
+    println!(
+        "Read as Fig. 15: at each noise level, compare recall vs cost. \
+         Expect the DC methods (ELPIS, SPTAG-BKT) ahead at low noise and \
+         ELPIS most robust as noise grows."
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 16: query performance at the largest (1B-analog) tier — HNSW,
+//! ELPIS (with intra-query parallelism) and Vamana.
+//!
+//! Paper shape: ELPIS up to an order of magnitude faster to 0.95 accuracy
+//! thanks to multi-threaded single-query answering.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig16_search_1b
+//! ```
+
+use gass_bench::{beam_sweep, num_queries, results_dir, tiers};
+use gass_data::DatasetKind;
+use gass_eval::{sweep, Table};
+use gass_graphs::{build_method, ElpisIndex, ElpisParams, HnswParams, MethodKind};
+
+fn main() {
+    let n = tiers()[3].n;
+    let k = 10;
+    let (base, queries) = DatasetKind::Deep.generate(n, num_queries(), 107);
+    let truth = gass_data::ground_truth(&base, &queries, k);
+
+    let mut table = Table::new(vec![
+        "method", "L", "recall", "dist_calcs_per_query", "ms_per_query",
+    ]);
+    for kind in MethodKind::scalable() {
+        let built = build_method(kind, base.clone(), 107);
+        for p in sweep(built.index.as_ref(), &queries, &truth, k, &beam_sweep(), 16) {
+            table.row(vec![
+                kind.name(),
+                p.beam_width.to_string(),
+                format!("{:.4}", p.recall),
+                (p.dist_calcs / queries.len() as u64).to_string(),
+                format!("{:.3}", p.seconds * 1e3 / queries.len() as f64),
+            ]);
+        }
+        eprintln!("done: {}", kind.name());
+    }
+
+    // ELPIS with intra-query parallelism — the configuration behind its
+    // Fig. 16 wall-clock lead.
+    let leaf = (n / 8).clamp(128, 4096);
+    let par = ElpisIndex::build(
+        base.clone(),
+        ElpisParams {
+            leaf_size: leaf,
+            hnsw: HnswParams { m: 10, ef_construction: 64, seed: 107 },
+            nprobe: 8,
+            parallel_query: true,
+            ..ElpisParams::small()
+        },
+    );
+    for p in sweep(&par, &queries, &truth, k, &beam_sweep(), 16) {
+        table.row(vec![
+            "ELPIS(par)".to_string(),
+            p.beam_width.to_string(),
+            format!("{:.4}", p.recall),
+            (p.dist_calcs / queries.len() as u64).to_string(),
+            format!("{:.3}", p.seconds * 1e3 / queries.len() as f64),
+        ]);
+    }
+    eprintln!("done: ELPIS(par)");
+
+    table.emit(&results_dir(), "fig16_search_1b").expect("write results");
+    println!(
+        "Read as Fig. 16: compare ms_per_query at ~0.95 recall; ELPIS(par) \
+         should be fastest in wall-clock even where its dist calls match \
+         sequential ELPIS."
+    );
+}

@@ -1,0 +1,95 @@
+//! Figure 17: implementation impact — the same graphs under different
+//! engineering choices, standing in for the paper's original-vs-ParlayANN
+//! comparison:
+//!
+//! * graph layout: flat contiguous slots (ParlayANN/hnswlib style) vs
+//!   adjacency lists;
+//! * priority queue: single sorted linear buffer (the paper's normalized
+//!   choice) vs the original two-heap scheme.
+//!
+//! Paper shape: the optimized layouts win at low/mid recall where
+//! traversal overhead dominates; the gap closes at high recall where
+//! distance computation dominates.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig17_impl_opt
+//! ```
+
+use gass_bench::{beam_sweep, beam_search_two_heaps, num_queries, results_dir, tiers};
+use gass_core::distance::{DistCounter, Space};
+use gass_core::graph::{AdjacencyGraph, GraphView};
+use gass_core::search::{beam_search, SearchScratch};
+use gass_core::visited::VisitedSet;
+use gass_data::DatasetKind;
+use gass_eval::{recall_at_k, Table};
+use gass_graphs::{HnswIndex, HnswParams};
+
+fn main() {
+    let n = tiers()[1].n;
+    let k = 10;
+    let (base, queries) = DatasetKind::Deep.generate(n, num_queries(), 171);
+    let truth = gass_data::ground_truth(&base, &queries, k);
+    println!("Figure 17: implementation ablations on HNSW's base graph, n={n}\n");
+
+    let index = HnswIndex::build(base.clone(), HnswParams { m: 12, ef_construction: 96, seed: 3 });
+    let flat = index.base_graph();
+    // Rebuild the same edges as adjacency lists.
+    let mut lists = AdjacencyGraph::new(n);
+    for u in 0..n as u32 {
+        lists.set_neighbors(u, flat.neighbors(u).to_vec());
+    }
+
+    let counter = DistCounter::new();
+    let space = Space::new(index.store(), &counter);
+    let mut scratch = SearchScratch::new(n, 512);
+    let mut visited = VisitedSet::new(n);
+
+    let mut table = Table::new(vec![
+        "variant", "L", "recall", "ms_per_query", "dist_calcs_per_query",
+    ]);
+
+    for l in beam_sweep() {
+        // Entry seeds via the hierarchy (shared by all variants; its cost
+        // is excluded from the timed section so the ablation isolates the
+        // traversal engine).
+        let entries: Vec<u32> = (0..queries.len() as u32)
+            .map(|qi| index.hierarchy().descend(space, queries.get(qi)).unwrap_or(0))
+            .collect();
+
+        let mut run = |label: &str, f: &mut dyn FnMut(&[f32], u32) -> Vec<gass_core::Neighbor>| {
+            counter.reset();
+            let t = std::time::Instant::now();
+            let mut recall = 0.0;
+            for (qi, tr) in truth.iter().enumerate() {
+                let found = f(queries.get(qi as u32), entries[qi]);
+                recall += recall_at_k(tr, &found, k);
+            }
+            let secs = t.elapsed().as_secs_f64();
+            table.row(vec![
+                label.to_string(),
+                l.to_string(),
+                format!("{:.4}", recall / truth.len() as f64),
+                format!("{:.3}", secs * 1e3 / truth.len() as f64),
+                (counter.get() / truth.len() as u64).to_string(),
+            ]);
+        };
+
+        run("flat+linear (Opt)", &mut |q, e| {
+            beam_search(flat, space, q, &[e], k, l, &mut scratch).neighbors
+        });
+        run("lists+linear", &mut |q, e| {
+            beam_search(&lists, space, q, &[e], k, l, &mut scratch).neighbors
+        });
+        run("flat+two-heaps (original)", &mut |q, e| {
+            beam_search_two_heaps(flat, space, q, &[e], k, l, &mut visited)
+        });
+        eprintln!("done: L={l}");
+    }
+
+    table.emit(&results_dir(), "fig17_impl_opt").expect("write results");
+    println!(
+        "Read as Fig. 17: at equal L all variants see identical recall and \
+         distance counts; wall-clock separates the engineering. The flat \
+         layout should lead at small L; the gap narrows as L grows."
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 18: the recommendation matrix — which methods to use by dataset
+//! size, hardness, and recall target. Derived live from quick probes at
+//! two tiers on an easy and a hard dataset, mirroring the paper's
+//! decision tree:
+//!
+//! * ≤25GB + easy data  -> HNSW, NSG/SSG;
+//! * ≤25GB + hard data  -> DC methods (SPTAG, ELPIS, HCNNG);
+//! * ≥100GB             -> HNSW, ELPIS.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin fig18_recommend
+//! ```
+
+use gass_bench::{num_queries, results_dir, tiers};
+use gass_data::DatasetKind;
+use gass_eval::{evaluate_at, Table};
+use gass_graphs::{build_method, MethodKind};
+
+fn probe(kind: DatasetKind, n: usize, methods: &[MethodKind]) -> Vec<(String, f64, u64)> {
+    let (base, queries) = kind.generate(n, num_queries().min(30), 181);
+    let truth = gass_data::ground_truth(&base, &queries, 10);
+    methods
+        .iter()
+        .map(|&m| {
+            let built = build_method(m, base.clone(), 181);
+            let p = evaluate_at(built.index.as_ref(), &queries, &truth, 10, 80, 16);
+            eprintln!("probed {} on {}", m.name(), kind.name());
+            (m.name(), p.recall, p.dist_calcs / queries.len() as u64)
+        })
+        .collect()
+}
+
+fn main() {
+    let small = tiers()[0].n;
+    let candidates = [
+        MethodKind::Hnsw,
+        MethodKind::Nsg,
+        MethodKind::Ssg,
+        MethodKind::Elpis,
+        MethodKind::SptagBkt,
+        MethodKind::Hcnng,
+        MethodKind::Vamana,
+    ];
+
+    let mut table = Table::new(vec!["scenario", "recommended", "evidence(recall@L=80, dists/query)"]);
+
+    // Small + easy.
+    let mut easy = probe(DatasetKind::Deep, small, &candidates);
+    easy.sort_by(|a, b| (b.1, std::cmp::Reverse(b.2)).partial_cmp(&(a.1, std::cmp::Reverse(a.2))).unwrap());
+    let top_easy: Vec<String> = easy.iter().take(3).map(|e| e.0.clone()).collect();
+    table.row(vec![
+        "<=25GB, easy data".to_string(),
+        top_easy.join(", "),
+        easy.iter().take(3).map(|e| format!("{}:{:.3}/{}", e.0, e.1, e.2)).collect::<Vec<_>>().join("  "),
+    ]);
+
+    // Small + hard.
+    let mut hard = probe(DatasetKind::Seismic, small, &candidates);
+    hard.sort_by(|a, b| (b.1, std::cmp::Reverse(b.2)).partial_cmp(&(a.1, std::cmp::Reverse(a.2))).unwrap());
+    let top_hard: Vec<String> = hard.iter().take(3).map(|e| e.0.clone()).collect();
+    table.row(vec![
+        "<=25GB, hard data".to_string(),
+        top_hard.join(", "),
+        hard.iter().take(3).map(|e| format!("{}:{:.3}/{}", e.0, e.1, e.2)).collect::<Vec<_>>().join("  "),
+    ]);
+
+    // Large tier: only the scalable builders qualify by construction.
+    let mut large = probe(DatasetKind::Deep, tiers()[2].n, &MethodKind::scalable());
+    large.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    table.row(vec![
+        ">=100GB".to_string(),
+        large.iter().take(2).map(|e| e.0.clone()).collect::<Vec<_>>().join(", "),
+        large.iter().map(|e| format!("{}:{:.3}/{}", e.0, e.1, e.2)).collect::<Vec<_>>().join("  "),
+    ]);
+
+    table.emit(&results_dir(), "fig18_recommend").expect("write results");
+    println!("Paper's matrix: HNSW/NSG/SSG for small+easy; SPTAG/ELPIS/HCNNG for small+hard; HNSW/ELPIS at scale.");
+}

@@ -1,0 +1,141 @@
+//! Table 3: the comparative-analysis grid — per method, a Good/Medium/Bad
+//! grade on query efficiency, accuracy, query tuning burden, indexing
+//! efficiency, indexing footprint, and indexing tuning burden.
+//!
+//! Efficiency/accuracy/footprint grades are computed from live
+//! measurements at one tier (tercile thresholds across methods); the
+//! tuning-burden columns are structural (number of user-facing knobs in
+//! each method's parameter struct), which is how the paper assesses them.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin table3_summary
+//! ```
+
+use gass_bench::{num_queries, results_dir, tiers};
+use gass_data::DatasetKind;
+use gass_eval::{cost_to_reach, evaluate_at, Table};
+use gass_graphs::{build_method, MethodKind};
+
+fn grade(rank: usize, total: usize) -> &'static str {
+    if rank * 3 < total {
+        "good"
+    } else if rank * 3 < 2 * total {
+        "medium"
+    } else {
+        "bad"
+    }
+}
+
+/// Number of user-facing tuning knobs per phase (structural count from
+/// each method's parameter struct; search knobs are L plus any extras
+/// like nprobe).
+fn knobs(kind: MethodKind) -> (usize, usize) {
+    // (index knobs, search knobs)
+    match kind {
+        MethodKind::Hnsw => (2, 1),          // M, ef | L
+        MethodKind::Nsg => (2, 1),           // R, L_build (base inherited) | L
+        MethodKind::Ssg => (3, 1),           // R, pool, theta | L
+        MethodKind::Vamana => (3, 1),        // R, L, alpha | L
+        MethodKind::Dpg => (3, 1),
+        MethodKind::Efanna => (5, 2),        // k, trees, leaf, cands, iters | L, seeds
+        MethodKind::KGraph => (4, 2),
+        MethodKind::Ngt => (4, 1),
+        MethodKind::SptagKdt | MethodKind::SptagBkt => (5, 2),
+        MethodKind::Elpis => (3, 2),         // leaf, M, ef | L, nprobe
+        MethodKind::Lshapg => (5, 2),
+        MethodKind::Hcnng => (3, 1),
+        MethodKind::Nsw => (2, 1),
+        MethodKind::Baseline(_) => (3, 1),
+    }
+}
+
+fn main() {
+    let n = tiers()[0].n;
+    let k = 10;
+    let (base, queries) = DatasetKind::Deep.generate(n, num_queries(), 303);
+    let truth = gass_data::ground_truth(&base, &queries, k);
+    let raw = base.heap_bytes();
+
+    struct Row {
+        name: String,
+        q_cost: u64,
+        recall: f64,
+        build_s: f64,
+        footprint: usize,
+        knobs_idx: usize,
+        knobs_q: usize,
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for kind in MethodKind::all_sota() {
+        let t = std::time::Instant::now();
+        let built = build_method(kind, base.clone(), 303);
+        let build_s = t.elapsed().as_secs_f64();
+        let p = evaluate_at(built.index.as_ref(), &queries, &truth, k, 80, 16);
+        // Query efficiency is judged at matched recall (0.95), as the
+        // paper does: cheap-but-wrong methods must not look efficient.
+        let at_target = cost_to_reach(
+            built.index.as_ref(),
+            &queries,
+            &truth,
+            k,
+            0.95,
+            &[20, 40, 80, 160, 320, 640],
+            16,
+        );
+        let s = built.index.stats();
+        let (ki, kq) = knobs(kind);
+        rows.push(Row {
+            name: kind.name(),
+            q_cost: at_target.map_or(u64::MAX, |pt| pt.dist_calcs),
+            recall: p.recall,
+            build_s,
+            footprint: raw + s.graph_bytes + s.aux_bytes,
+            knobs_idx: ki,
+            knobs_q: kq,
+        });
+        eprintln!("done: {}", kind.name());
+    }
+
+    // Rank-based terciles per criterion.
+    let rank_of = |values: &[f64], v: f64, ascending: bool| -> usize {
+        values
+            .iter()
+            .filter(|&&x| if ascending { x < v } else { x > v })
+            .count()
+    };
+    let q_costs: Vec<f64> = rows.iter().map(|r| r.q_cost as f64).collect();
+    let recalls: Vec<f64> = rows.iter().map(|r| r.recall).collect();
+    let builds: Vec<f64> = rows.iter().map(|r| r.build_s).collect();
+    let foots: Vec<f64> = rows.iter().map(|r| r.footprint as f64).collect();
+    let kis: Vec<f64> = rows.iter().map(|r| r.knobs_idx as f64).collect();
+    let kqs: Vec<f64> = rows.iter().map(|r| r.knobs_q as f64).collect();
+    let total = rows.len();
+
+    let mut table = Table::new(vec![
+        "method",
+        "query_efficiency",
+        "accuracy",
+        "query_tuning",
+        "index_efficiency",
+        "index_footprint",
+        "index_tuning",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.name.clone(),
+            grade(rank_of(&q_costs, r.q_cost as f64, true), total).to_string(),
+            grade(rank_of(&recalls, r.recall, false), total).to_string(),
+            grade(rank_of(&kqs, r.knobs_q as f64, true), total).to_string(),
+            grade(rank_of(&builds, r.build_s, true), total).to_string(),
+            grade(rank_of(&foots, r.footprint as f64, true), total).to_string(),
+            grade(rank_of(&kis, r.knobs_idx as f64, true), total).to_string(),
+        ]);
+    }
+    table.emit(&results_dir(), "table3_summary").expect("write results");
+    println!(
+        "Paper's Table 3 headline: HNSW / ELPIS / Vamana good across the \
+         board; EFANNA / KGraph bad across the board; SPTAG good accuracy \
+         but bad indexing."
+    );
+}

@@ -1,0 +1,203 @@
+//! # gass-bench
+//!
+//! Shared scaffolding for the experiment harnesses that regenerate every
+//! table and figure of the paper (one binary per experiment under
+//! `src/bin/`), plus criterion micro-benchmarks under `benches/`.
+//!
+//! ## Scale model
+//!
+//! The paper's dataset tiers (1M / 25GB / 100GB / 1B vectors) are mapped
+//! to laptop-scale defaults; set the `GASS_SCALE` environment variable to
+//! scale every tier multiplicatively (e.g. `GASS_SCALE=5` for a 5× larger
+//! run). Every harness prints the tier it actually ran, so
+//! `EXPERIMENTS.md` comparisons are explicit about scale.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use gass_core::distance::Space;
+use gass_core::graph::GraphView;
+use gass_core::neighbor::{BoundedMaxHeap, Neighbor};
+use gass_core::visited::VisitedSet;
+use std::path::PathBuf;
+
+/// One dataset-size tier, named after the paper's tier it stands in for.
+#[derive(Clone, Copy, Debug)]
+pub struct Tier {
+    /// Paper tier label ("1M", "25GB", "100GB", "1B").
+    pub label: &'static str,
+    /// Number of vectors at default scale.
+    pub n: usize,
+}
+
+/// Scale multiplier from `GASS_SCALE` (default 1).
+pub fn scale() -> usize {
+    std::env::var("GASS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1).max(1)
+}
+
+/// The four tiers of the paper, at harness scale.
+pub fn tiers() -> Vec<Tier> {
+    let s = scale();
+    vec![
+        Tier { label: "1M", n: 8_000 * s },
+        Tier { label: "25GB", n: 16_000 * s },
+        Tier { label: "100GB", n: 32_000 * s },
+        Tier { label: "1B", n: 64_000 * s },
+    ]
+}
+
+/// The small/medium tiers (most per-method figures stop at 25GB for the
+/// excluded methods, as in the paper).
+pub fn small_tiers() -> Vec<Tier> {
+    tiers().into_iter().take(2).collect()
+}
+
+/// The `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Number of queries per workload (paper uses 100).
+pub fn num_queries() -> usize {
+    std::env::var("GASS_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(40).max(1)
+}
+
+/// The beam widths swept by the search-performance figures.
+pub fn beam_sweep() -> Vec<usize> {
+    vec![10, 20, 40, 80, 160, 320]
+}
+
+/// Beam-search over a graph using the *two-heap* queue of the original
+/// HNSW implementation, for the implementation-impact ablation
+/// (Figure 17). Functionally equivalent to the linear-buffer search; the
+/// paper normalized all methods to the linear buffer and we measure what
+/// that normalization costs/saves.
+pub fn beam_search_two_heaps<G: GraphView + ?Sized>(
+    graph: &G,
+    space: Space<'_>,
+    query: &[f32],
+    seeds: &[u32],
+    k: usize,
+    beam_width: usize,
+    visited: &mut VisitedSet,
+) -> Vec<Neighbor> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    visited.resize(graph.num_nodes());
+    visited.clear();
+    let mut results = BoundedMaxHeap::new(beam_width.max(k));
+    let mut frontier: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+    for &s in seeds {
+        if (s as usize) < graph.num_nodes() && visited.insert(s) {
+            let d = space.dist_to(query, s);
+            let n = Neighbor::new(s, d);
+            results.push(n);
+            frontier.push(Reverse(n));
+        }
+    }
+    while let Some(Reverse(cur)) = frontier.pop() {
+        if cur.dist > results.bound() {
+            break;
+        }
+        for &nb in graph.neighbors(cur.id) {
+            if visited.insert(nb) {
+                let d = space.dist_to(query, nb);
+                let n = Neighbor::new(nb, d);
+                if d < results.bound() {
+                    frontier.push(Reverse(n));
+                }
+                results.push(n);
+            }
+        }
+    }
+    let mut out = results.into_sorted();
+    out.truncate(k);
+    out
+}
+
+/// Shared driver for the search-performance figures (12/13/14/16): build
+/// each method on each dataset, sweep beam widths, and emit one TSV row
+/// per point. Returns the table for further inspection.
+pub fn run_search_figure(
+    figure: &str,
+    workloads: &[(gass_data::DatasetKind, usize)],
+    methods: &[gass_graphs::MethodKind],
+    k: usize,
+    seed: u64,
+) -> gass_eval::Table {
+    let mut table = gass_eval::Table::new(vec![
+        "dataset",
+        "n",
+        "method",
+        "L",
+        "recall",
+        "dist_calcs_per_query",
+        "ms_per_query",
+    ]);
+    for &(kind, n) in workloads {
+        let (base, queries) = kind.generate(n, num_queries(), seed);
+        let truth = gass_data::ground_truth(&base, &queries, k);
+        for &method in methods {
+            let built = gass_graphs::build_method(method, base.clone(), seed);
+            for p in gass_eval::sweep(
+                built.index.as_ref(),
+                &queries,
+                &truth,
+                k,
+                &beam_sweep(),
+                16,
+            ) {
+                table.row(vec![
+                    kind.name(),
+                    n.to_string(),
+                    method.name(),
+                    p.beam_width.to_string(),
+                    format!("{:.4}", p.recall),
+                    (p.dist_calcs / queries.len() as u64).to_string(),
+                    format!("{:.3}", p.seconds * 1e3 / queries.len() as f64),
+                ]);
+            }
+            eprintln!("done: {} {} {}", figure, kind.name(), method.name());
+        }
+    }
+    table.emit(&results_dir(), figure).expect("write results");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_core::distance::DistCounter;
+    use gass_core::graph::AdjacencyGraph;
+    use gass_core::search::{beam_search, SearchScratch};
+    use gass_core::store::VectorStore;
+
+    #[test]
+    fn tiers_have_expected_shape() {
+        let t = tiers();
+        assert_eq!(t.len(), 4);
+        assert!(t[0].n < t[3].n);
+        assert_eq!(small_tiers().len(), 2);
+    }
+
+    #[test]
+    fn two_heap_search_matches_linear_buffer() {
+        let store = VectorStore::from_flat(1, (0..50).map(|i| i as f32).collect());
+        let mut g = AdjacencyGraph::new(50);
+        for i in 0..49u32 {
+            g.add_undirected(i, i + 1);
+        }
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut visited = VisitedSet::new(50);
+        let heap_res =
+            beam_search_two_heaps(&g, space, &[33.3], &[0], 5, 16, &mut visited);
+        let mut scratch = SearchScratch::new(50, 16);
+        let buf_res = beam_search(&g, space, &[33.3], &[0], 5, 16, &mut scratch);
+        let a: Vec<u32> = heap_res.iter().map(|n| n.id).collect();
+        let b: Vec<u32> = buf_res.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(a, b);
+    }
+}

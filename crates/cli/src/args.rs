@@ -1,0 +1,129 @@
+//! Minimal `--key value` argument parsing (the workspace's dependency
+//! budget excludes clap; the CLI surface is small enough for a hand-rolled
+//! parser with good errors).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand plus its `--key value` options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing and validation.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` with no value, or a stray positional argument.
+    Malformed(String),
+    /// A required option was absent.
+    MissingOption(String),
+    /// An option failed to parse as its expected type.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Offending value.
+        value: String,
+        /// Expected type label.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given (try `gass help`)"),
+            ArgError::Malformed(a) => write!(f, "malformed argument `{a}` (expected --key value pairs)"),
+            ArgError::MissingOption(k) => write!(f, "missing required option --{k}"),
+            ArgError::BadValue { key, value, expected } => {
+                write!(f, "option --{key}: `{value}` is not a valid {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of raw arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut iter = raw.into_iter();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        let mut options = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::Malformed(arg.clone()))?
+                .to_string();
+            let value = iter.next().ok_or_else(|| ArgError::Malformed(arg.clone()))?;
+            options.insert(key, value);
+        }
+        Ok(Self { command, options })
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::MissingOption(key.to_string()))
+    }
+
+    /// An optional parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(argv("build --method hnsw --n 100")).unwrap();
+        assert_eq!(a.command, "build");
+        assert_eq!(a.require("method").unwrap(), "hnsw");
+        assert_eq!(a.get_or::<usize>("n", 0).unwrap(), 100);
+        assert_eq!(a.get_or::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_missing_command() {
+        assert_eq!(Args::parse(argv("")).unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        let err = Args::parse(argv("build --method")).unwrap_err();
+        assert!(matches!(err, ArgError::Malformed(_)));
+    }
+
+    #[test]
+    fn rejects_positional_garbage() {
+        let err = Args::parse(argv("build oops")).unwrap_err();
+        assert!(matches!(err, ArgError::Malformed(_)));
+    }
+
+    #[test]
+    fn reports_bad_numeric_value() {
+        let a = Args::parse(argv("build --n abc")).unwrap();
+        let err = a.get_or::<usize>("n", 0).unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { .. }));
+    }
+}

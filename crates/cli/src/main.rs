@@ -1,0 +1,283 @@
+//! `gass` — command-line interface to the GASS library.
+//!
+//! ```text
+//! gass generate --dataset deep --n 20000 --seed 42 --out deep.store.gass
+//! gass build    --method hnsw --store deep.store.gass --out deep.hnsw.gass
+//! gass query    --store deep.store.gass --graph deep.hnsw.gass \
+//!               --queries q.store.gass --k 10 --beam 80
+//! gass info     --file deep.hnsw.gass
+//! gass help
+//! ```
+//!
+//! Saved graphs are served through `PrebuiltIndex` with K-sampled random
+//! seeds (seed structures are method-specific and are not persisted; KS
+//! is the universal strategy from the paper's taxonomy).
+
+mod args;
+
+use args::Args;
+use gass_core::distance::DistCounter;
+use gass_core::graph::{FlatGraph, GraphView};
+use gass_core::index::{AnnIndex, PrebuiltIndex, QueryParams};
+use gass_core::persist;
+use gass_core::seed::RandomSeeds;
+use gass_core::store::VectorStore;
+use gass_data::DatasetKind;
+use gass_graphs as graphs;
+use std::path::Path;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+gass — graph-based vector search (GASS reproduction)
+
+USAGE: gass <command> [--key value]...
+
+COMMANDS:
+  generate  --dataset <deep|sift|gist|imagenet|sald|seismic|t2i|pow0|pow5|pow50>
+            --n <count> [--seed <u64>] --out <file>
+            Generate a synthetic dataset analog and save it.
+
+  build     --method <hnsw|vamana|nsg|ssg|kgraph|efanna|dpg|ngt|sptag-kdt|
+                      sptag-bkt|hcnng|nsw|ii-rnd|ii-nond>
+            --store <file> --out <file> [--seed <u64>]
+            Build a graph index over a saved store and save the graph.
+
+  query     --store <file> --graph <file> --queries <file>
+            [--k <10>] [--beam <80>] [--seeds <16>]
+            Answer k-NN queries from a saved graph; reports recall against
+            exact ground truth and distance calculations per query.
+
+  info      --file <file>
+            Describe a saved store or graph.
+
+  help      Show this text.
+";
+
+fn dataset_of(name: &str) -> Result<DatasetKind, String> {
+    Ok(match name {
+        "deep" => DatasetKind::Deep,
+        "sift" => DatasetKind::Sift,
+        "gist" => DatasetKind::Gist,
+        "imagenet" => DatasetKind::ImageNet,
+        "sald" => DatasetKind::Sald,
+        "seismic" => DatasetKind::Seismic,
+        "t2i" => DatasetKind::TextToImage,
+        "pow0" => DatasetKind::RandPow(0),
+        "pow5" => DatasetKind::RandPow(5),
+        "pow50" => DatasetKind::RandPow(50),
+        other => return Err(format!("unknown dataset `{other}`")),
+    })
+}
+
+/// Builds `method` and extracts its frozen graph for persistence.
+fn build_graph(method: &str, store: VectorStore, seed: u64) -> Result<FlatGraph, String> {
+    use gass_core::nd::NdStrategy;
+    let adj_to_flat = |g: &gass_core::AdjacencyGraph| FlatGraph::from_adjacency(g, None);
+    Ok(match method {
+        "hnsw" => {
+            let p = graphs::HnswParams { seed, ..graphs::HnswParams::small() };
+            graphs::HnswIndex::build(store, p).base_graph().clone()
+        }
+        "vamana" => {
+            let p = graphs::VamanaParams { seed, ..graphs::VamanaParams::small() };
+            graphs::VamanaIndex::build(store, p).graph().clone()
+        }
+        "nsg" => {
+            let p = graphs::NsgParams { seed, ..graphs::NsgParams::small() };
+            graphs::NsgIndex::build(store, p).graph().clone()
+        }
+        "ssg" => {
+            let p = graphs::SsgParams { seed, ..graphs::SsgParams::small() };
+            graphs::SsgIndex::build(store, p).graph().clone()
+        }
+        "kgraph" => {
+            let p = graphs::KGraphParams { seed, ..graphs::KGraphParams::small() };
+            graphs::KGraphIndex::build(store, p).graph().clone()
+        }
+        "efanna" => {
+            let p = graphs::EfannaParams { seed, ..graphs::EfannaParams::small() };
+            graphs::EfannaIndex::build(store, p).graph().clone()
+        }
+        "dpg" => {
+            let p = graphs::DpgParams { seed, ..graphs::DpgParams::small() };
+            adj_to_flat(graphs::DpgIndex::build(store, p).graph())
+        }
+        "ngt" => {
+            let p = graphs::NgtParams { seed, ..graphs::NgtParams::small() };
+            adj_to_flat(graphs::NgtIndex::build(store, p).graph())
+        }
+        "sptag-kdt" => {
+            let p = graphs::SptagParams {
+                seed,
+                ..graphs::SptagParams::small(graphs::SptagVariant::Kdt)
+            };
+            graphs::SptagIndex::build(store, p).graph().clone()
+        }
+        "sptag-bkt" => {
+            let p = graphs::SptagParams {
+                seed,
+                ..graphs::SptagParams::small(graphs::SptagVariant::Bkt)
+            };
+            graphs::SptagIndex::build(store, p).graph().clone()
+        }
+        "hcnng" => {
+            let p = graphs::HcnngParams { seed, ..graphs::HcnngParams::small() };
+            adj_to_flat(graphs::HcnngIndex::build(store, p).graph())
+        }
+        "nsw" => {
+            let p = graphs::NswParams { seed, ..graphs::NswParams::small() };
+            adj_to_flat(graphs::NswIndex::build(store, p).graph())
+        }
+        "ii-rnd" => {
+            let p = graphs::IiParams { seed, ..graphs::IiParams::small(NdStrategy::Rnd) };
+            graphs::IiGraph::build(store, p).graph().clone()
+        }
+        "ii-nond" => {
+            let p = graphs::IiParams { seed, ..graphs::IiParams::small(NdStrategy::NoNd) };
+            graphs::IiGraph::build(store, p).graph().clone()
+        }
+        other => {
+            return Err(format!(
+                "unknown or non-persistable method `{other}` \
+                 (ELPIS/LSHAPG/HVS are composite; serve them in-process)"
+            ))
+        }
+    })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "generate" => {
+            let kind = dataset_of(args.require("dataset").map_err(|e| e.to_string())?)?;
+            let n: usize = args.get_or("n", 10_000).map_err(|e| e.to_string())?;
+            let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+            let out = args.require("out").map_err(|e| e.to_string())?;
+            let store = kind.generate_base(n, seed);
+            persist::save_store(&store, Path::new(out)).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} ({} x {}d, {} bytes)",
+                out,
+                store.len(),
+                store.dim(),
+                std::fs::metadata(out).map(|m| m.len()).unwrap_or(0)
+            );
+            Ok(())
+        }
+        "build" => {
+            let method = args.require("method").map_err(|e| e.to_string())?;
+            let store_path = args.require("store").map_err(|e| e.to_string())?;
+            let out = args.require("out").map_err(|e| e.to_string())?;
+            let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+            let store =
+                persist::load_store(Path::new(store_path)).map_err(|e| e.to_string())?;
+            let t = std::time::Instant::now();
+            let graph = build_graph(method, store, seed)?;
+            println!(
+                "built {method} over {} nodes in {:.2}s ({} edges, avg degree {:.1})",
+                graph.num_nodes(),
+                t.elapsed().as_secs_f64(),
+                graph.num_edges(),
+                graph.avg_degree()
+            );
+            persist::save_flat_graph(&graph, Path::new(out)).map_err(|e| e.to_string())?;
+            println!("wrote {out}");
+            Ok(())
+        }
+        "query" => {
+            let store = persist::load_store(Path::new(
+                args.require("store").map_err(|e| e.to_string())?,
+            ))
+            .map_err(|e| e.to_string())?;
+            let graph = persist::load_flat_graph(Path::new(
+                args.require("graph").map_err(|e| e.to_string())?,
+            ))
+            .map_err(|e| e.to_string())?;
+            let queries = persist::load_store(Path::new(
+                args.require("queries").map_err(|e| e.to_string())?,
+            ))
+            .map_err(|e| e.to_string())?;
+            let k: usize = args.get_or("k", 10).map_err(|e| e.to_string())?;
+            let beam: usize = args.get_or("beam", 80).map_err(|e| e.to_string())?;
+            let seeds: usize = args.get_or("seeds", 16).map_err(|e| e.to_string())?;
+            if queries.dim() != store.dim() {
+                return Err(format!(
+                    "query dim {} != store dim {}",
+                    queries.dim(),
+                    store.dim()
+                ));
+            }
+            let n = store.len();
+            let truth = gass_data::ground_truth(&store, &queries, k);
+            let index = PrebuiltIndex::new(
+                store,
+                graph,
+                Box::new(RandomSeeds::new(n, 7)),
+                "loaded",
+            );
+            let counter = DistCounter::new();
+            let params = QueryParams::new(k, beam).with_seed_count(seeds);
+            let t = std::time::Instant::now();
+            let mut recall = 0.0;
+            for (qi, row) in truth.iter().enumerate() {
+                let res = index.search(queries.get(qi as u32), &params, &counter);
+                recall += gass_eval::recall_at_k(row, &res.neighbors, k);
+            }
+            let nq = truth.len().max(1);
+            println!(
+                "queries={} k={k} L={beam}  recall@{k}={:.4}  dists/query={}  ms/query={:.3}",
+                nq,
+                recall / nq as f64,
+                counter.get() / nq as u64,
+                t.elapsed().as_secs_f64() * 1e3 / nq as f64
+            );
+            Ok(())
+        }
+        "info" => {
+            let file = args.require("file").map_err(|e| e.to_string())?;
+            let raw = std::fs::read(file).map_err(|e| e.to_string())?;
+            if let Ok(store) = persist::decode_store(bytes_of(&raw)) {
+                println!("{file}: vector store, {} x {}d", store.len(), store.dim());
+                return Ok(());
+            }
+            match persist::decode_flat_graph(bytes_of(&raw)) {
+                Ok(graph) => {
+                    println!(
+                        "{file}: flat graph, {} nodes, {} edges, avg degree {:.1}, max degree {}",
+                        graph.num_nodes(),
+                        graph.num_edges(),
+                        graph.avg_degree(),
+                        graph.max_degree()
+                    );
+                    Ok(())
+                }
+                Err(e) => Err(format!("{file}: not a GASS artifact ({e})")),
+            }
+        }
+        other => Err(format!("unknown command `{other}` (try `gass help`)")),
+    }
+}
+
+fn bytes_of(raw: &[u8]) -> bytes::Bytes {
+    bytes::Bytes::copy_from_slice(raw)
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

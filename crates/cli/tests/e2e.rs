@@ -1,0 +1,87 @@
+//! End-to-end CLI test: generate → build → info → query, through the real
+//! binary.
+
+use std::process::Command;
+
+fn gass() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gass"))
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn gass");
+    assert!(
+        out.status.success(),
+        "command failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn generate_build_query_roundtrip() {
+    let dir = std::env::temp_dir().join("gass_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("base.store.gass");
+    let graph = dir.join("base.hnsw.gass");
+    let queries = dir.join("q.store.gass");
+
+    let out = run_ok(gass().args([
+        "generate", "--dataset", "deep", "--n", "800", "--seed", "5",
+        "--out", store.to_str().unwrap(),
+    ]));
+    assert!(out.contains("800 x 96d"), "unexpected generate output: {out}");
+
+    run_ok(gass().args([
+        "generate", "--dataset", "deep", "--n", "10", "--seed", "9",
+        "--out", queries.to_str().unwrap(),
+    ]));
+
+    let out = run_ok(gass().args([
+        "build", "--method", "hnsw", "--store", store.to_str().unwrap(),
+        "--out", graph.to_str().unwrap(),
+    ]));
+    assert!(out.contains("built hnsw over 800 nodes"), "{out}");
+
+    let out = run_ok(gass().args(["info", "--file", graph.to_str().unwrap()]));
+    assert!(out.contains("flat graph, 800 nodes"), "{out}");
+    let out = run_ok(gass().args(["info", "--file", store.to_str().unwrap()]));
+    assert!(out.contains("vector store, 800 x 96d"), "{out}");
+
+    let out = run_ok(gass().args([
+        "query", "--store", store.to_str().unwrap(), "--graph",
+        graph.to_str().unwrap(), "--queries", queries.to_str().unwrap(),
+        "--k", "5", "--beam", "64",
+    ]));
+    // recall@5=0.xxxx — parse and require a sane floor.
+    let recall: f64 = out
+        .split("recall@5=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no recall in output: {out}"));
+    assert!(recall > 0.8, "CLI query recall too low: {recall} ({out})");
+}
+
+#[test]
+fn helpful_errors() {
+    let out = gass().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = gass().args(["build", "--method", "elpis", "--store", "x", "--out", "y"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = gass().args(["info", "--file", "/definitely/not/a/file"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = run_ok(gass().args(["help"]));
+    for cmd in ["generate", "build", "query", "info", "help"] {
+        assert!(out.contains(cmd), "help missing `{cmd}`");
+    }
+}

@@ -1,0 +1,353 @@
+//! The common index interface every method implements, and the scratch
+//! pool that makes concurrent querying allocation-free.
+//!
+//! The paper evaluates twelve methods under one procedure: build, then
+//! answer k-NN queries at a given beam width while counting distance
+//! calculations. [`AnnIndex`] is that procedure's contract; the evaluation
+//! harness (`gass-eval`) and every figure/table bin are generic over it.
+
+use crate::distance::{DistCounter, Space};
+use crate::search::{SearchResult, SearchScratch};
+use parking_lot::Mutex;
+
+/// Per-query parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryParams {
+    /// Number of nearest neighbors to return.
+    pub k: usize,
+    /// Beam width `L` (candidate buffer size); must be `>= k`.
+    pub beam_width: usize,
+    /// Number of seeds to request from the seed-selection strategy
+    /// (meaningful for KS/KD/KM/LSH; structure-determined for SN/MD/SF).
+    pub seed_count: usize,
+}
+
+impl QueryParams {
+    /// `k`-NN with beam width `l` and `k` seeds.
+    pub fn new(k: usize, l: usize) -> Self {
+        Self { k, beam_width: l.max(k), seed_count: k }
+    }
+
+    /// Overrides the seed count.
+    pub fn with_seed_count(mut self, seeds: usize) -> Self {
+        self.seed_count = seeds;
+        self
+    }
+}
+
+/// Structural statistics of a built index (Figures 8–9 inputs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IndexStats {
+    /// Number of graph nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Average out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Heap bytes used by graph structures.
+    pub graph_bytes: usize,
+    /// Heap bytes used by auxiliary structures (seed trees, hash tables,
+    /// hierarchical layers, summarizations).
+    pub aux_bytes: usize,
+}
+
+/// A built approximate-nearest-neighbor index.
+///
+/// Implementations own their `VectorStore`; the query-time distance counter
+/// is passed per call so experiments can account per-phase.
+pub trait AnnIndex: Send + Sync {
+    /// Method name as it appears in the paper's tables ("HNSW", "NSG", ...).
+    fn name(&self) -> String;
+
+    /// Number of indexed vectors.
+    fn num_vectors(&self) -> usize;
+
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Answers one k-NN query.
+    fn search(&self, query: &[f32], params: &QueryParams, counter: &DistCounter)
+        -> SearchResult;
+
+    /// Structural statistics.
+    fn stats(&self) -> IndexStats;
+
+    /// Total heap bytes of the index *excluding* the raw vectors (graph +
+    /// auxiliary structures). The harness adds the store separately, as the
+    /// paper reports footprints "including the raw data".
+    fn index_bytes(&self) -> usize {
+        let s = self.stats();
+        s.graph_bytes + s.aux_bytes
+    }
+}
+
+/// Lock-sharded pool of [`SearchScratch`] buffers so concurrent searches
+/// do not allocate an `O(n)` visited set per query.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<SearchScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrows a scratch (allocating one if the pool is empty), prepared for
+    /// `n` nodes and beam width `l`, runs `f`, and returns the scratch.
+    pub fn with<R>(&self, n: usize, l: usize, f: impl FnOnce(&mut SearchScratch) -> R) -> R {
+        let mut scratch = self
+            .pool
+            .lock()
+            .pop()
+            .unwrap_or_else(|| SearchScratch::new(n, l));
+        scratch.prepare(n, l);
+        let out = f(&mut scratch);
+        self.pool.lock().push(scratch);
+        out
+    }
+}
+
+/// Convenience: evaluate recall-oriented searches over a whole query set,
+/// returning per-query results. Sequential on purpose — the paper processes
+/// queries one at a time, "mimicking a real-world scenario where queries
+/// are unpredictable".
+pub fn search_batch<I: AnnIndex + ?Sized>(
+    index: &I,
+    queries: &crate::store::VectorStore,
+    params: &QueryParams,
+    counter: &DistCounter,
+) -> Vec<SearchResult> {
+    (0..queries.len() as u32)
+        .map(|q| index.search(queries.get(q), params, counter))
+        .collect()
+}
+
+/// A trivial exact index: serial scan. Implements [`AnnIndex`] so the
+/// figure harnesses can include the exact baseline uniformly.
+pub struct SerialScanIndex {
+    store: crate::store::VectorStore,
+}
+
+impl SerialScanIndex {
+    /// Wraps a store.
+    pub fn new(store: crate::store::VectorStore) -> Self {
+        Self { store }
+    }
+}
+
+impl AnnIndex for SerialScanIndex {
+    fn name(&self) -> String {
+        "SerialScan".to_string()
+    }
+
+    fn num_vectors(&self) -> usize {
+        self.store.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    fn search(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> SearchResult {
+        let space = Space::new(&self.store, counter);
+        let neighbors = crate::search::serial_scan(space, query, params.k);
+        let n = self.store.len();
+        SearchResult {
+            neighbors,
+            stats: crate::search::SearchStats { hops: 0, evaluated: n },
+        }
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats { nodes: self.store.len(), ..Default::default() }
+    }
+}
+
+/// An index assembled from previously built (e.g. persisted) parts: a
+/// vector store, a frozen graph, and a seed provider. Lets any saved
+/// graph be served again without re-running construction.
+pub struct PrebuiltIndex {
+    store: crate::store::VectorStore,
+    graph: crate::graph::FlatGraph,
+    seeds: Box<dyn crate::seed::SeedProvider>,
+    label: String,
+    scratch: ScratchPool,
+}
+
+impl PrebuiltIndex {
+    /// Wraps the parts. `label` names the method the graph came from.
+    ///
+    /// # Panics
+    /// Panics if the graph and store disagree on the number of vectors.
+    pub fn new(
+        store: crate::store::VectorStore,
+        graph: crate::graph::FlatGraph,
+        seeds: Box<dyn crate::seed::SeedProvider>,
+        label: impl Into<String>,
+    ) -> Self {
+        use crate::graph::GraphView;
+        assert_eq!(
+            store.len(),
+            graph.num_nodes(),
+            "store and graph must cover the same vectors"
+        );
+        Self { store, graph, seeds, label: label.into(), scratch: ScratchPool::new() }
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &crate::store::VectorStore {
+        &self.store
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &crate::graph::FlatGraph {
+        &self.graph
+    }
+}
+
+impl AnnIndex for PrebuiltIndex {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn num_vectors(&self) -> usize {
+        self.store.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    fn search(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> SearchResult {
+        let space = Space::new(&self.store, counter);
+        let mut seeds = Vec::new();
+        self.seeds.seeds(space, query, params.seed_count, &mut seeds);
+        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+            crate::search::beam_search(
+                &self.graph,
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            )
+        })
+    }
+
+    fn stats(&self) -> IndexStats {
+        use crate::graph::GraphView;
+        IndexStats {
+            nodes: self.graph.num_nodes(),
+            edges: self.graph.num_edges(),
+            avg_degree: self.graph.avg_degree(),
+            max_degree: self.graph.max_degree(),
+            graph_bytes: self.graph.heap_bytes(),
+            aux_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::VectorStore;
+
+    #[test]
+    fn query_params_enforce_l_ge_k() {
+        let p = QueryParams::new(10, 3);
+        assert_eq!(p.beam_width, 10);
+        let p2 = QueryParams::new(2, 50).with_seed_count(7);
+        assert_eq!(p2.beam_width, 50);
+        assert_eq!(p2.seed_count, 7);
+    }
+
+    #[test]
+    fn scratch_pool_reuses_buffers() {
+        let pool = ScratchPool::new();
+        let cap1 = pool.with(100, 8, |s| {
+            s.visited.insert(3);
+            s.visited.capacity()
+        });
+        // Second borrow must see a cleared set of at least same capacity.
+        pool.with(50, 8, |s| {
+            assert!(s.visited.capacity() >= cap1.min(100));
+            assert!(!s.visited.contains(3));
+        });
+    }
+
+    #[test]
+    fn serial_scan_index_is_exact() {
+        let store = VectorStore::from_flat(1, vec![0.0, 5.0, 10.0, 2.0]);
+        let idx = SerialScanIndex::new(store);
+        let counter = DistCounter::new();
+        let res = idx.search(&[1.4], &QueryParams::new(2, 2), &counter);
+        assert_eq!(res.neighbors[0].id, 3); // 2.0 is closest to 1.4
+        assert_eq!(res.neighbors[1].id, 0);
+        assert_eq!(counter.get(), 4);
+        assert_eq!(idx.name(), "SerialScan");
+        assert_eq!(idx.num_vectors(), 4);
+        assert_eq!(idx.dim(), 1);
+    }
+
+    #[test]
+    fn prebuilt_index_serves_a_frozen_graph() {
+        let store = VectorStore::from_flat(1, (0..20).map(|i| i as f32).collect());
+        let mut adj = crate::graph::AdjacencyGraph::new(20);
+        for i in 0..19u32 {
+            adj.add_undirected(i, i + 1);
+        }
+        let graph = crate::graph::FlatGraph::from_adjacency(&adj, None);
+        let idx = PrebuiltIndex::new(
+            store,
+            graph,
+            Box::new(crate::seed::StaticSeeds::new(vec![0])),
+            "chain",
+        );
+        let counter = DistCounter::new();
+        let res = idx.search(&[13.4], &QueryParams::new(2, 20), &counter);
+        assert_eq!(res.neighbors[0].id, 13);
+        assert_eq!(idx.name(), "chain");
+        assert_eq!(idx.stats().edges, 38);
+    }
+
+    #[test]
+    #[should_panic(expected = "same vectors")]
+    fn prebuilt_index_rejects_mismatched_parts() {
+        let store = VectorStore::from_flat(1, vec![0.0, 1.0]);
+        let adj = crate::graph::AdjacencyGraph::new(5);
+        let graph = crate::graph::FlatGraph::from_adjacency(&adj, None);
+        let _ = PrebuiltIndex::new(
+            store,
+            graph,
+            Box::new(crate::seed::StaticSeeds::new(vec![0])),
+            "bad",
+        );
+    }
+
+    #[test]
+    fn search_batch_runs_all_queries() {
+        let store = VectorStore::from_flat(1, vec![0.0, 1.0, 2.0]);
+        let idx = SerialScanIndex::new(store);
+        let queries = VectorStore::from_flat(1, vec![0.1, 1.9]);
+        let counter = DistCounter::new();
+        let res = search_batch(&idx, &queries, &QueryParams::new(1, 1), &counter);
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].neighbors[0].id, 0);
+        assert_eq!(res[1].neighbors[0].id, 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! # gass-core
+//!
+//! Core substrates for graph-based approximate nearest-neighbor (ANN)
+//! search, as surveyed and evaluated in *"Graph-Based Vector Search: An
+//! Experimental Evaluation of the State-of-the-Art"* (SIGMOD 2025).
+//!
+//! Everything the twelve state-of-the-art methods share lives here:
+//!
+//! * [`store::VectorStore`] — contiguous dense `f32` vectors;
+//! * [`distance`] — Euclidean kernels and the distance-call accounting that
+//!   underpins every experiment;
+//! * [`graph`] — adjacency-list and flat contiguous proximity-graph
+//!   layouts;
+//! * [`search`] — the beam search (the paper's Algorithm 1) used verbatim
+//!   by every method, plus greedy descent and the exact serial scan;
+//! * [`nd`] — the three Neighborhood Diversification strategies (RND,
+//!   RRND, MOND) and the NoND baseline;
+//! * [`seed`] — the Seed Selection abstraction with the structure-free
+//!   strategies (SF, MD, KS);
+//! * [`index`] — the [`index::AnnIndex`] trait all methods implement, and
+//!   the scratch pool for allocation-free querying.
+//!
+//! Methods themselves live in `gass-graphs`; tree and hash substrates in
+//! `gass-trees` and `gass-hash`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod distance;
+pub mod graph;
+pub mod index;
+pub mod nd;
+pub mod persist;
+pub mod neighbor;
+pub mod search;
+pub mod seed;
+pub mod store;
+pub mod visited;
+
+pub use distance::{l2, l2_sq, DistCounter, Space};
+pub use graph::{AdjacencyGraph, FlatGraph, GraphView};
+pub use index::{AnnIndex, IndexStats, PrebuiltIndex, QueryParams, ScratchPool, SerialScanIndex};
+pub use nd::NdStrategy;
+pub use persist::{load_flat_graph, load_store, save_flat_graph, save_store, PersistError};
+pub use neighbor::{BoundedMaxHeap, Neighbor, SortedBuffer};
+pub use search::{
+    beam_search, beam_search_with_sink, greedy_search, serial_scan, SearchResult,
+    SearchScratch, SearchStats,
+};
+pub use seed::{FixedSeed, MedoidSeed, RandomSeeds, SeedProvider, StaticSeeds};
+pub use store::VectorStore;
+pub use visited::VisitedSet;

@@ -1,0 +1,284 @@
+//! Binary persistence for the core structures: vector stores and frozen
+//! graphs.
+//!
+//! Indexes at the paper's scale take hours to days to build; any usable
+//! release must be able to save and reload them. The format is a simple
+//! length-prefixed little-endian layout with a magic header and version
+//! byte, built on the `bytes` crate:
+//!
+//! ```text
+//! "GASS" | version:u8 | kind:u8 | payload...
+//! ```
+//!
+//! Payloads:
+//! * store — `dim:u64 | len:u64 | f32 data`
+//! * flat graph — `slots:u64 | nodes:u64 | counts:u32[] | edges:u32[]`
+
+use crate::graph::FlatGraph;
+use crate::store::VectorStore;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"GASS";
+const VERSION: u8 = 1;
+const KIND_STORE: u8 = 1;
+const KIND_FLAT_GRAPH: u8 = 2;
+
+/// Errors arising while decoding a persisted structure.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// Payload kind did not match the requested structure.
+    WrongKind {
+        /// Kind byte found in the file.
+        found: u8,
+        /// Kind byte the caller expected.
+        expected: u8,
+    },
+    /// Payload shorter than its own header claims.
+    Truncated,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a GASS file (bad magic)"),
+            PersistError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::WrongKind { found, expected } => {
+                write!(f, "wrong payload kind {found} (expected {expected})")
+            }
+            PersistError::Truncated => write!(f, "payload truncated"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn header(kind: u8, capacity: usize) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(capacity + 6);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(kind);
+    buf
+}
+
+fn check_header(buf: &mut Bytes, expected_kind: u8) -> Result<(), PersistError> {
+    if buf.remaining() < 6 {
+        return Err(PersistError::BadMagic);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let kind = buf.get_u8();
+    if kind != expected_kind {
+        return Err(PersistError::WrongKind { found: kind, expected: expected_kind });
+    }
+    Ok(())
+}
+
+/// Encodes a vector store.
+pub fn encode_store(store: &VectorStore) -> Bytes {
+    let flat = store.as_flat();
+    let mut buf = header(KIND_STORE, 16 + flat.len() * 4);
+    buf.put_u64_le(store.dim() as u64);
+    buf.put_u64_le(store.len() as u64);
+    for &x in flat {
+        buf.put_f32_le(x);
+    }
+    buf.freeze()
+}
+
+/// Decodes a vector store.
+pub fn decode_store(mut buf: Bytes) -> Result<VectorStore, PersistError> {
+    check_header(&mut buf, KIND_STORE)?;
+    if buf.remaining() < 16 {
+        return Err(PersistError::Truncated);
+    }
+    let dim = buf.get_u64_le() as usize;
+    let len = buf.get_u64_le() as usize;
+    let want = dim.checked_mul(len).ok_or(PersistError::Truncated)?;
+    if buf.remaining() < want * 4 {
+        return Err(PersistError::Truncated);
+    }
+    let mut data = Vec::with_capacity(want);
+    for _ in 0..want {
+        data.push(buf.get_f32_le());
+    }
+    Ok(VectorStore::from_flat(dim.max(1), data))
+}
+
+/// Encodes a flat graph.
+pub fn encode_flat_graph(graph: &FlatGraph) -> Bytes {
+    use crate::graph::GraphView;
+    let n = graph.num_nodes();
+    let slots = graph.slots();
+    let mut buf = header(KIND_FLAT_GRAPH, 16 + n * 4 + n * slots * 4);
+    buf.put_u64_le(slots as u64);
+    buf.put_u64_le(n as u64);
+    for v in 0..n as u32 {
+        buf.put_u32_le(graph.neighbors(v).len() as u32);
+    }
+    for v in 0..n as u32 {
+        let ns = graph.neighbors(v);
+        for &e in ns {
+            buf.put_u32_le(e);
+        }
+        for _ in ns.len()..slots {
+            buf.put_u32_le(0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a flat graph.
+pub fn decode_flat_graph(mut buf: Bytes) -> Result<FlatGraph, PersistError> {
+    check_header(&mut buf, KIND_FLAT_GRAPH)?;
+    if buf.remaining() < 16 {
+        return Err(PersistError::Truncated);
+    }
+    let slots = buf.get_u64_le() as usize;
+    let n = buf.get_u64_le() as usize;
+    if buf.remaining() < n * 4 {
+        return Err(PersistError::Truncated);
+    }
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        counts.push(buf.get_u32_le());
+    }
+    let want = n.checked_mul(slots).ok_or(PersistError::Truncated)?;
+    if buf.remaining() < want * 4 {
+        return Err(PersistError::Truncated);
+    }
+    // Rebuild through an adjacency graph to reuse the validated
+    // constructor.
+    let mut adj = crate::graph::AdjacencyGraph::new(n);
+    let mut edges = Vec::with_capacity(want);
+    for _ in 0..want {
+        edges.push(buf.get_u32_le());
+    }
+    for v in 0..n {
+        let c = (counts[v] as usize).min(slots);
+        adj.set_neighbors(v as u32, edges[v * slots..v * slots + c].to_vec());
+    }
+    Ok(FlatGraph::from_adjacency(&adj, Some(slots.max(1))))
+}
+
+/// Writes a store to `path`.
+pub fn save_store(store: &VectorStore, path: &Path) -> Result<(), PersistError> {
+    fs::write(path, encode_store(store))?;
+    Ok(())
+}
+
+/// Reads a store from `path`.
+pub fn load_store(path: &Path) -> Result<VectorStore, PersistError> {
+    decode_store(Bytes::from(fs::read(path)?))
+}
+
+/// Writes a flat graph to `path`.
+pub fn save_flat_graph(graph: &FlatGraph, path: &Path) -> Result<(), PersistError> {
+    fs::write(path, encode_flat_graph(graph))?;
+    Ok(())
+}
+
+/// Reads a flat graph from `path`.
+pub fn load_flat_graph(path: &Path) -> Result<FlatGraph, PersistError> {
+    decode_flat_graph(Bytes::from(fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AdjacencyGraph, GraphView};
+
+    fn sample_store() -> VectorStore {
+        VectorStore::from_flat(3, vec![1.0, 2.0, 3.0, -4.5, 0.0, 9.25])
+    }
+
+    fn sample_graph() -> FlatGraph {
+        let mut g = AdjacencyGraph::new(4);
+        g.set_neighbors(0, vec![1, 2]);
+        g.set_neighbors(1, vec![0]);
+        g.set_neighbors(2, vec![3, 0, 1]);
+        FlatGraph::from_adjacency(&g, Some(3))
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let store = sample_store();
+        let decoded = decode_store(encode_store(&store)).unwrap();
+        assert_eq!(decoded.dim(), 3);
+        assert_eq!(decoded.as_flat(), store.as_flat());
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = sample_graph();
+        let decoded = decode_flat_graph(encode_flat_graph(&g)).unwrap();
+        assert_eq!(decoded.num_nodes(), 4);
+        for v in 0..4 {
+            assert_eq!(decoded.neighbors(v), g.neighbors(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("gass_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store_path = dir.join("store.gass");
+        let graph_path = dir.join("graph.gass");
+        save_store(&sample_store(), &store_path).unwrap();
+        save_flat_graph(&sample_graph(), &graph_path).unwrap();
+        assert_eq!(load_store(&store_path).unwrap().len(), 2);
+        assert_eq!(load_flat_graph(&graph_path).unwrap().num_edges(), 6);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode_store(Bytes::from_static(b"NOPE....")).unwrap_err();
+        assert!(matches!(err, PersistError::BadMagic));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let bytes = encode_store(&sample_store());
+        let err = decode_flat_graph(bytes).unwrap_err();
+        assert!(matches!(err, PersistError::WrongKind { .. }));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode_store(&sample_store());
+        let cut = bytes.slice(0..bytes.len() - 3);
+        let err = decode_store(cut).unwrap_err();
+        assert!(matches!(err, PersistError::Truncated));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut raw = encode_store(&sample_store()).to_vec();
+        raw[4] = 99; // version byte
+        let err = decode_store(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, PersistError::BadVersion(99)));
+    }
+}

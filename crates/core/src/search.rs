@@ -1,0 +1,302 @@
+//! Beam search — Algorithm 1 of the paper — plus the greedy 1-NN descent
+//! used by hierarchical seed selection.
+//!
+//! Every state-of-the-art graph method answers queries with the *same*
+//! best-first beam search; they differ only in the graph they traverse and
+//! the seeds they start from. This module is therefore the single search
+//! implementation shared by all methods in `gass-graphs`, which is exactly
+//! the normalization the paper performs across its twelve baselines.
+
+use crate::distance::Space;
+use crate::graph::GraphView;
+use crate::neighbor::{Neighbor, SortedBuffer};
+use crate::visited::VisitedSet;
+
+/// Counters describing one beam-search invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes expanded (popped from the candidate buffer).
+    pub hops: usize,
+    /// Nodes whose distance to the query was evaluated.
+    pub evaluated: usize,
+}
+
+/// Result of a beam search: the `k` best neighbors found plus traversal
+/// counters.
+#[derive(Clone, Debug, Default)]
+pub struct SearchResult {
+    /// Up to `k` nearest candidates found, closest first.
+    pub neighbors: Vec<Neighbor>,
+    /// Traversal counters.
+    pub stats: SearchStats,
+}
+
+/// Reusable per-thread scratch (visited set + candidate buffer). Allocate
+/// once, reuse across queries; `prepare` handles growth and epoch reset.
+#[derive(Clone, Debug)]
+pub struct SearchScratch {
+    /// Epoch-versioned visited set.
+    pub visited: VisitedSet,
+    /// Sorted linear candidate buffer.
+    pub buffer: SortedBuffer,
+}
+
+impl SearchScratch {
+    /// Scratch sized for a graph of `n` nodes and beam width `l`.
+    pub fn new(n: usize, l: usize) -> Self {
+        Self { visited: VisitedSet::new(n), buffer: SortedBuffer::new(l.max(1)) }
+    }
+
+    /// Readies the scratch for a search over `n` nodes with beam width `l`.
+    pub fn prepare(&mut self, n: usize, l: usize) {
+        self.visited.resize(n);
+        self.visited.clear();
+        self.buffer.reset(l.max(1));
+    }
+}
+
+/// Beam search (Algorithm 1): warm the candidate buffer with `seeds`, then
+/// repeatedly expand the closest unexpanded candidate until the buffer
+/// stabilizes. Returns the `k` closest discovered nodes.
+///
+/// `beam_width` (the paper's `L`) controls the accuracy/efficiency
+/// trade-off; it must be `>= k` for a full result set.
+///
+/// ```
+/// use gass_core::{beam_search, AdjacencyGraph, DistCounter, SearchScratch, Space, VectorStore};
+///
+/// // Points 0..5 on a line, chained into a path graph.
+/// let store = VectorStore::from_flat(1, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+/// let mut graph = AdjacencyGraph::new(5);
+/// for i in 0..4 {
+///     graph.add_undirected(i, i + 1);
+/// }
+/// let counter = DistCounter::new();
+/// let space = Space::new(&store, &counter);
+/// let mut scratch = SearchScratch::new(5, 4);
+///
+/// let res = beam_search(&graph, space, &[3.2], &[0], 2, 4, &mut scratch);
+/// assert_eq!(res.neighbors[0].id, 3);
+/// assert!(counter.get() > 0); // every evaluation was counted
+/// ```
+pub fn beam_search<G: GraphView + ?Sized>(
+    graph: &G,
+    space: Space<'_>,
+    query: &[f32],
+    seeds: &[u32],
+    k: usize,
+    beam_width: usize,
+    scratch: &mut SearchScratch,
+) -> SearchResult {
+    beam_search_with_sink(graph, space, query, seeds, k, beam_width, scratch, None)
+}
+
+/// [`beam_search`] variant that can also record **every** evaluated node in
+/// `sink` (in evaluation order). Construction algorithms that select edges
+/// from the *visited list* of a search (NSG, Vamana) need this.
+#[allow(clippy::too_many_arguments)]
+pub fn beam_search_with_sink<G: GraphView + ?Sized>(
+    graph: &G,
+    space: Space<'_>,
+    query: &[f32],
+    seeds: &[u32],
+    k: usize,
+    beam_width: usize,
+    scratch: &mut SearchScratch,
+    mut sink: Option<&mut Vec<Neighbor>>,
+) -> SearchResult {
+    let n = graph.num_nodes();
+    let mut stats = SearchStats::default();
+    if n == 0 || seeds.is_empty() {
+        return SearchResult { neighbors: Vec::new(), stats };
+    }
+    scratch.prepare(n, beam_width.max(k));
+
+    for &s in seeds {
+        if (s as usize) < n && scratch.visited.insert(s) {
+            let d = space.dist_to(query, s);
+            stats.evaluated += 1;
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.push(Neighbor::new(s, d));
+            }
+            scratch.buffer.insert(Neighbor::new(s, d));
+        }
+    }
+
+    while let Some(current) = scratch.buffer.next_unexpanded() {
+        stats.hops += 1;
+        for &nb in graph.neighbors(current.id) {
+            if scratch.visited.insert(nb) {
+                let d = space.dist_to(query, nb);
+                stats.evaluated += 1;
+                if let Some(sink) = sink.as_deref_mut() {
+                    sink.push(Neighbor::new(nb, d));
+                }
+                scratch.buffer.insert(Neighbor::new(nb, d));
+            }
+        }
+    }
+
+    SearchResult { neighbors: scratch.buffer.top_k(k), stats }
+}
+
+/// Greedy 1-NN descent from `entry`: repeatedly move to the closest
+/// neighbor until no neighbor improves. This is the per-layer routine of
+/// HNSW's hierarchical seed selection (SN) and of ELPIS's leaf routing.
+pub fn greedy_search<G: GraphView + ?Sized>(
+    graph: &G,
+    space: Space<'_>,
+    query: &[f32],
+    entry: u32,
+) -> (Neighbor, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut best = Neighbor::new(entry, space.dist_to(query, entry));
+    stats.evaluated += 1;
+    loop {
+        stats.hops += 1;
+        let mut improved = false;
+        for &nb in graph.neighbors(best.id) {
+            let d = space.dist_to(query, nb);
+            stats.evaluated += 1;
+            if d < best.dist {
+                best = Neighbor::new(nb, d);
+                improved = true;
+            }
+        }
+        if !improved {
+            return (best, stats);
+        }
+    }
+}
+
+/// Exhaustive scan: evaluates the query against *every* vector and returns
+/// the exact `k` nearest. The paper's serial-scan baseline (Figure 1) and
+/// the reference answer for recall.
+pub fn serial_scan(space: Space<'_>, query: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut heap = crate::neighbor::BoundedMaxHeap::new(k.max(1));
+    for id in 0..space.len() as u32 {
+        heap.push(Neighbor::new(id, space.dist_to(query, id)));
+    }
+    heap.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistCounter;
+    use crate::graph::AdjacencyGraph;
+    use crate::store::VectorStore;
+
+    /// A 1-d line of points 0..10 chained left-right: beam search from one
+    /// end must walk to the true nearest neighbor.
+    fn line_world() -> (VectorStore, AdjacencyGraph) {
+        let store = VectorStore::from_flat(1, (0..10).map(|i| i as f32).collect());
+        let mut g = AdjacencyGraph::new(10);
+        for i in 0..9u32 {
+            g.add_undirected(i, i + 1);
+        }
+        (store, g)
+    }
+
+    #[test]
+    fn beam_search_walks_to_true_nn() {
+        let (store, g) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut scratch = SearchScratch::new(10, 4);
+        let res = beam_search(&g, space, &[7.2], &[0], 3, 4, &mut scratch);
+        assert_eq!(res.neighbors[0].id, 7);
+        assert_eq!(res.neighbors[1].id, 8); // |8-7.2|=0.8 < |6-7.2|=1.2
+        assert_eq!(res.neighbors[2].id, 6);
+        assert!(res.stats.evaluated >= 8, "must traverse the chain");
+        assert_eq!(counter.get(), res.stats.evaluated as u64);
+    }
+
+    #[test]
+    fn larger_beam_never_reduces_result_quality() {
+        let (store, g) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut scratch = SearchScratch::new(10, 8);
+        let narrow = beam_search(&g, space, &[4.4], &[0], 2, 2, &mut scratch);
+        let wide = beam_search(&g, space, &[4.4], &[0], 2, 8, &mut scratch);
+        assert!(wide.neighbors[0].dist <= narrow.neighbors[0].dist);
+        assert_eq!(wide.neighbors[0].id, 4);
+    }
+
+    #[test]
+    fn empty_seeds_return_empty() {
+        let (store, g) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut scratch = SearchScratch::new(10, 4);
+        let res = beam_search(&g, space, &[1.0], &[], 3, 4, &mut scratch);
+        assert!(res.neighbors.is_empty());
+    }
+
+    #[test]
+    fn sink_records_every_evaluation() {
+        let (store, g) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut scratch = SearchScratch::new(10, 16);
+        let mut sink = Vec::new();
+        let res = beam_search_with_sink(
+            &g,
+            space,
+            &[9.0],
+            &[0],
+            1,
+            16,
+            &mut scratch,
+            Some(&mut sink),
+        );
+        assert_eq!(sink.len(), res.stats.evaluated);
+        // With beam width >= n on a connected chain, everything is visited.
+        assert_eq!(sink.len(), 10);
+    }
+
+    #[test]
+    fn greedy_descends_to_local_minimum() {
+        let (store, g) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let (best, stats) = greedy_search(&g, space, &[6.1], 0);
+        assert_eq!(best.id, 6);
+        assert!(stats.hops >= 6);
+    }
+
+    #[test]
+    fn serial_scan_is_exact() {
+        let (store, _) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let exact = serial_scan(space, &[3.3], 2);
+        assert_eq!(exact[0].id, 3);
+        assert_eq!(exact[1].id, 4);
+        assert_eq!(counter.get(), 10);
+    }
+
+    #[test]
+    fn beam_search_duplicate_seeds_counted_once() {
+        let (store, g) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut scratch = SearchScratch::new(10, 4);
+        let res = beam_search(&g, space, &[0.0], &[5, 5, 5], 1, 4, &mut scratch);
+        assert_eq!(res.neighbors[0].id, 0);
+        // Seed 5 evaluated exactly once despite triplication.
+        let evaluated_seed_phase = 1;
+        assert!(res.stats.evaluated >= evaluated_seed_phase);
+    }
+
+    #[test]
+    fn out_of_range_seeds_are_ignored() {
+        let (store, g) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut scratch = SearchScratch::new(10, 4);
+        let res = beam_search(&g, space, &[0.0], &[99], 1, 4, &mut scratch);
+        assert!(res.neighbors.is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Seed Selection (SS) strategies — Section 3.3 of the paper.
+//!
+//! Beam search warms its candidate buffer with *seed* nodes; which seeds are
+//! chosen changes how quickly the traversal converges, and — for methods
+//! that run a beam search per inserted node — also changes construction
+//! cost (Table 2).
+//!
+//! This module defines the [`SeedProvider`] abstraction plus the strategies
+//! that need no auxiliary structure:
+//!
+//! * **SF** — a single fixed (randomly chosen) entry node ([`FixedSeed`]).
+//! * **MD** — the dataset medoid as fixed entry ([`MedoidSeed`]).
+//! * **KS** — `k` nodes sampled uniformly at random per query
+//!   ([`RandomSeeds`]), optionally anchored at the medoid like NSG/Vamana.
+//!
+//! Structure-backed strategies live next to their structures: **SN**
+//! (stacked NSW) in `gass-graphs::hnsw`, **KD** in `gass-trees::kdtree`,
+//! **KM** in `gass-trees::bkt`, **LSH** in `gass-hash`, VP-tree seeds in
+//! `gass-trees::vptree`. All implement this same trait, so any method can
+//! be queried under any strategy — the instrument behind Figure 6.
+
+use crate::distance::Space;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A source of beam-search seed nodes.
+///
+/// `count` is advisory: strategies with a natural seed count (SF, MD, SN)
+/// may return fewer; KS returns exactly `count`.
+pub trait SeedProvider: Send + Sync {
+    /// Appends seed ids for `query` to `out` (cleared first by callers).
+    /// Distance evaluations a strategy performs (e.g. SN's hierarchical
+    /// descent) must go through `space` so they are counted.
+    fn seeds(&self, space: Space<'_>, query: &[f32], count: usize, out: &mut Vec<u32>);
+
+    /// Short label used in experiment tables ("SN", "KS", ...).
+    fn label(&self) -> &'static str;
+}
+
+/// **SF** — Single Fixed random entry point: one node chosen once, used for
+/// every query. The paper's baseline strategy (not used by any SotA
+/// method, included to isolate the value of smarter selection).
+#[derive(Clone, Debug)]
+pub struct FixedSeed {
+    entry: u32,
+}
+
+impl FixedSeed {
+    /// Fixes `entry` as the seed for all queries.
+    pub fn new(entry: u32) -> Self {
+        Self { entry }
+    }
+
+    /// Picks the fixed entry uniformly at random from `n` nodes.
+    pub fn random(n: usize, rng_seed: u64) -> Self {
+        assert!(n > 0, "cannot pick an entry point from an empty dataset");
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        Self { entry: rng.random_range(0..n as u32) }
+    }
+
+    /// The fixed entry node.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+}
+
+impl SeedProvider for FixedSeed {
+    fn seeds(&self, _space: Space<'_>, _query: &[f32], _count: usize, out: &mut Vec<u32>) {
+        out.push(self.entry);
+    }
+
+    fn label(&self) -> &'static str {
+        "SF"
+    }
+}
+
+/// **MD** — the dataset medoid (approximated, as in NSG/Vamana, by the
+/// vector closest to the centroid) as fixed entry point.
+#[derive(Clone, Debug)]
+pub struct MedoidSeed {
+    medoid: u32,
+}
+
+impl MedoidSeed {
+    /// Computes the centroid-medoid of `space`'s store.
+    pub fn compute(space: Space<'_>) -> Self {
+        Self { medoid: space.store().centroid_medoid() }
+    }
+
+    /// Uses a precomputed medoid id.
+    pub fn with_medoid(medoid: u32) -> Self {
+        Self { medoid }
+    }
+
+    /// The medoid node id.
+    pub fn medoid(&self) -> u32 {
+        self.medoid
+    }
+}
+
+impl SeedProvider for MedoidSeed {
+    fn seeds(&self, _space: Space<'_>, _query: &[f32], _count: usize, out: &mut Vec<u32>) {
+        out.push(self.medoid);
+    }
+
+    fn label(&self) -> &'static str {
+        "MD"
+    }
+}
+
+/// **KS** — K-Sampled random seeds: fresh uniform sample per query, used by
+/// KGraph, DPG, NSW, SSG; NSG and Vamana additionally anchor the sample at
+/// the medoid (`anchor`).
+#[derive(Debug)]
+pub struct RandomSeeds {
+    n: u32,
+    anchor: Option<u32>,
+    rng: Mutex<SmallRng>,
+}
+
+impl RandomSeeds {
+    /// Samples from `0..n`, deterministic under `rng_seed`.
+    pub fn new(n: usize, rng_seed: u64) -> Self {
+        assert!(n > 0, "cannot sample seeds from an empty dataset");
+        Self { n: n as u32, anchor: None, rng: Mutex::new(SmallRng::seed_from_u64(rng_seed)) }
+    }
+
+    /// Additionally always includes `anchor` (NSG/Vamana style: medoid +
+    /// random warm-up).
+    pub fn with_anchor(n: usize, anchor: u32, rng_seed: u64) -> Self {
+        let mut s = Self::new(n, rng_seed);
+        s.anchor = Some(anchor);
+        s
+    }
+}
+
+impl SeedProvider for RandomSeeds {
+    fn seeds(&self, _space: Space<'_>, _query: &[f32], count: usize, out: &mut Vec<u32>) {
+        if let Some(a) = self.anchor {
+            out.push(a);
+        }
+        let mut rng = self.rng.lock();
+        let want = count.max(1);
+        // Sampling with replacement is fine: beam search deduplicates, and
+        // for n >> count collisions are negligible.
+        for _ in 0..want {
+            out.push(rng.random_range(0..self.n));
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "KS"
+    }
+}
+
+/// A fixed explicit seed list (useful in tests and for composing methods).
+#[derive(Clone, Debug)]
+pub struct StaticSeeds {
+    ids: Vec<u32>,
+}
+
+impl StaticSeeds {
+    /// Always returns `ids` as seeds.
+    pub fn new(ids: Vec<u32>) -> Self {
+        Self { ids }
+    }
+}
+
+impl SeedProvider for StaticSeeds {
+    fn seeds(&self, _space: Space<'_>, _query: &[f32], _count: usize, out: &mut Vec<u32>) {
+        out.extend_from_slice(&self.ids);
+    }
+
+    fn label(&self) -> &'static str {
+        "STATIC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistCounter;
+    use crate::store::VectorStore;
+
+    fn tiny_space() -> (VectorStore, DistCounter) {
+        let store = VectorStore::from_flat(1, (0..10).map(|i| i as f32).collect());
+        (store, DistCounter::new())
+    }
+
+    #[test]
+    fn fixed_seed_is_constant() {
+        let (store, counter) = tiny_space();
+        let space = Space::new(&store, &counter);
+        let p = FixedSeed::random(10, 42);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        p.seeds(space, &[0.0], 5, &mut a);
+        p.seeds(space, &[9.0], 5, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert!(a[0] < 10);
+    }
+
+    #[test]
+    fn medoid_seed_points_to_center() {
+        let (store, counter) = tiny_space();
+        let space = Space::new(&store, &counter);
+        let p = MedoidSeed::compute(space);
+        // Centroid of 0..9 is 4.5; nearest points are 4/5 (tie -> first).
+        assert!(p.medoid() == 4 || p.medoid() == 5);
+        let mut out = Vec::new();
+        p.seeds(space, &[0.0], 3, &mut out);
+        assert_eq!(out, vec![p.medoid()]);
+    }
+
+    #[test]
+    fn random_seeds_returns_requested_count() {
+        let (store, counter) = tiny_space();
+        let space = Space::new(&store, &counter);
+        let p = RandomSeeds::new(10, 1);
+        let mut out = Vec::new();
+        p.seeds(space, &[0.0], 7, &mut out);
+        assert_eq!(out.len(), 7);
+        assert!(out.iter().all(|&s| s < 10));
+    }
+
+    #[test]
+    fn random_seeds_vary_across_queries() {
+        let (store, counter) = tiny_space();
+        let space = Space::new(&store, &counter);
+        let p = RandomSeeds::new(10, 1);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..8 {
+            p.seeds(space, &[0.0], 4, &mut a);
+            p.seeds(space, &[0.0], 4, &mut b);
+        }
+        assert_ne!(a, b, "independent draws should differ somewhere");
+    }
+
+    #[test]
+    fn anchored_random_seeds_include_anchor() {
+        let (store, counter) = tiny_space();
+        let space = Space::new(&store, &counter);
+        let p = RandomSeeds::with_anchor(10, 4, 1);
+        let mut out = Vec::new();
+        p.seeds(space, &[0.0], 3, &mut out);
+        assert_eq!(out[0], 4);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn static_seeds_passthrough() {
+        let (store, counter) = tiny_space();
+        let space = Space::new(&store, &counter);
+        let p = StaticSeeds::new(vec![1, 2, 3]);
+        let mut out = Vec::new();
+        p.seeds(space, &[0.0], 99, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FixedSeed::new(0).label(), "SF");
+        assert_eq!(MedoidSeed::with_medoid(0).label(), "MD");
+        assert_eq!(RandomSeeds::new(1, 0).label(), "KS");
+    }
+}

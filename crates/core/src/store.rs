@@ -1,0 +1,246 @@
+//! Contiguous, row-major storage for dense `f32` vectors.
+//!
+//! Every method in this workspace operates on a [`VectorStore`]: a single
+//! allocation holding `len * dim` floats. This mirrors how the evaluated
+//! C/C++ implementations lay out their data (one flat buffer, no per-vector
+//! indirection) and is what makes the distance kernels in
+//! [`crate::distance`] cache-friendly.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense collection of `f32` vectors with a fixed dimensionality.
+///
+/// Vector `i` occupies `data[i*dim .. (i+1)*dim]`. Identifiers are `u32`
+/// throughout the workspace (a deliberate size choice: adjacency lists
+/// dominate index memory, and 32-bit ids halve them relative to `usize`).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VectorStore {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl VectorStore {
+    /// Creates an empty store for vectors of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Creates an empty store with capacity reserved for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        Self { dim, data: Vec::with_capacity(dim * n) }
+    }
+
+    /// Builds a store from a flat buffer of `n * dim` floats.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim`, or `dim == 0`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Self { dim, data }
+    }
+
+    /// Builds a store by copying an iterator of vector rows.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `dim`.
+    pub fn from_rows<'a, I>(dim: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut store = Self::new(dim);
+        for row in rows {
+            store.push(row);
+        }
+        store
+    }
+
+    /// Appends one vector, returning its id.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim`, or if the store already holds
+    /// `u32::MAX` vectors.
+    pub fn push(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "vector length mismatch");
+        let id = self.len();
+        assert!(id < u32::MAX as usize, "vector store exceeds u32 id space");
+        self.data.extend_from_slice(v);
+        id as u32
+    }
+
+    /// Number of vectors stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// `true` when no vectors are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrows vector `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn get(&self, id: u32) -> &[f32] {
+        let start = id as usize * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Mutably borrows vector `id`.
+    #[inline]
+    pub fn get_mut(&mut self, id: u32) -> &mut [f32] {
+        let start = id as usize * self.dim;
+        &mut self.data[start..start + self.dim]
+    }
+
+    /// Iterates over `(id, vector)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[f32])> {
+        self.data.chunks_exact(self.dim).enumerate().map(|(i, v)| (i as u32, v))
+    }
+
+    /// The underlying flat buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Heap bytes held by this store (the paper's "raw data" component of
+    /// every index footprint report).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
+    /// Copies a subset of vectors into a new store, preserving order of
+    /// `ids`. Used by divide-and-conquer methods (SPTAG, HCNNG, ELPIS) that
+    /// build per-partition graphs.
+    pub fn subset(&self, ids: &[u32]) -> VectorStore {
+        let mut out = VectorStore::with_capacity(self.dim, ids.len());
+        for &id in ids {
+            out.push(self.get(id));
+        }
+        out
+    }
+
+    /// Computes the exact medoid: the vector minimizing the sum of squared
+    /// Euclidean distances to the dataset centroid's nearest representative.
+    ///
+    /// Following NSG and Vamana, the "medoid" entry point is approximated as
+    /// the vector closest to the dataset centroid — an `O(n·d)` computation
+    /// rather than the `O(n²·d)` true medoid.
+    pub fn centroid_medoid(&self) -> u32 {
+        assert!(!self.is_empty(), "medoid of empty store");
+        let mut centroid = vec![0.0f64; self.dim];
+        for (_, v) in self.iter() {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += *x as f64;
+            }
+        }
+        let n = self.len() as f64;
+        for c in &mut centroid {
+            *c /= n;
+        }
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        for (id, v) in self.iter() {
+            let mut d = 0.0f64;
+            for (c, x) in centroid.iter().zip(v) {
+                let diff = c - *x as f64;
+                d += diff * diff;
+            }
+            if d < best_d {
+                best_d = d;
+                best = id;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut s = VectorStore::new(3);
+        assert!(s.is_empty());
+        let a = s.push(&[1.0, 2.0, 3.0]);
+        let b = s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.get(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_flat_splits_rows() {
+        let s = VectorStore::from_flat(2, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged() {
+        let _ = VectorStore::from_flat(3, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn push_rejects_wrong_dim() {
+        let mut s = VectorStore::new(3);
+        s.push(&[1.0]);
+    }
+
+    #[test]
+    fn iter_yields_all_rows() {
+        let s = VectorStore::from_flat(1, vec![9.0, 8.0, 7.0]);
+        let rows: Vec<_> = s.iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], (2, &[7.0][..]));
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let s = VectorStore::from_flat(1, vec![0.0, 10.0, 20.0, 30.0]);
+        let sub = s.subset(&[3, 1]);
+        assert_eq!(sub.get(0), &[30.0]);
+        assert_eq!(sub.get(1), &[10.0]);
+    }
+
+    #[test]
+    fn centroid_medoid_picks_central_point() {
+        // Points on a line: 0, 1, 2, 100. Centroid ~ 25.75, closest is 2.
+        let s = VectorStore::from_flat(1, vec![0.0, 1.0, 2.0, 100.0]);
+        assert_eq!(s.centroid_medoid(), 2);
+    }
+
+    #[test]
+    fn from_rows_collects() {
+        let rows: Vec<&[f32]> = vec![&[1.0, 0.0], &[0.0, 1.0]];
+        let s = VectorStore::from_rows(2, rows);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dim(), 2);
+    }
+}

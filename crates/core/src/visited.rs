@@ -1,0 +1,108 @@
+//! Epoch-versioned visited sets.
+//!
+//! Beam search must test "have I touched this node before?" once per edge
+//! traversal. A `HashSet<u32>` pays hashing and allocation on the hot path;
+//! the standard trick (used by hnswlib and ParlayANN alike) is a `Vec<u32>`
+//! of version stamps: marking is a store, membership is a load, and clearing
+//! all marks is a single epoch increment.
+
+/// Reusable visited set over node ids `0..n`.
+#[derive(Clone, Debug)]
+pub struct VisitedSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedSet {
+    /// Creates a set for ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self { stamps: vec![0; n], epoch: 1 }
+    }
+
+    /// Clears all marks in `O(1)` (amortized; a full reset happens only on
+    /// epoch wraparound, once every `u32::MAX` generations).
+    pub fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Grows the id space to at least `n`, preserving current marks.
+    pub fn resize(&mut self, n: usize) {
+        if n > self.stamps.len() {
+            self.stamps.resize(n, 0);
+        }
+    }
+
+    /// Capacity in ids.
+    pub fn capacity(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Marks `id` visited. Returns `true` if it was *newly* marked.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let slot = &mut self.stamps[id as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// `true` if `id` is marked in the current epoch.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.stamps[id as usize] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut v = VisitedSet::new(4);
+        assert!(!v.contains(2));
+        assert!(v.insert(2));
+        assert!(v.contains(2));
+        assert!(!v.insert(2));
+    }
+
+    #[test]
+    fn clear_resets_in_constant_time() {
+        let mut v = VisitedSet::new(3);
+        v.insert(0);
+        v.insert(1);
+        v.clear();
+        assert!(!v.contains(0));
+        assert!(!v.contains(1));
+        assert!(v.insert(0));
+    }
+
+    #[test]
+    fn epoch_wraparound_is_safe() {
+        let mut v = VisitedSet::new(2);
+        v.insert(0);
+        // Force many epochs; marks from old epochs must never leak.
+        for _ in 0..1000 {
+            v.clear();
+            assert!(!v.contains(0));
+            assert!(v.insert(0));
+        }
+    }
+
+    #[test]
+    fn resize_preserves_marks() {
+        let mut v = VisitedSet::new(2);
+        v.insert(1);
+        v.resize(10);
+        assert!(v.contains(1));
+        assert!(!v.contains(9));
+        assert!(v.insert(9));
+    }
+}

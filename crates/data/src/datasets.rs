@@ -1,0 +1,150 @@
+//! The experiment workload catalogue: every dataset analog of the paper,
+//! addressable by name, with a paired query sampler.
+
+use crate::queries::{holdout_split, t2i_queries};
+use crate::synth;
+use gass_core::store::VectorStore;
+
+/// One of the paper's datasets (synthetic analog).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DatasetKind {
+    /// Deep1B analog (96-d, easy).
+    Deep,
+    /// Sift1B analog (128-d, easy-moderate).
+    Sift,
+    /// GIST1M analog (960-d).
+    Gist,
+    /// ImageNet1M analog (256-d, easiest).
+    ImageNet,
+    /// SALD analog (128-d series).
+    Sald,
+    /// Seismic analog (256-d series, hardest real dataset).
+    Seismic,
+    /// Text-to-Image analog (200-d, out-of-distribution queries).
+    TextToImage,
+    /// RandPow analog (256-d power-law with the given exponent:
+    /// 0 = uniform, 5, 50 in the paper).
+    RandPow(u32),
+}
+
+impl DatasetKind {
+    /// The paper's name for the dataset.
+    pub fn name(&self) -> String {
+        match self {
+            DatasetKind::Deep => "Deep".to_string(),
+            DatasetKind::Sift => "Sift".to_string(),
+            DatasetKind::Gist => "GIST".to_string(),
+            DatasetKind::ImageNet => "ImageNet".to_string(),
+            DatasetKind::Sald => "SALD".to_string(),
+            DatasetKind::Seismic => "Seismic".to_string(),
+            DatasetKind::TextToImage => "Text2Img".to_string(),
+            DatasetKind::RandPow(a) => format!("RandPow{a}"),
+        }
+    }
+
+    /// Ambient dimensionality of the analog.
+    pub fn dim(&self) -> usize {
+        match self {
+            DatasetKind::Deep => 96,
+            DatasetKind::Sift => 128,
+            DatasetKind::Gist => 960,
+            DatasetKind::ImageNet => 256,
+            DatasetKind::Sald => 128,
+            DatasetKind::Seismic => 256,
+            DatasetKind::TextToImage => 200,
+            DatasetKind::RandPow(_) => 256,
+        }
+    }
+
+    /// All real-dataset analogs (the paper's Figure 12 roster).
+    pub fn real_datasets() -> Vec<DatasetKind> {
+        vec![
+            DatasetKind::Deep,
+            DatasetKind::Sift,
+            DatasetKind::Gist,
+            DatasetKind::ImageNet,
+            DatasetKind::Sald,
+            DatasetKind::Seismic,
+            DatasetKind::TextToImage,
+        ]
+    }
+
+    /// The power-law family (Figures 13e/13f).
+    pub fn power_law_datasets() -> Vec<DatasetKind> {
+        vec![DatasetKind::RandPow(0), DatasetKind::RandPow(5), DatasetKind::RandPow(50)]
+    }
+
+    /// Generates the base collection only.
+    pub fn generate_base(&self, n: usize, seed: u64) -> VectorStore {
+        match self {
+            DatasetKind::Deep => synth::deep_like(n, seed),
+            DatasetKind::Sift => synth::sift_like(n, seed),
+            DatasetKind::Gist => synth::gist_like(n, seed),
+            DatasetKind::ImageNet => synth::imagenet_like(n, seed),
+            DatasetKind::Sald => synth::sald_like(n, seed),
+            DatasetKind::Seismic => synth::seismic_like(n, seed),
+            DatasetKind::TextToImage => synth::t2i_like(n, seed),
+            DatasetKind::RandPow(a) => synth::rand_pow(n, *a as f64, seed),
+        }
+    }
+
+    /// Generates `(base, queries)` following the paper's per-dataset query
+    /// protocol: held-out dataset vectors for SALD/ImageNet/Seismic,
+    /// fresh same-distribution draws for the embedding datasets, and a
+    /// shifted distribution for Text-to-Image.
+    pub fn generate(&self, n: usize, n_queries: usize, seed: u64) -> (VectorStore, VectorStore) {
+        match self {
+            DatasetKind::Sald | DatasetKind::ImageNet | DatasetKind::Seismic => {
+                let full = self.generate_base(n + n_queries, seed);
+                holdout_split(&full, n_queries, seed ^ 0x9e3779b97f4a7c15)
+            }
+            DatasetKind::TextToImage => {
+                let base = self.generate_base(n, seed);
+                let queries = t2i_queries(self.dim(), n_queries, seed ^ 0xabcdef);
+                (base, queries)
+            }
+            _ => {
+                let base = self.generate_base(n, seed);
+                // Fresh draw from the same generator with a different seed
+                // (the paper samples queries from the provided workloads).
+                let queries_full = self.generate_base(n_queries.max(1), seed ^ 0x51f1);
+                (base, queries_full)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dataset_generates_consistent_shapes() {
+        for kind in DatasetKind::real_datasets()
+            .into_iter()
+            .chain(DatasetKind::power_law_datasets())
+        {
+            let n = if kind == DatasetKind::Gist { 20 } else { 60 };
+            let (base, queries) = kind.generate(n, 5, 11);
+            assert_eq!(base.dim(), kind.dim(), "{}", kind.name());
+            assert_eq!(queries.dim(), kind.dim(), "{}", kind.name());
+            assert_eq!(base.len(), n, "{}", kind.name());
+            assert_eq!(queries.len(), 5, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_are_paper_names() {
+        assert_eq!(DatasetKind::Deep.name(), "Deep");
+        assert_eq!(DatasetKind::RandPow(50).name(), "RandPow50");
+        assert_eq!(DatasetKind::TextToImage.name(), "Text2Img");
+    }
+
+    #[test]
+    fn holdout_datasets_exclude_queries_from_base() {
+        let (base, queries) = DatasetKind::Seismic.generate(50, 5, 3);
+        for (_, q) in queries.iter() {
+            assert!(!base.iter().any(|(_, b)| b == q));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Exact k-NN ground truth via parallel brute force.
+//!
+//! Recall — the paper's accuracy measure — needs the true nearest
+//! neighbors of every query. Brute force is `O(n·d)` per query;
+//! we shard queries across threads with crossbeam's scoped threads.
+//! Ground-truth distance evaluations are *not* charged to any experiment
+//! counter (they are the referee, not a contestant).
+
+use gass_core::distance::l2_sq;
+use gass_core::neighbor::{BoundedMaxHeap, Neighbor};
+use gass_core::store::VectorStore;
+
+/// Exact `k` nearest neighbors in `base` for every vector of `queries`,
+/// each sorted closest first.
+pub fn ground_truth(base: &VectorStore, queries: &VectorStore, k: usize) -> Vec<Vec<Neighbor>> {
+    assert_eq!(base.dim(), queries.dim(), "dimension mismatch");
+    assert!(k > 0, "k must be positive");
+    let nq = queries.len();
+    if nq == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(nq);
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+
+    let chunk = nq.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
+            let base = &base;
+            let queries = &queries;
+            scope.spawn(move |_| {
+                let start = t * chunk;
+                for (i, out) in out_chunk.iter_mut().enumerate() {
+                    let q = queries.get((start + i) as u32);
+                    *out = exact_knn(base, q, k);
+                }
+            });
+        }
+    })
+    .expect("ground-truth worker panicked");
+    results
+}
+
+/// Exact `k`-NN of a single query (sequential).
+pub fn exact_knn(base: &VectorStore, query: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut heap = BoundedMaxHeap::new(k);
+    for (id, v) in base.iter() {
+        heap.push(Neighbor::new(id, l2_sq(query, v)));
+    }
+    heap.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::deep_like;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let base = deep_like(300, 1);
+        let queries = deep_like(17, 2);
+        let gt = ground_truth(&base, &queries, 5);
+        assert_eq!(gt.len(), 17);
+        for (qi, row) in gt.iter().enumerate() {
+            let seq = exact_knn(&base, queries.get(qi as u32), 5);
+            assert_eq!(row, &seq, "query {qi} mismatch");
+            // Sorted ascending.
+            for w in row.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_finds_itself() {
+        let base = deep_like(100, 3);
+        let q = base.get(42).to_vec();
+        let res = exact_knn(&base, &q, 3);
+        assert_eq!(res[0].id, 42);
+        assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let base = deep_like(4, 5);
+        let res = exact_knn(&base, base.get(0), 10);
+        assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn empty_query_set() {
+        let base = deep_like(10, 6);
+        let queries = gass_core::VectorStore::new(96);
+        assert!(ground_truth(&base, &queries, 3).is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # gass-data
+//!
+//! Workloads for the GASS experiments: synthetic analogs of the paper's
+//! seven real dataset collections and three power-law distributions,
+//! query-set construction (held-out, noisy-hardness, out-of-distribution),
+//! and parallel exact ground truth.
+//!
+//! See `DESIGN.md` §4 for the substitution rationale: the paper's real
+//! collections (up to 1B vectors) are replaced by generators that control
+//! the intrinsic properties — LID, LRC, cluster structure, skew — that
+//! drive the relative behaviour of graph methods.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod datasets;
+pub mod ground_truth;
+pub mod queries;
+pub mod synth;
+pub mod util;
+
+pub use datasets::DatasetKind;
+pub use ground_truth::{exact_knn, ground_truth};
+pub use queries::{holdout_split, noisy_queries, t2i_queries};

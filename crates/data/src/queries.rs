@@ -1,0 +1,171 @@
+//! Query-workload construction, mirroring Section 4.1 of the paper.
+//!
+//! * For embedding datasets the paper samples queries from a provided
+//!   query workload; our analogs regenerate from the same distribution
+//!   with a different RNG seed ([`fresh_queries`] via the generator).
+//! * For SALD/ImageNet/Seismic the paper samples 100 vectors from the
+//!   dataset and *excludes them from index building* —
+//!   [`holdout_split`].
+//! * Hardness workloads (Figure 15) add Gaussian noise with `σ²` from
+//!   0.01 ("1%") to 0.1 ("10%") to randomly chosen dataset vectors —
+//!   [`noisy_queries`].
+//! * Text-to-Image queries come from a *shifted* (cross-modal)
+//!   distribution — [`t2i_queries`].
+
+use crate::util::{fill_gaussian, gaussian};
+use gass_core::store::VectorStore;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Removes `count` random vectors from `store` and returns
+/// `(base, queries)`: the paper's held-out protocol for SALD, ImageNet and
+/// Seismic.
+///
+/// # Panics
+/// Panics if `count >= store.len()`.
+pub fn holdout_split(store: &VectorStore, count: usize, seed: u64) -> (VectorStore, VectorStore) {
+    assert!(count < store.len(), "cannot hold out the entire dataset");
+    let mut ids: Vec<u32> = (0..store.len() as u32).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    let (q_ids, base_ids) = ids.split_at(count);
+    let mut q_sorted = q_ids.to_vec();
+    let mut b_sorted = base_ids.to_vec();
+    q_sorted.sort_unstable();
+    b_sorted.sort_unstable();
+    (store.subset(&b_sorted), store.subset(&q_sorted))
+}
+
+/// Hardness workload: `count` queries obtained by adding `N(0, σ²)` noise
+/// to random dataset vectors. The paper's "1%"–"10%" query sets use
+/// `σ² = 0.01 … 0.1` (applied after scaling noise to the data's own
+/// per-coordinate spread so the percentage is meaningful across analogs).
+pub fn noisy_queries(
+    store: &VectorStore,
+    count: usize,
+    sigma2: f32,
+    seed: u64,
+) -> VectorStore {
+    assert!(!store.is_empty(), "noisy queries from an empty store");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dim = store.dim();
+    // Per-dataset scale: RMS of coordinates, so σ is relative to data
+    // magnitude (the paper's datasets are normalized; analogs are not all).
+    let flat = store.as_flat();
+    let rms =
+        (flat.iter().map(|x| (x * x) as f64).sum::<f64>() / flat.len() as f64).sqrt() as f32;
+    let sigma = sigma2.sqrt() * rms.max(1e-6);
+    let mut queries = VectorStore::with_capacity(dim, count);
+    let mut q = vec![0.0f32; dim];
+    for _ in 0..count {
+        let id = rng.random_range(0..store.len() as u32);
+        let v = store.get(id);
+        for (out, x) in q.iter_mut().zip(v) {
+            *out = x + gaussian(&mut rng) * sigma;
+        }
+        queries.push(&q);
+    }
+    queries
+}
+
+/// Text-to-Image-style out-of-distribution queries: same ambient space as
+/// [`crate::synth::t2i_like`], but drawn from a distribution shifted by a
+/// random offset and with different per-coordinate scaling — modeling the
+/// text-tower vs image-tower domain gap.
+pub fn t2i_queries(dim: usize, count: usize, seed: u64) -> VectorStore {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut offset = vec![0.0f32; dim];
+    fill_gaussian(&mut rng, &mut offset);
+    for o in offset.iter_mut() {
+        *o *= 0.8;
+    }
+    let mut queries = VectorStore::with_capacity(dim, count);
+    let mut q = vec![0.0f32; dim];
+    for _ in 0..count {
+        for (out, o) in q.iter_mut().zip(&offset) {
+            *out = o + gaussian(&mut rng) * 1.5;
+        }
+        queries.push(&q);
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{deep_like, t2i_like};
+
+    #[test]
+    fn holdout_preserves_totals_and_disjointness() {
+        let store = deep_like(100, 1);
+        let (base, queries) = holdout_split(&store, 10, 2);
+        assert_eq!(base.len(), 90);
+        assert_eq!(queries.len(), 10);
+        // No query vector appears in the base (vectors are continuous, so
+        // exact equality identifies membership).
+        for (_, q) in queries.iter() {
+            assert!(
+                !base.iter().any(|(_, b)| b == q),
+                "held-out query leaked into the base set"
+            );
+        }
+    }
+
+    #[test]
+    fn holdout_is_deterministic() {
+        let store = deep_like(50, 3);
+        let (_, q1) = holdout_split(&store, 5, 9);
+        let (_, q2) = holdout_split(&store, 5, 9);
+        assert_eq!(q1.as_flat(), q2.as_flat());
+    }
+
+    #[test]
+    fn noisy_queries_stay_near_their_source() {
+        let store = deep_like(200, 4);
+        let q_low = noisy_queries(&store, 20, 0.01, 5);
+        let q_high = noisy_queries(&store, 20, 0.1, 5);
+        // Same seed => same source vectors; higher sigma => farther from
+        // the dataset on average.
+        let nn_dist = |queries: &VectorStore| -> f64 {
+            let mut total = 0.0f64;
+            for (_, q) in queries.iter() {
+                let mut best = f32::INFINITY;
+                for (_, v) in store.iter() {
+                    best = best.min(gass_core::l2_sq(q, v));
+                }
+                total += best as f64;
+            }
+            total / queries.len() as f64
+        };
+        let low = nn_dist(&q_low);
+        let high = nn_dist(&q_high);
+        assert!(low < high, "1% noise ({low}) should sit closer than 10% ({high})");
+        assert!(low > 0.0, "noise must move queries off the data");
+    }
+
+    #[test]
+    fn t2i_queries_are_shifted_from_base() {
+        let base = t2i_like(300, 6);
+        let queries = t2i_queries(200, 50, 7);
+        assert_eq!(queries.dim(), 200);
+        // Mean of queries differs from mean of base noticeably (domain
+        // shift).
+        let mean = |s: &VectorStore| -> Vec<f32> {
+            let mut m = vec![0.0f32; s.dim()];
+            for (_, v) in s.iter() {
+                for (a, b) in m.iter_mut().zip(v) {
+                    *a += b;
+                }
+            }
+            for a in m.iter_mut() {
+                *a /= s.len() as f32;
+            }
+            m
+        };
+        let mb = mean(&base);
+        let mq = mean(&queries);
+        let gap = gass_core::l2_sq(&mb, &mq);
+        assert!(gap > 1.0, "distribution shift too small: {gap}");
+    }
+}

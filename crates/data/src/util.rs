@@ -1,0 +1,61 @@
+//! Small sampling helpers shared by the generators.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Standard normal sample via Box–Muller.
+#[inline]
+pub fn gaussian(rng: &mut SmallRng) -> f32 {
+    let u1: f32 = rng.random_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.random_range(0.0..1.0f32);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Power-law sample on `[0, 1]` with density `∝ x^a` (`a = 0` is uniform;
+/// larger `a` concentrates mass near 1 — the paper's RandPow generator
+/// with exponents 0, 5 and 50).
+#[inline]
+pub fn power_law(rng: &mut SmallRng, a: f64) -> f32 {
+    let u: f64 = rng.random_range(0.0..1.0);
+    u.powf(1.0 / (a + 1.0)) as f32
+}
+
+/// Fills `out` with i.i.d. standard normals.
+pub fn fill_gaussian(rng: &mut SmallRng, out: &mut [f32]) {
+    for x in out.iter_mut() {
+        *x = gaussian(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_zero_is_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20000;
+        let mean: f64 =
+            (0..n).map(|_| power_law(&mut rng, 0.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "uniform mean should be ~0.5, got {mean}");
+    }
+
+    #[test]
+    fn power_law_large_exponent_skews_high() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 20000;
+        let mean: f64 =
+            (0..n).map(|_| power_law(&mut rng, 50.0) as f64).sum::<f64>() / n as f64;
+        // E[X] = (a+1)/(a+2) = 51/52 ≈ 0.98.
+        assert!(mean > 0.95, "a=50 mean should approach 1, got {mean}");
+    }
+
+    #[test]
+    fn gaussian_fill_covers_slice() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut buf = vec![0.0f32; 64];
+        fill_gaussian(&mut rng, &mut buf);
+        assert!(buf.iter().any(|&x| x != 0.0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Dataset-complexity measures: Local Intrinsic Dimensionality (LID,
+//! Eq. 5) and Local Relative Contrast (LRC, Eq. 6) — the paper's Figure 4.
+//!
+//! Both are defined per query point against its true nearest neighbors
+//! (the paper uses k = 100 on a 1M sample):
+//!
+//! * `LID(x) = −( (1/k) Σ log(dist_i / dist_k) )^{-1}` — low means easy;
+//! * `LRC(x) = dist_mean / dist_k` — high means easy.
+//!
+//! Distances here are *true* Euclidean (square roots taken), since both
+//! formulas are ratio-of-distance statistics.
+
+use gass_core::distance::l2_sq;
+use gass_core::store::VectorStore;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// LID of a single query given its sorted true k-NN distances (squared;
+/// converted internally).
+pub fn lid_from_knn(knn_dists_sq: &[f32]) -> f64 {
+    let k = knn_dists_sq.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let dk = (knn_dists_sq[k - 1] as f64).sqrt();
+    if dk <= 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0f64;
+    let mut used = 0usize;
+    for &d in knn_dists_sq {
+        let di = (d as f64).sqrt();
+        if di > 0.0 {
+            acc += (di / dk).ln();
+            used += 1;
+        }
+    }
+    if used == 0 || acc == 0.0 {
+        return 0.0;
+    }
+    -(1.0 / (acc / used as f64))
+}
+
+/// LRC of a single query: mean distance over the dataset divided by the
+/// k-th NN distance.
+pub fn lrc_from_stats(mean_dist: f64, kth_dist: f64) -> f64 {
+    if kth_dist <= 0.0 {
+        return f64::INFINITY;
+    }
+    mean_dist / kth_dist
+}
+
+/// Complexity summary of one dataset (means over the evaluated queries).
+#[derive(Clone, Copy, Debug)]
+pub struct ComplexityReport {
+    /// Mean Local Intrinsic Dimensionality.
+    pub mean_lid: f64,
+    /// Mean Local Relative Contrast.
+    pub mean_lrc: f64,
+    /// Queries evaluated.
+    pub queries: usize,
+    /// k used.
+    pub k: usize,
+}
+
+/// Estimates LID and LRC over `num_queries` points sampled from `store`
+/// (each evaluated against the rest of the dataset), with `k` neighbors.
+pub fn dataset_complexity(
+    store: &VectorStore,
+    num_queries: usize,
+    k: usize,
+    seed: u64,
+) -> ComplexityReport {
+    assert!(store.len() > k + 1, "dataset too small for k = {k}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..store.len() as u32).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(num_queries.max(1));
+
+    let mut lid_sum = 0.0f64;
+    let mut lrc_sum = 0.0f64;
+    for &q in &ids {
+        let qv = store.get(q);
+        let mut dists: Vec<f32> = Vec::with_capacity(store.len() - 1);
+        let mut mean_acc = 0.0f64;
+        for (id, v) in store.iter() {
+            if id != q {
+                let d = l2_sq(qv, v);
+                dists.push(d);
+                mean_acc += (d as f64).sqrt();
+            }
+        }
+        let mean_dist = mean_acc / dists.len() as f64;
+        dists.sort_by(f32::total_cmp);
+        dists.truncate(k);
+        lid_sum += lid_from_knn(&dists);
+        lrc_sum += lrc_from_stats(mean_dist, (dists[k - 1] as f64).sqrt());
+    }
+    ComplexityReport {
+        mean_lid: lid_sum / ids.len() as f64,
+        mean_lrc: lrc_sum / ids.len() as f64,
+        queries: ids.len(),
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_data::synth::{imagenet_like, rand_pow};
+
+    #[test]
+    fn lid_of_uniform_ball_tracks_dimension() {
+        // Points uniform in a d-ball have LID ≈ d near any query; check
+        // the estimator ranks a 2-d cloud far below a 16-d cloud.
+        use gass_data::util::fill_gaussian;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let make = |dim: usize| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut s = VectorStore::new(dim);
+            let mut v = vec![0.0f32; dim];
+            for _ in 0..800 {
+                fill_gaussian(&mut rng, &mut v);
+                s.push(&v);
+            }
+            s
+        };
+        let low = dataset_complexity(&make(2), 20, 50, 1).mean_lid;
+        let high = dataset_complexity(&make(16), 20, 50, 1).mean_lid;
+        assert!(
+            high > low * 2.0,
+            "16-d LID ({high}) should dwarf 2-d LID ({low})"
+        );
+        assert!(low > 0.8 && low < 5.0, "2-d LID estimate off: {low}");
+    }
+
+    #[test]
+    fn easy_dataset_beats_hard_dataset_like_figure4() {
+        // Figure 4 ordering at miniature scale: ImageNet analog (easy) has
+        // lower LID and higher LRC than RandPow0 (hard).
+        let easy = imagenet_like(600, 3);
+        let hard = rand_pow(600, 0.0, 4);
+        let ce = dataset_complexity(&easy, 15, 50, 7);
+        let ch = dataset_complexity(&hard, 15, 50, 7);
+        assert!(ce.mean_lid < ch.mean_lid, "LID: easy {} vs hard {}", ce.mean_lid, ch.mean_lid);
+        assert!(ce.mean_lrc > ch.mean_lrc, "LRC: easy {} vs hard {}", ce.mean_lrc, ch.mean_lrc);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert_eq!(lid_from_knn(&[]), 0.0);
+        assert_eq!(lid_from_knn(&[0.0, 0.0]), 0.0);
+        assert!(lrc_from_stats(1.0, 0.0).is_infinite());
+    }
+}

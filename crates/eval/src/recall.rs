@@ -1,0 +1,169 @@
+//! Recall measurement and the accuracy/efficiency sweeps behind every
+//! search-performance figure.
+
+use gass_core::distance::DistCounter;
+use gass_core::index::{AnnIndex, QueryParams};
+use gass_core::neighbor::Neighbor;
+use gass_core::store::VectorStore;
+
+/// Fraction of the true `k` nearest neighbors present in `found`.
+///
+/// Ties at the k-th distance are treated generously (an answer at exactly
+/// the k-th true distance counts), matching common benchmark practice.
+pub fn recall_at_k(truth: &[Neighbor], found: &[Neighbor], k: usize) -> f64 {
+    let k = k.min(truth.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let kth = truth[k - 1].dist;
+    let hits = found
+        .iter()
+        .take(k)
+        .filter(|f| truth[..k].iter().any(|t| t.id == f.id) || f.dist <= kth)
+        .count();
+    hits as f64 / k as f64
+}
+
+/// One point of an accuracy/efficiency curve.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Beam width used.
+    pub beam_width: usize,
+    /// Mean recall@k across the query set.
+    pub recall: f64,
+    /// Total distance calculations across the query set.
+    pub dist_calcs: u64,
+    /// Total wall-clock seconds across the query set.
+    pub seconds: f64,
+    /// Total nodes expanded (hops).
+    pub hops: usize,
+}
+
+/// Runs the query set at one beam width, returning mean recall and cost.
+pub fn evaluate_at(
+    index: &dyn AnnIndex,
+    queries: &VectorStore,
+    truth: &[Vec<Neighbor>],
+    k: usize,
+    beam_width: usize,
+    seed_count: usize,
+) -> SweepPoint {
+    assert_eq!(queries.len(), truth.len(), "truth/queries length mismatch");
+    let counter = DistCounter::new();
+    let params = QueryParams::new(k, beam_width).with_seed_count(seed_count);
+    let start = std::time::Instant::now();
+    let mut recall_sum = 0.0;
+    let mut hops = 0usize;
+    for (qi, t) in truth.iter().enumerate() {
+        let res = index.search(queries.get(qi as u32), &params, &counter);
+        recall_sum += recall_at_k(t, &res.neighbors, k);
+        hops += res.stats.hops;
+    }
+    SweepPoint {
+        beam_width,
+        recall: recall_sum / truth.len().max(1) as f64,
+        dist_calcs: counter.get(),
+        seconds: start.elapsed().as_secs_f64(),
+        hops,
+    }
+}
+
+/// Sweeps beam widths producing a recall-vs-cost curve (the x/y series of
+/// Figures 5, 12, 13, 14, 15, 16).
+pub fn sweep(
+    index: &dyn AnnIndex,
+    queries: &VectorStore,
+    truth: &[Vec<Neighbor>],
+    k: usize,
+    beam_widths: &[usize],
+    seed_count: usize,
+) -> Vec<SweepPoint> {
+    beam_widths
+        .iter()
+        .map(|&l| evaluate_at(index, queries, truth, k, l, seed_count))
+        .collect()
+}
+
+/// Smallest beam width (from `candidates`) reaching `target` mean recall,
+/// with its cost — the paper's "distance calcs to reach 0.99" metric
+/// (Figure 6) and "beam width needed" metric (Figure 11). `None` if the
+/// target is never reached.
+pub fn cost_to_reach(
+    index: &dyn AnnIndex,
+    queries: &VectorStore,
+    truth: &[Vec<Neighbor>],
+    k: usize,
+    target: f64,
+    candidates: &[usize],
+    seed_count: usize,
+) -> Option<SweepPoint> {
+    for &l in candidates {
+        let p = evaluate_at(index, queries, truth, k, l, seed_count);
+        if p.recall >= target {
+            return Some(p);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_core::index::SerialScanIndex;
+    use gass_data::ground_truth::ground_truth;
+    use gass_data::synth::deep_like;
+
+    fn n(id: u32, d: f32) -> Neighbor {
+        Neighbor::new(id, d)
+    }
+
+    #[test]
+    fn recall_counts_hits() {
+        let truth = vec![n(1, 0.1), n(2, 0.2), n(3, 0.3)];
+        let found = vec![n(1, 0.1), n(9, 0.35), n(3, 0.3)];
+        assert!((recall_at_k(&truth, &found, 3) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((recall_at_k(&truth, &found, 1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recall_tolerates_distance_ties() {
+        let truth = vec![n(1, 0.5), n(2, 0.5)];
+        // Different id but identical distance to the k-th: counts.
+        let found = vec![n(1, 0.5), n(7, 0.5)];
+        assert_eq!(recall_at_k(&truth, &found, 2), 1.0);
+    }
+
+    #[test]
+    fn serial_scan_has_perfect_recall() {
+        let base = deep_like(150, 1);
+        let queries = deep_like(8, 2);
+        let truth = ground_truth(&base, &queries, 5);
+        let idx = SerialScanIndex::new(base);
+        let p = evaluate_at(&idx, &queries, &truth, 5, 5, 1);
+        assert_eq!(p.recall, 1.0);
+        assert_eq!(p.dist_calcs, 8 * 150);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_cost() {
+        let base = deep_like(150, 3);
+        let queries = deep_like(5, 4);
+        let truth = ground_truth(&base, &queries, 5);
+        let idx = SerialScanIndex::new(base);
+        let pts = sweep(&idx, &queries, &truth, 5, &[5, 10, 20], 1);
+        assert_eq!(pts.len(), 3);
+        // Serial scan cost is constant; recall stays 1.0.
+        assert!(pts.iter().all(|p| p.recall == 1.0));
+    }
+
+    #[test]
+    fn cost_to_reach_finds_threshold() {
+        let base = deep_like(100, 5);
+        let queries = deep_like(4, 6);
+        let truth = ground_truth(&base, &queries, 3);
+        let idx = SerialScanIndex::new(base);
+        let p = cost_to_reach(&idx, &queries, &truth, 3, 0.99, &[3, 6], 1).unwrap();
+        assert_eq!(p.beam_width, 3);
+        assert!(cost_to_reach(&idx, &queries, &truth, 3, 1.01, &[3], 1).is_none());
+    }
+}

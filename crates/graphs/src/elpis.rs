@@ -1,0 +1,347 @@
+//! **ELPIS** — Divide-and-Conquer with II+ND inside each partition: a
+//! Hercules (EAPCA) tree splits the dataset into leaves; an HNSW graph is
+//! built *in parallel* on every leaf; at query time the leaves are ranked
+//! by EAPCA lower-bounding distance, the best leaf is searched first, and
+//! only leaves whose lower bound can still improve the running k-th best
+//! answer are searched afterwards (up to `nprobe` leaves, optionally
+//! concurrently).
+
+use crate::common::BuildReport;
+use crate::hnsw::{HnswIndex, HnswParams};
+use gass_core::distance::DistCounter;
+use gass_core::index::{AnnIndex, IndexStats, QueryParams};
+use gass_core::neighbor::Neighbor;
+use gass_core::search::{SearchResult, SearchStats};
+use gass_core::store::VectorStore;
+use gass_trees::eapca::HerculesTree;
+
+/// ELPIS construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ElpisParams {
+    /// EAPCA segments for the Hercules tree.
+    pub segments: usize,
+    /// Maximum Hercules leaf size (vectors per partition graph).
+    pub leaf_size: usize,
+    /// HNSW parameters for each leaf graph. ELPIS gets away with a smaller
+    /// `M`/`ef` than a monolithic HNSW — that is its indexing-footprint
+    /// advantage (paper Fig. 8).
+    pub hnsw: HnswParams,
+    /// Maximum number of leaves searched per query (`nprobe`).
+    pub nprobe: usize,
+    /// Search candidate leaves concurrently (ELPIS answers a single query
+    /// with multiple threads — its 1B-scale advantage in Fig. 16).
+    pub parallel_query: bool,
+}
+
+impl ElpisParams {
+    /// Small-scale defaults: 8 segments, 256-vector leaves, nprobe 4.
+    pub fn small() -> Self {
+        Self {
+            segments: 8,
+            leaf_size: 256,
+            hnsw: HnswParams { m: 8, ef_construction: 48, seed: 42 },
+            nprobe: 4,
+            parallel_query: false,
+        }
+    }
+}
+
+struct Leaf {
+    /// Global ids, parallel to the leaf HNSW's local ids.
+    ids: Vec<u32>,
+    index: HnswIndex,
+}
+
+/// A built ELPIS index.
+pub struct ElpisIndex {
+    dim: usize,
+    n: usize,
+    tree: HerculesTree,
+    leaves: Vec<Leaf>,
+    params: ElpisParams,
+    build: BuildReport,
+    raw_bytes: usize,
+}
+
+impl ElpisIndex {
+    /// Builds the index: Hercules partition, then one HNSW per leaf, built
+    /// in parallel.
+    pub fn build(store: VectorStore, params: ElpisParams) -> Self {
+        assert!(store.len() >= 4, "need at least four vectors");
+        let counter = DistCounter::new();
+        let start = std::time::Instant::now();
+        let segments = params.segments.min(store.dim());
+        let tree = HerculesTree::build(&store, segments, params.leaf_size);
+
+        // Build leaf graphs in parallel; each leaf gets a deterministic
+        // seed derived from its position.
+        let mut leaves: Vec<Option<Leaf>> = Vec::with_capacity(tree.num_leaves());
+        leaves.resize_with(tree.num_leaves(), || None);
+        crossbeam::thread::scope(|scope| {
+            for (li, slot) in leaves.iter_mut().enumerate() {
+                let store = &store;
+                let tree = &tree;
+                let counter = counter.clone();
+                scope.spawn(move |_| {
+                    let ids = tree.leaves()[li].ids.clone();
+                    let sub = store.subset(&ids);
+                    let index = if sub.len() >= 2 {
+                        HnswIndex::build(
+                            sub,
+                            HnswParams {
+                                seed: params.hnsw.seed.wrapping_add(li as u64),
+                                ..params.hnsw
+                            },
+                        )
+                    } else {
+                        // A singleton leaf still needs a searchable index;
+                        // pad by duplicating the lone vector (the duplicate
+                        // maps back to the same global id).
+                        let mut padded = store.subset(&ids);
+                        padded.push(store.get(ids[0]));
+                        HnswIndex::build(padded, params.hnsw)
+                    };
+                    counter.add(index.build_report().dist_calcs);
+                    *slot = Some(Leaf { ids, index });
+                });
+            }
+        })
+        .expect("ELPIS leaf builder panicked");
+        let leaves: Vec<Leaf> =
+            leaves.into_iter().map(|l| l.expect("leaf built")).collect();
+
+        let build =
+            BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
+        let raw_bytes = store.heap_bytes();
+        Self {
+            dim: store.dim(),
+            n: store.len(),
+            tree,
+            leaves,
+            params,
+            build,
+            raw_bytes,
+        }
+    }
+
+    /// Construction cost report.
+    pub fn build_report(&self) -> BuildReport {
+        self.build
+    }
+
+    /// Number of partitions.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Search parameters (nprobe etc.).
+    pub fn params(&self) -> &ElpisParams {
+        &self.params
+    }
+
+    fn search_leaf(
+        &self,
+        li: usize,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let leaf = &self.leaves[li];
+        let res = leaf.index.search(query, params, counter);
+        let mapped = res
+            .neighbors
+            .into_iter()
+            .map(|n| Neighbor::new(leaf.ids[(n.id as usize).min(leaf.ids.len() - 1)], n.dist))
+            .collect();
+        (mapped, res.stats)
+    }
+}
+
+impl AnnIndex for ElpisIndex {
+    fn name(&self) -> String {
+        "ELPIS".to_string()
+    }
+
+    fn num_vectors(&self) -> usize {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> SearchResult {
+        let qs = self.tree.summarize_query(query);
+        let order = self.tree.leaf_order(&qs);
+        let mut stats = SearchStats::default();
+        let mut merged: Vec<Neighbor> = Vec::new();
+
+        // Initial leaf.
+        let (first, st) = self.search_leaf(order[0].0, query, params, counter);
+        stats.hops += st.hops;
+        stats.evaluated += st.evaluated;
+        merged.extend(first);
+        merged.sort_unstable();
+        merged.dedup_by_key(|n| n.id);
+
+        let kth = |m: &Vec<Neighbor>| -> f32 {
+            m.get(params.k.saturating_sub(1)).map_or(f32::INFINITY, |n| n.dist)
+        };
+
+        // Candidate leaves whose lower bound can still improve the answer.
+        let mut bound = kth(&merged);
+        let candidates: Vec<usize> = order[1..]
+            .iter()
+            .filter(|&&(_, lb)| lb < bound)
+            .take(self.params.nprobe.saturating_sub(1))
+            .map(|&(li, _)| li)
+            .collect();
+
+        if self.params.parallel_query && candidates.len() > 1 {
+            let mut results: Vec<(Vec<Neighbor>, SearchStats)> =
+                Vec::with_capacity(candidates.len());
+            results.resize_with(candidates.len(), Default::default);
+            crossbeam::thread::scope(|scope| {
+                for (slot, &li) in results.iter_mut().zip(&candidates) {
+                    let counter = counter.clone();
+                    scope.spawn(move |_| {
+                        *slot = self.search_leaf(li, query, params, &counter);
+                    });
+                }
+            })
+            .expect("ELPIS query worker panicked");
+            for (neighbors, st) in results {
+                stats.hops += st.hops;
+                stats.evaluated += st.evaluated;
+                merged.extend(neighbors);
+            }
+        } else {
+            for li in candidates {
+                // Re-check the bound as answers improve (sequential mode
+                // prunes harder than parallel mode, same results).
+                let lb = self.tree.leaves()[li]
+                    .lower_bound(&qs, &segment_lengths(self.dim, self.tree.segments()));
+                if lb >= bound {
+                    continue;
+                }
+                let (neighbors, st) = self.search_leaf(li, query, params, counter);
+                stats.hops += st.hops;
+                stats.evaluated += st.evaluated;
+                merged.extend(neighbors);
+                merged.sort_unstable();
+                merged.dedup_by_key(|n| n.id);
+                bound = kth(&merged);
+            }
+        }
+
+        merged.sort_unstable();
+        merged.dedup_by_key(|n| n.id);
+        merged.truncate(params.k);
+        SearchResult { neighbors: merged, stats }
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut s = IndexStats { nodes: self.n, ..Default::default() };
+        for leaf in &self.leaves {
+            let ls = leaf.index.stats();
+            s.edges += ls.edges;
+            s.graph_bytes += ls.graph_bytes;
+            s.aux_bytes += ls.aux_bytes;
+            s.max_degree = s.max_degree.max(ls.max_degree);
+        }
+        // Tree + duplicated leaf stores count as auxiliary overhead; the
+        // global raw store is reported separately by the harness.
+        s.aux_bytes += self.tree.heap_bytes();
+        s.aux_bytes += self.raw_bytes; // leaf-local vector copies
+        s.avg_degree = if self.n > 0 { s.edges as f64 / self.n as f64 } else { 0.0 };
+        s
+    }
+}
+
+fn segment_lengths(dim: usize, segments: usize) -> Vec<usize> {
+    let base = dim / segments;
+    let mut lens = vec![base; segments];
+    *lens.last_mut().expect("segments > 0") += dim - base * segments;
+    lens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_data::ground_truth::ground_truth;
+    use gass_data::synth::deep_like;
+
+    fn recall(idx: &ElpisIndex, base: &VectorStore, queries: &VectorStore, l: usize) -> f64 {
+        let gt = ground_truth(base, queries, 10);
+        let counter = DistCounter::new();
+        let params = QueryParams::new(10, l);
+        let mut hit = 0;
+        for (qi, row) in gt.iter().enumerate() {
+            let res = idx.search(queries.get(qi as u32), &params, &counter);
+            hit += row.iter().filter(|t| res.neighbors.iter().any(|r| r.id == t.id)).count();
+        }
+        hit as f64 / (10 * gt.len()) as f64
+    }
+
+    #[test]
+    fn elpis_high_recall() {
+        let base = deep_like(800, 1);
+        let queries = deep_like(20, 2);
+        let idx = ElpisIndex::build(base.clone(), ElpisParams::small());
+        assert!(idx.num_leaves() >= 2, "partitioning must occur");
+        let r = recall(&idx, &base, &queries, 48);
+        assert!(r > 0.9, "ELPIS recall too low: {r}");
+    }
+
+    #[test]
+    fn parallel_query_matches_sequential_recall() {
+        let base = deep_like(600, 3);
+        let queries = deep_like(10, 4);
+        let seq = ElpisIndex::build(base.clone(), ElpisParams::small());
+        let par = ElpisIndex::build(
+            base.clone(),
+            ElpisParams { parallel_query: true, ..ElpisParams::small() },
+        );
+        let rs = recall(&seq, &base, &queries, 48);
+        let rp = recall(&par, &base, &queries, 48);
+        assert!(
+            (rs - rp).abs() < 0.1,
+            "parallel ({rp}) and sequential ({rs}) should agree closely"
+        );
+    }
+
+    #[test]
+    fn nprobe_one_searches_single_leaf() {
+        let base = deep_like(600, 5);
+        let idx = ElpisIndex::build(
+            base.clone(),
+            ElpisParams { nprobe: 1, ..ElpisParams::small() },
+        );
+        let counter = DistCounter::new();
+        let res = idx.search(base.get(9), &QueryParams::new(5, 32), &counter);
+        // The exact vector lives in its home leaf, which ranks first.
+        assert_eq!(res.neighbors[0].id, 9);
+    }
+
+    #[test]
+    fn higher_nprobe_never_hurts() {
+        let base = deep_like(700, 6);
+        let queries = deep_like(12, 7);
+        let one = ElpisIndex::build(
+            base.clone(),
+            ElpisParams { nprobe: 1, ..ElpisParams::small() },
+        );
+        let four = ElpisIndex::build(
+            base.clone(),
+            ElpisParams { nprobe: 4, ..ElpisParams::small() },
+        );
+        let r1 = recall(&one, &base, &queries, 48);
+        let r4 = recall(&four, &base, &queries, 48);
+        assert!(r4 + 1e-9 >= r1, "nprobe=4 recall {r4} below nprobe=1 {r1}");
+    }
+}

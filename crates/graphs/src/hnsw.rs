@@ -1,0 +1,231 @@
+//! **HNSW** — Hierarchical Navigable Small World graphs: NSW made scalable
+//! by (i) RND diversification of every neighborhood and (ii) the stacked
+//! hierarchy (**SN**) that shortens search paths during both construction
+//! and query answering.
+//!
+//! The base layer holds all points with maximum out-degree `2M`; upper
+//! layers (in [`crate::hierarchy`]) hold exponentially thinning samples
+//! with out-degree `M`. Insertion descends the hierarchy to find its
+//! entry, beam-searches the base layer with `ef_construction`, selects `M`
+//! neighbors via RND, and re-prunes overflowing reverse lists.
+
+use crate::common::{add_reverse_edges, BuildReport};
+use crate::hierarchy::{draw_level, Hierarchy};
+use gass_core::distance::{DistCounter, Space};
+use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
+use gass_core::nd::NdStrategy;
+use gass_core::search::{beam_search, SearchResult, SearchScratch};
+use gass_core::store::VectorStore;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// HNSW construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HnswParams {
+    /// Out-degree `M` of hierarchy layers; the base layer allows `2M`.
+    pub m: usize,
+    /// Construction beam width (`efConstruction`).
+    pub ef_construction: usize,
+    /// RNG seed (level draws).
+    pub seed: u64,
+}
+
+impl HnswParams {
+    /// Small-scale defaults: `M=12`, `ef=80`.
+    pub fn small() -> Self {
+        Self { m: 12, ef_construction: 80, seed: 42 }
+    }
+}
+
+/// A built HNSW index.
+pub struct HnswIndex {
+    store: VectorStore,
+    base: FlatGraph,
+    hierarchy: Hierarchy,
+    params: HnswParams,
+    scratch: ScratchPool,
+    build: BuildReport,
+}
+
+impl HnswIndex {
+    /// Builds the index by incremental insertion.
+    pub fn build(store: VectorStore, params: HnswParams) -> Self {
+        assert!(store.len() >= 2, "need at least two vectors");
+        assert!(params.m >= 2, "M must be at least 2");
+        let counter = DistCounter::new();
+        let start = std::time::Instant::now();
+        let n = store.len();
+        let m0 = params.m * 2;
+        let mut base = AdjacencyGraph::with_degree_hint(n, m0 + 1);
+        let mut hierarchy = Hierarchy::new(n, params.m, params.ef_construction);
+        {
+            let space = Space::new(&store, &counter);
+            let mut rng = SmallRng::seed_from_u64(params.seed);
+            let mut scratch = SearchScratch::new(n, params.ef_construction);
+
+            // First node: hierarchy entry only.
+            hierarchy.insert(space, 0, draw_level(params.m, &mut rng));
+
+            for id in 1..n as u32 {
+                let level = draw_level(params.m, &mut rng);
+                let query = store.get(id);
+                // SN descent over the current hierarchy gives the base
+                // entry point.
+                let entry = hierarchy.descend(space, query).unwrap_or(0);
+                let res = beam_search(
+                    &base,
+                    space,
+                    query,
+                    &[entry],
+                    params.ef_construction,
+                    params.ef_construction,
+                    &mut scratch,
+                );
+                let cands = if res.neighbors.is_empty() {
+                    // Base graph may still be edgeless around the entry.
+                    vec![gass_core::Neighbor::new(entry, space.dist_to(query, entry))]
+                } else {
+                    res.neighbors
+                };
+                let selected = NdStrategy::Rnd.diversify(space, id, &cands, params.m);
+                base.set_neighbors(id, selected.iter().map(|s| s.id).collect());
+                add_reverse_edges(space, &mut base, id, &selected, m0, NdStrategy::Rnd);
+                hierarchy.insert(space, id, level);
+            }
+        }
+        let build =
+            BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
+        let base = FlatGraph::from_adjacency(&base, Some(m0));
+        Self { store, base, hierarchy, params, scratch: ScratchPool::new(), build }
+    }
+
+    /// Construction cost report.
+    pub fn build_report(&self) -> BuildReport {
+        self.build
+    }
+
+    /// The base-layer graph.
+    pub fn base_graph(&self) -> &FlatGraph {
+        &self.base
+    }
+
+    /// The seed-selection hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Construction parameters.
+    pub fn params(&self) -> &HnswParams {
+        &self.params
+    }
+
+    /// The vector store.
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+}
+
+impl AnnIndex for HnswIndex {
+    fn name(&self) -> String {
+        "HNSW".to_string()
+    }
+
+    fn num_vectors(&self) -> usize {
+        self.store.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    fn search(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> SearchResult {
+        let space = Space::new(&self.store, counter);
+        let entry = self.hierarchy.descend(space, query).unwrap_or(0);
+        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+            beam_search(
+                &self.base,
+                space,
+                query,
+                &[entry],
+                params.k,
+                params.beam_width,
+                scratch,
+            )
+        })
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            nodes: self.base.num_nodes(),
+            edges: self.base.num_edges(),
+            avg_degree: self.base.avg_degree(),
+            max_degree: self.base.max_degree(),
+            graph_bytes: self.base.heap_bytes(),
+            aux_bytes: self.hierarchy.heap_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_data::ground_truth::ground_truth;
+    use gass_data::synth::{deep_like, seismic_like};
+
+    fn recall(idx: &HnswIndex, base: &VectorStore, queries: &VectorStore, l: usize) -> f64 {
+        let gt = ground_truth(base, queries, 10);
+        let counter = DistCounter::new();
+        let params = QueryParams::new(10, l);
+        let mut hit = 0;
+        for (qi, row) in gt.iter().enumerate() {
+            let res = idx.search(queries.get(qi as u32), &params, &counter);
+            hit += row.iter().filter(|t| res.neighbors.iter().any(|r| r.id == t.id)).count();
+        }
+        hit as f64 / (10 * gt.len()) as f64
+    }
+
+    #[test]
+    fn hnsw_high_recall_on_easy_data() {
+        let base = deep_like(800, 1);
+        let queries = deep_like(20, 2);
+        let idx = HnswIndex::build(base.clone(), HnswParams::small());
+        let r = recall(&idx, &base, &queries, 64);
+        assert!(r > 0.95, "HNSW recall too low: {r}");
+    }
+
+    #[test]
+    fn recall_grows_with_beam_width() {
+        let base = seismic_like(600, 3);
+        let queries = seismic_like(15, 4);
+        let idx = HnswIndex::build(base.clone(), HnswParams::small());
+        let narrow = recall(&idx, &base, &queries, 10);
+        let wide = recall(&idx, &base, &queries, 120);
+        assert!(wide >= narrow, "wider beam lost recall: {narrow} -> {wide}");
+        assert!(wide > 0.6, "hard-data recall too low even at L=120: {wide}");
+    }
+
+    #[test]
+    fn base_degree_bounded_by_2m() {
+        let base = deep_like(500, 5);
+        let idx = HnswIndex::build(base, HnswParams::small());
+        assert!(idx.stats().max_degree <= 24);
+        assert!(idx.hierarchy().num_layers() >= 1);
+        assert!(idx.stats().aux_bytes > 0);
+    }
+
+    #[test]
+    fn exact_member_query_finds_itself() {
+        let base = deep_like(300, 7);
+        let idx = HnswIndex::build(base.clone(), HnswParams::small());
+        let counter = DistCounter::new();
+        let res = idx.search(base.get(123), &QueryParams::new(1, 32), &counter);
+        assert_eq!(res.neighbors[0].id, 123);
+        assert_eq!(res.neighbors[0].dist, 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! **KGraph** — the original Neighborhood-Propagation method: an
+//! approximate k-NN graph obtained by refining a random graph with
+//! NNDescent. Queries run the shared beam search with K-sampled random
+//! seeds (KS).
+
+use crate::common::BuildReport;
+use crate::nndescent::KnnGraphState;
+use gass_core::distance::{DistCounter, Space};
+use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
+use gass_core::search::{beam_search, SearchResult};
+use gass_core::seed::{RandomSeeds, SeedProvider};
+use gass_core::store::VectorStore;
+
+/// KGraph construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct KGraphParams {
+    /// Neighbors kept per node (the k of the k-NN graph).
+    pub k: usize,
+    /// Maximum NNDescent iterations.
+    pub iters: usize,
+    /// Per-node join sample size.
+    pub sample: usize,
+    /// Early-termination threshold (fraction of `n·k` updates).
+    pub delta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KGraphParams {
+    /// Small-scale defaults: `k=20`, 12 iterations, sample 24.
+    pub fn small() -> Self {
+        Self { k: 20, iters: 12, sample: 24, delta: 0.002, seed: 42 }
+    }
+}
+
+/// A built KGraph index.
+pub struct KGraphIndex {
+    store: VectorStore,
+    graph: FlatGraph,
+    seeds: RandomSeeds,
+    scratch: ScratchPool,
+    build: BuildReport,
+}
+
+impl KGraphIndex {
+    /// Builds the index (random init + NNDescent).
+    pub fn build(store: VectorStore, params: KGraphParams) -> Self {
+        assert!(store.len() > params.k, "need more points than k");
+        let counter = DistCounter::new();
+        let start = std::time::Instant::now();
+        let graph = {
+            let space = Space::new(&store, &counter);
+            let mut state = KnnGraphState::random_init(space, params.k, params.seed);
+            state.run(space, params.iters, params.sample, params.delta, params.seed ^ 0xd5);
+            let mut g = AdjacencyGraph::new(store.len());
+            for (u, list) in state.lists().iter().enumerate() {
+                g.set_neighbors(u as u32, list.iter().map(|n| n.id).collect());
+            }
+            FlatGraph::from_adjacency(&g, Some(params.k))
+        };
+        let build =
+            BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
+        let seeds = RandomSeeds::new(store.len(), params.seed ^ 0x5eed);
+        Self { store, graph, seeds, scratch: ScratchPool::new(), build }
+    }
+
+    /// Construction cost report.
+    pub fn build_report(&self) -> BuildReport {
+        self.build
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &FlatGraph {
+        &self.graph
+    }
+}
+
+impl AnnIndex for KGraphIndex {
+    fn name(&self) -> String {
+        "KGraph".to_string()
+    }
+
+    fn num_vectors(&self) -> usize {
+        self.store.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    fn search(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> SearchResult {
+        let space = Space::new(&self.store, counter);
+        let mut seeds = Vec::new();
+        self.seeds.seeds(space, query, params.seed_count, &mut seeds);
+        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+            beam_search(&self.graph, space, query, &seeds, params.k, params.beam_width, scratch)
+        })
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            nodes: self.graph.num_nodes(),
+            edges: self.graph.num_edges(),
+            avg_degree: self.graph.avg_degree(),
+            max_degree: self.graph.max_degree(),
+            graph_bytes: self.graph.heap_bytes(),
+            aux_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_data::ground_truth::ground_truth;
+    use gass_data::synth::deep_like;
+
+    #[test]
+    fn kgraph_reaches_reasonable_recall() {
+        let base = deep_like(500, 1);
+        let queries = deep_like(15, 2);
+        let idx = KGraphIndex::build(base.clone(), KGraphParams::small());
+        let gt = ground_truth(&base, &queries, 10);
+        let counter = DistCounter::new();
+        let params = QueryParams::new(10, 80).with_seed_count(16);
+        let mut hit = 0;
+        for (qi, row) in gt.iter().enumerate() {
+            let res = idx.search(queries.get(qi as u32), &params, &counter);
+            hit += row.iter().filter(|t| res.neighbors.iter().any(|r| r.id == t.id)).count();
+        }
+        let recall = hit as f64 / 150.0;
+        assert!(recall > 0.8, "KGraph recall too low: {recall}");
+    }
+
+    #[test]
+    fn build_report_is_populated() {
+        let base = deep_like(120, 3);
+        let idx = KGraphIndex::build(base, KGraphParams::small());
+        assert!(idx.build_report().dist_calcs > 0);
+        assert!(idx.build_report().seconds >= 0.0);
+        assert_eq!(idx.name(), "KGraph");
+        let s = idx.stats();
+        assert_eq!(s.nodes, 120);
+        assert!(s.max_degree <= 20);
+    }
+}

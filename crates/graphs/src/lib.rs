@@ -1,0 +1,79 @@
+//! # gass-graphs
+//!
+//! The twelve state-of-the-art graph-based vector search methods evaluated
+//! in *"Graph-Based Vector Search: An Experimental Evaluation of the
+//! State-of-the-Art"* (SIGMOD 2025), all built on the shared substrates of
+//! `gass-core`, plus:
+//!
+//! * [`baseline`] — the paper's instrumented Incremental-Insertion
+//!   baseline with pluggable ND and SS (Sections 4.2–4.3);
+//! * [`nndescent`] — the Neighborhood-Propagation primitive;
+//! * [`hierarchy`] — the stacked-NSW hierarchy (**SN** seed strategy);
+//! * [`registry`] — build any method by name with tier-scaled presets.
+//!
+//! | Module | Method | Paradigms |
+//! |---|---|---|
+//! | [`kgraph`] | KGraph | NP |
+//! | [`ieh`] | IEH (excluded from the paper's evaluation; see `ext_ieh_check`) | NP + LSH seeds |
+//! | [`hvs`] | HVS (the paper could not run the official code; ours is faithful-in-spirit) | II + RND + Voronoi-pyramid seeds |
+//! | [`nsw`] | NSW | II |
+//! | [`efanna`] | EFANNA | NP + KD seeds |
+//! | [`hnsw`] | HNSW | II + RND + SN |
+//! | [`dpg`] | DPG | NP + MOND |
+//! | [`ngt`] | NGT | NP + RND + VP seeds |
+//! | [`nsg`] | NSG | NP + RND + MD |
+//! | [`sptag`] | SPTAG-KDT / SPTAG-BKT | DC + RND + KD/KM seeds |
+//! | [`vamana`] | Vamana | ND (RRND+RND) + MD/KS |
+//! | [`ssg`] | SSG | NP + MOND |
+//! | [`hcnng`] | HCNNG | DC + KD seeds |
+//! | [`elpis`] | ELPIS | DC + II + RND |
+//! | [`lshapg`] | LSHAPG | II + RND + LSH seeds |
+//!
+//! All methods answer queries with the *same* beam search
+//! (`gass_core::search::beam_search`, the paper's Algorithm 1) and expose
+//! the same [`gass_core::index::AnnIndex`] interface.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baseline;
+pub mod common;
+pub mod dpg;
+pub mod efanna;
+pub mod elpis;
+pub mod hcnng;
+pub mod hierarchy;
+pub mod hnsw;
+pub mod hvs;
+pub mod ieh;
+pub mod kgraph;
+pub mod lshapg;
+pub mod ngt;
+pub mod nndescent;
+pub mod nsg;
+pub mod nsw;
+pub mod registry;
+pub mod sptag;
+pub mod ssg;
+pub mod vamana;
+
+pub use baseline::{IiGraph, IiParams};
+pub use common::BuildReport;
+pub use dpg::{DpgIndex, DpgParams};
+pub use efanna::{EfannaIndex, EfannaParams};
+pub use elpis::{ElpisIndex, ElpisParams};
+pub use hcnng::{HcnngIndex, HcnngParams};
+pub use hierarchy::{Hierarchy, SnSeeds};
+pub use hnsw::{HnswIndex, HnswParams};
+pub use hvs::{HvsIndex, HvsParams, VoronoiPyramid};
+pub use ieh::{IehIndex, IehParams};
+pub use kgraph::{KGraphIndex, KGraphParams};
+pub use lshapg::{LshapgIndex, LshapgParams};
+pub use ngt::{NgtIndex, NgtParams};
+pub use nndescent::KnnGraphState;
+pub use nsg::{NsgIndex, NsgParams};
+pub use nsw::{NswIndex, NswParams};
+pub use registry::{build_method, BuiltMethod, MethodKind};
+pub use sptag::{SptagIndex, SptagParams, SptagVariant};
+pub use ssg::{SsgIndex, SsgParams};
+pub use vamana::{VamanaIndex, VamanaParams};

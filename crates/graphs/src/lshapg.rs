@@ -1,0 +1,220 @@
+//! **LSHAPG** — LSH-assisted proximity graph: an HNSW base layer whose
+//! queries (i) retrieve seeds from multiple LSH tables instead of the SN
+//! descent, and (ii) use *probabilistic routing*: a neighbor's distance is
+//! estimated from its LSH projection sketch first, and the exact distance
+//! is only computed when the estimate beats the current pruning bound
+//! (scaled by a slack factor).
+//!
+//! The paper finds that this routing can prune *promising* neighbors,
+//! forcing larger beam widths for high recall — our implementation
+//! reproduces exactly that trade-off (the slack factor trades sketch
+//! savings against misrouting).
+
+use crate::common::BuildReport;
+use crate::hnsw::{HnswIndex, HnswParams};
+use gass_core::distance::{DistCounter, Space};
+use gass_core::graph::GraphView;
+use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
+use gass_core::neighbor::Neighbor;
+use gass_core::search::{SearchResult, SearchStats};
+use gass_core::seed::SeedProvider;
+use gass_hash::{LshIndex, LshSeeds};
+
+/// LSHAPG construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LshapgParams {
+    /// Base-graph (HNSW) parameters.
+    pub hnsw: HnswParams,
+    /// Number of LSH tables.
+    pub tables: usize,
+    /// Projections per table.
+    pub projections: usize,
+    /// LSH bucket width *factor* (multiplies the data's projection std;
+    /// see `LshIndex::build_scaled`).
+    pub width: f32,
+    /// Routing slack `γ ≥ 1`: evaluate a neighbor exactly only when its
+    /// estimated distance is below `γ ·` current bound. `f32::INFINITY`
+    /// disables routing (plain HNSW traversal with LSH seeds).
+    pub gamma: f32,
+}
+
+impl LshapgParams {
+    /// Small-scale defaults.
+    pub fn small() -> Self {
+        Self { hnsw: HnswParams::small(), tables: 4, projections: 8, width: 0.7, gamma: 1.8 }
+    }
+}
+
+/// A built LSHAPG index.
+pub struct LshapgIndex {
+    base: HnswIndex,
+    lsh: LshSeeds,
+    gamma: f32,
+    scratch: ScratchPool,
+    build: BuildReport,
+}
+
+impl LshapgIndex {
+    /// Builds the HNSW base and the LSH tables.
+    pub fn build(store: gass_core::VectorStore, params: LshapgParams) -> Self {
+        let start = std::time::Instant::now();
+        let base = HnswIndex::build(store, params.hnsw);
+        let lsh_index = LshIndex::build_scaled(
+            base.store(),
+            params.tables,
+            params.projections,
+            params.width,
+            params.hnsw.seed ^ 0x15b,
+        );
+        let lsh = LshSeeds::new(lsh_index, 0);
+        let build = BuildReport {
+            seconds: start.elapsed().as_secs_f64(),
+            dist_calcs: base.build_report().dist_calcs,
+        };
+        Self { base, lsh, gamma: params.gamma, scratch: ScratchPool::new(), build }
+    }
+
+    /// Construction cost report.
+    pub fn build_report(&self) -> BuildReport {
+        self.build
+    }
+
+    /// The LSH structure.
+    pub fn lsh(&self) -> &LshIndex {
+        self.lsh.index()
+    }
+}
+
+impl AnnIndex for LshapgIndex {
+    fn name(&self) -> String {
+        "LSHAPG".to_string()
+    }
+
+    fn num_vectors(&self) -> usize {
+        self.base.num_vectors()
+    }
+
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn search(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> SearchResult {
+        let store = self.base.store();
+        let space = Space::new(store, counter);
+        let graph = self.base.base_graph();
+        let mut seeds = Vec::new();
+        self.lsh.seeds(space, query, params.seed_count.max(4), &mut seeds);
+        let sketch = self.lsh.index().query_sketch(query);
+        let gamma = self.gamma;
+        let mut stats = SearchStats::default();
+
+        let neighbors = self.scratch.with(store.len(), params.beam_width, |scratch| {
+            for &s in &seeds {
+                if scratch.visited.insert(s) {
+                    let d = space.dist_to(query, s);
+                    stats.evaluated += 1;
+                    scratch.buffer.insert(Neighbor::new(s, d));
+                }
+            }
+            while let Some(cur) = scratch.buffer.next_unexpanded() {
+                stats.hops += 1;
+                let bound = scratch.buffer.bound();
+                for &nb in graph.neighbors(cur.id) {
+                    if !scratch.visited.insert(nb) {
+                        continue;
+                    }
+                    // Probabilistic routing: sketch estimate gates the
+                    // exact evaluation.
+                    if bound.is_finite() {
+                        let est = self.lsh.index().projected_dist_sq(&sketch, nb);
+                        if est > gamma * bound {
+                            continue;
+                        }
+                    }
+                    let d = space.dist_to(query, nb);
+                    stats.evaluated += 1;
+                    scratch.buffer.insert(Neighbor::new(nb, d));
+                }
+            }
+            scratch.buffer.top_k(params.k)
+        });
+        SearchResult { neighbors, stats }
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut s = self.base.stats();
+        s.aux_bytes += self.lsh.heap_bytes();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_core::{DistCounter, VectorStore};
+    use gass_data::ground_truth::ground_truth;
+    use gass_data::synth::deep_like;
+
+    fn recall(idx: &LshapgIndex, base: &VectorStore, queries: &VectorStore, l: usize) -> f64 {
+        let gt = ground_truth(base, queries, 10);
+        let counter = DistCounter::new();
+        let params = QueryParams::new(10, l).with_seed_count(12);
+        let mut hit = 0;
+        for (qi, row) in gt.iter().enumerate() {
+            let res = idx.search(queries.get(qi as u32), &params, &counter);
+            hit += row.iter().filter(|t| res.neighbors.iter().any(|r| r.id == t.id)).count();
+        }
+        hit as f64 / (10 * gt.len()) as f64
+    }
+
+    #[test]
+    fn lshapg_reasonable_recall_with_routing() {
+        let base = deep_like(500, 1);
+        let queries = deep_like(15, 2);
+        let idx = LshapgIndex::build(base.clone(), LshapgParams::small());
+        let r = recall(&idx, &base, &queries, 96);
+        assert!(r > 0.8, "LSHAPG recall too low: {r}");
+    }
+
+    #[test]
+    fn routing_prunes_evaluations_but_costs_recall() {
+        // The paper's LSHAPG finding: probabilistic routing reduces exact
+        // evaluations yet can prune promising neighbors, so at a fixed
+        // beam width recall does not exceed the unrouted traversal.
+        let base = deep_like(500, 3);
+        let queries = deep_like(12, 4);
+        let routed = LshapgIndex::build(base.clone(), LshapgParams::small());
+        let unrouted = LshapgIndex::build(
+            base.clone(),
+            LshapgParams { gamma: f32::INFINITY, ..LshapgParams::small() },
+        );
+        let (c_r, c_u) = (DistCounter::new(), DistCounter::new());
+        let params = QueryParams::new(10, 48).with_seed_count(12);
+        for (_, q) in queries.iter() {
+            routed.search(q, &params, &c_r);
+            unrouted.search(q, &params, &c_u);
+        }
+        assert!(
+            c_r.get() < c_u.get(),
+            "routing should cut exact evaluations: {} vs {}",
+            c_r.get(),
+            c_u.get()
+        );
+        let rr = recall(&routed, &base, &queries, 48);
+        let ru = recall(&unrouted, &base, &queries, 48);
+        assert!(rr <= ru + 0.05, "routing recall {rr} implausibly above unrouted {ru}");
+    }
+
+    #[test]
+    fn stats_account_lsh_tables() {
+        let base = deep_like(200, 5);
+        let idx = LshapgIndex::build(base, LshapgParams::small());
+        assert!(idx.stats().aux_bytes > 0);
+        assert_eq!(idx.name(), "LSHAPG");
+    }
+}

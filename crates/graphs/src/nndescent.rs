@@ -1,0 +1,299 @@
+//! NNDescent — the Neighborhood Propagation (NP) primitive (Dong et al.),
+//! used by KGraph, EFANNA, and (through their base graphs) DPG, NSG and
+//! SSG.
+//!
+//! Starting from arbitrary candidate neighbor lists, each iteration
+//! proposes, for every node, the neighbors of its neighbors (including
+//! reverse neighbors), keeping the `k` closest. The driving observation:
+//! "a neighbor of my neighbor is likely my neighbor". Empirical cost is
+//! about `O(n^1.14)` per the paper; we additionally cap per-node join work
+//! with `sample_size` exactly as the reference implementation does.
+
+use gass_core::distance::Space;
+use gass_core::neighbor::Neighbor;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Mutable k-NN-graph state refined by NNDescent: one bounded, sorted
+/// neighbor list per node.
+#[derive(Clone, Debug)]
+pub struct KnnGraphState {
+    lists: Vec<Vec<Neighbor>>,
+    k: usize,
+}
+
+impl KnnGraphState {
+    /// Initializes every node with `k` random (scored) neighbors.
+    pub fn random_init(space: Space<'_>, k: usize, seed: u64) -> Self {
+        let n = space.len();
+        assert!(n > 1, "NNDescent needs at least two points");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut lists = Vec::with_capacity(n);
+        for u in 0..n as u32 {
+            let mut list: Vec<Neighbor> = Vec::with_capacity(k);
+            while list.len() < k.min(n - 1) {
+                let v = rng.random_range(0..n as u32);
+                if v != u && !list.iter().any(|x| x.id == v) {
+                    list.push(Neighbor::new(v, space.dist(u, v)));
+                }
+            }
+            list.sort_unstable();
+            lists.push(list);
+        }
+        Self { lists, k }
+    }
+
+    /// Initializes from externally supplied candidate lists (EFANNA seeds
+    /// NNDescent with K-D-tree candidates). Lists are scored, deduplicated
+    /// and truncated to `k`.
+    pub fn from_candidates(
+        space: Space<'_>,
+        k: usize,
+        candidates: Vec<Vec<u32>>,
+    ) -> Self {
+        assert_eq!(candidates.len(), space.len());
+        let lists = candidates
+            .into_iter()
+            .enumerate()
+            .map(|(u, cand)| {
+                let u = u as u32;
+                let mut list: Vec<Neighbor> = cand
+                    .into_iter()
+                    .filter(|&v| v != u)
+                    .map(|v| Neighbor::new(v, space.dist(u, v)))
+                    .collect();
+                list.sort_unstable();
+                list.dedup_by_key(|n| n.id);
+                list.truncate(k);
+                list
+            })
+            .collect();
+        Self { lists, k }
+    }
+
+    /// Fills lists shorter than `k` with random scored neighbors — the
+    /// reference bootstrap behaviour when tree/hash candidates come up
+    /// short (an all-empty list can never grow through joins alone).
+    pub fn pad_random(&mut self, space: Space<'_>, seed: u64) {
+        let n = self.lists.len();
+        if n < 2 {
+            return;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for u in 0..n as u32 {
+            let want = self.k.min(n - 1);
+            let mut guard = 0;
+            while self.lists[u as usize].len() < want && guard < 16 * want {
+                guard += 1;
+                let v = rng.random_range(0..n as u32);
+                if v != u && !self.lists[u as usize].iter().any(|x| x.id == v) {
+                    let cand = Neighbor::new(v, space.dist(u, v));
+                    let list = &mut self.lists[u as usize];
+                    let pos = list.partition_point(|x| *x < cand);
+                    list.insert(pos, cand);
+                }
+            }
+        }
+    }
+
+    /// Attempts to insert `cand` into `node`'s bounded list. Returns `true`
+    /// if the list changed.
+    fn try_insert(&mut self, node: u32, cand: Neighbor) -> bool {
+        if cand.id == node {
+            return false;
+        }
+        let list = &mut self.lists[node as usize];
+        if list.len() == self.k && cand >= *list.last().expect("non-empty at capacity") {
+            return false;
+        }
+        if list.iter().any(|n| n.id == cand.id) {
+            return false;
+        }
+        let pos = list.partition_point(|n| *n < cand);
+        list.insert(pos, cand);
+        if list.len() > self.k {
+            list.pop();
+        }
+        true
+    }
+
+    /// One NNDescent iteration. Returns the number of list updates
+    /// (reference implementations stop when this falls below `δ·n·k`).
+    pub fn iterate(&mut self, space: Space<'_>, sample_size: usize, seed: u64) -> usize {
+        let n = self.lists.len();
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        // Forward + reverse adjacency snapshot, sampled to `sample_size`.
+        let mut joined: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, list) in self.lists.iter().enumerate() {
+            for nb in list {
+                joined[u].push(nb.id);
+                joined[nb.id as usize].push(u as u32);
+            }
+        }
+        for list in joined.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+            while list.len() > sample_size {
+                let drop = rng.random_range(0..list.len());
+                list.swap_remove(drop);
+            }
+        }
+
+        // Local join: every pair within a node's joined neighborhood are
+        // potential neighbors of each other.
+        let mut updates = 0usize;
+        for neighborhood in &joined {
+            for i in 0..neighborhood.len() {
+                for j in (i + 1)..neighborhood.len() {
+                    let (x, y) = (neighborhood[i], neighborhood[j]);
+                    if x == y {
+                        continue;
+                    }
+                    let d = space.dist(x, y);
+                    if self.try_insert(x, Neighbor::new(y, d)) {
+                        updates += 1;
+                    }
+                    if self.try_insert(y, Neighbor::new(x, d)) {
+                        updates += 1;
+                    }
+                }
+            }
+        }
+        updates
+    }
+
+    /// Runs up to `max_iters` iterations, stopping early when an iteration
+    /// updates fewer than `delta * n * k` entries (the standard
+    /// convergence rule). Returns iterations executed.
+    pub fn run(
+        &mut self,
+        space: Space<'_>,
+        max_iters: usize,
+        sample_size: usize,
+        delta: f64,
+        seed: u64,
+    ) -> usize {
+        let threshold = (delta * self.lists.len() as f64 * self.k as f64).ceil() as usize;
+        for it in 0..max_iters {
+            let updates = self.iterate(space, sample_size, seed.wrapping_add(it as u64));
+            if updates <= threshold {
+                return it + 1;
+            }
+        }
+        max_iters
+    }
+
+    /// Borrow the current neighbor lists.
+    pub fn lists(&self) -> &[Vec<Neighbor>] {
+        &self.lists
+    }
+
+    /// Consume into plain neighbor lists.
+    pub fn into_lists(self) -> Vec<Vec<Neighbor>> {
+        self.lists
+    }
+
+    /// Recall of the current lists against exact `k`-NN (test/diagnostic
+    /// helper; exact lists computed by brute force, uncounted).
+    pub fn graph_recall(&self, space: Space<'_>) -> f64 {
+        let n = self.lists.len();
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for u in 0..n as u32 {
+            let mut exact: Vec<Neighbor> = (0..n as u32)
+                .filter(|&v| v != u)
+                .map(|v| {
+                    Neighbor::new(
+                        v,
+                        gass_core::l2_sq(space.store().get(u), space.store().get(v)),
+                    )
+                })
+                .collect();
+            exact.sort_unstable();
+            exact.truncate(self.k);
+            let approx = &self.lists[u as usize];
+            total += exact.len();
+            hit += exact.iter().filter(|e| approx.iter().any(|a| a.id == e.id)).count();
+        }
+        hit as f64 / total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_core::distance::DistCounter;
+    use gass_core::store::VectorStore;
+    use gass_data::synth::deep_like;
+
+    #[test]
+    fn random_init_lists_are_valid() {
+        let store = deep_like(50, 1);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let state = KnnGraphState::random_init(space, 5, 2);
+        for (u, list) in state.lists().iter().enumerate() {
+            assert_eq!(list.len(), 5);
+            assert!(list.iter().all(|n| n.id != u as u32));
+            for w in list.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+        }
+    }
+
+    #[test]
+    fn iterations_improve_graph_recall() {
+        let store = deep_like(200, 3);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut state = KnnGraphState::random_init(space, 10, 4);
+        let before = state.graph_recall(space);
+        state.run(space, 8, 20, 0.001, 5);
+        let after = state.graph_recall(space);
+        assert!(
+            after > before + 0.2,
+            "NNDescent should substantially improve recall: {before} -> {after}"
+        );
+        assert!(after > 0.8, "converged recall too low: {after}");
+    }
+
+    #[test]
+    fn convergence_stops_early() {
+        let store = deep_like(80, 6);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut state = KnnGraphState::random_init(space, 8, 7);
+        let iters = state.run(space, 50, 16, 0.001, 8);
+        assert!(iters < 50, "should converge well before 50 iterations: {iters}");
+    }
+
+    #[test]
+    fn from_candidates_scores_and_truncates() {
+        let store = VectorStore::from_flat(1, vec![0.0, 1.0, 2.0, 3.0]);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let cands = vec![
+            vec![1, 2, 3, 1, 0], // self + duplicate must be dropped
+            vec![0],
+            vec![3],
+            vec![2],
+        ];
+        let state = KnnGraphState::from_candidates(space, 2, cands);
+        assert_eq!(state.lists()[0].len(), 2);
+        assert_eq!(state.lists()[0][0].id, 1);
+        assert_eq!(state.lists()[0][1].id, 2);
+    }
+
+    #[test]
+    fn distance_calls_are_counted() {
+        let store = deep_like(40, 9);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut state = KnnGraphState::random_init(space, 4, 1);
+        let base = counter.get();
+        assert!(base > 0);
+        state.iterate(space, 8, 2);
+        assert!(counter.get() > base, "join phase must count distances");
+    }
+}

@@ -1,0 +1,216 @@
+//! **SSG** — Satellite System Graph: like NSG it refines an EFANNA base,
+//! but (i) gathers each node's candidates by *local BFS expansion*
+//! (neighbors and neighbors-of-neighbors) instead of a per-node beam
+//! search, (ii) prunes with **MOND** (angle threshold θ), and (iii)
+//! repairs connectivity with multiple trees from random roots rather than
+//! NSG's single medoid-rooted tree. Queries use K-sampled random seeds.
+
+use crate::common::{add_reverse_edges, repair_connectivity, BuildReport};
+use crate::efanna::{EfannaIndex, EfannaParams};
+use gass_core::distance::{DistCounter, Space};
+use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
+use gass_core::nd::NdStrategy;
+use gass_core::neighbor::Neighbor;
+use gass_core::search::{beam_search, SearchResult};
+use gass_core::seed::{RandomSeeds, SeedProvider};
+use gass_core::store::VectorStore;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// SSG construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SsgParams {
+    /// Final maximum out-degree `R`.
+    pub max_degree: usize,
+    /// Candidate pool per node gathered by BFS expansion.
+    pub pool_size: usize,
+    /// MOND angle threshold in degrees (paper default 60°).
+    pub theta_deg: f32,
+    /// Number of random DFS-tree connectivity passes.
+    pub num_trees: usize,
+    /// Parameters of the EFANNA base graph.
+    pub base: EfannaParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SsgParams {
+    /// Small-scale defaults.
+    pub fn small() -> Self {
+        Self {
+            max_degree: 24,
+            pool_size: 80,
+            theta_deg: 60.0,
+            num_trees: 3,
+            base: EfannaParams::small(),
+            seed: 42,
+        }
+    }
+}
+
+/// A built SSG index.
+pub struct SsgIndex {
+    store: VectorStore,
+    graph: FlatGraph,
+    seeds: RandomSeeds,
+    scratch: ScratchPool,
+    build: BuildReport,
+}
+
+impl SsgIndex {
+    /// Builds SSG from scratch (including its EFANNA base).
+    pub fn build(store: VectorStore, params: SsgParams) -> Self {
+        let efanna = EfannaIndex::build(store, params.base);
+        let (store, base_graph, _forest, base_build) = efanna.into_parts();
+        Self::from_base(store, &base_graph, base_build, params)
+    }
+
+    /// Builds SSG on a pre-built base graph.
+    pub fn from_base(
+        store: VectorStore,
+        base_graph: &FlatGraph,
+        base_build: BuildReport,
+        params: SsgParams,
+    ) -> Self {
+        let counter = DistCounter::new();
+        let start = std::time::Instant::now();
+        let n = store.len();
+        let mond = NdStrategy::Mond { theta_deg: params.theta_deg };
+        let graph = {
+            let space = Space::new(&store, &counter);
+            let mut g = AdjacencyGraph::with_degree_hint(n, params.max_degree + 1);
+            let mut pool: Vec<u32> = Vec::new();
+
+            for u in 0..n as u32 {
+                // Two-hop local expansion on the base graph.
+                pool.clear();
+                pool.extend_from_slice(base_graph.neighbors(u));
+                'outer: for &v in base_graph.neighbors(u) {
+                    for &w in base_graph.neighbors(v) {
+                        if w != u {
+                            pool.push(w);
+                            if pool.len() >= params.pool_size {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                pool.sort_unstable();
+                pool.dedup();
+                let scored: Vec<Neighbor> = pool
+                    .iter()
+                    .filter(|&&v| v != u)
+                    .map(|&v| Neighbor::new(v, space.dist(u, v)))
+                    .collect();
+                let kept = mond.diversify(space, u, &scored, params.max_degree);
+                g.set_neighbors(u, kept.iter().map(|k| k.id).collect());
+                add_reverse_edges(space, &mut g, u, &kept, params.max_degree, mond);
+            }
+
+            // Multiple random-rooted connectivity repairs.
+            let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x55);
+            for _ in 0..params.num_trees.max(1) {
+                let root = rng.random_range(0..n as u32);
+                repair_connectivity(space, &mut g, root);
+            }
+            g
+        };
+        let build = BuildReport {
+            seconds: start.elapsed().as_secs_f64() + base_build.seconds,
+            dist_calcs: counter.get() + base_build.dist_calcs,
+        };
+        let flat = FlatGraph::from_adjacency(&graph, None);
+        let seeds = RandomSeeds::new(n, params.seed ^ 0x5eed);
+        Self { store, graph: flat, seeds, scratch: ScratchPool::new(), build }
+    }
+
+    /// Total construction cost (base + refinement).
+    pub fn build_report(&self) -> BuildReport {
+        self.build
+    }
+
+    /// The refined graph.
+    pub fn graph(&self) -> &FlatGraph {
+        &self.graph
+    }
+}
+
+impl AnnIndex for SsgIndex {
+    fn name(&self) -> String {
+        "SSG".to_string()
+    }
+
+    fn num_vectors(&self) -> usize {
+        self.store.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    fn search(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> SearchResult {
+        let space = Space::new(&self.store, counter);
+        let mut seeds = Vec::new();
+        self.seeds.seeds(space, query, params.seed_count, &mut seeds);
+        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+            beam_search(&self.graph, space, query, &seeds, params.k, params.beam_width, scratch)
+        })
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            nodes: self.graph.num_nodes(),
+            edges: self.graph.num_edges(),
+            avg_degree: self.graph.avg_degree(),
+            max_degree: self.graph.max_degree(),
+            graph_bytes: self.graph.heap_bytes(),
+            aux_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_data::ground_truth::ground_truth;
+    use gass_data::synth::deep_like;
+
+    #[test]
+    fn ssg_high_recall() {
+        let base = deep_like(500, 1);
+        let queries = deep_like(15, 2);
+        let idx = SsgIndex::build(base.clone(), SsgParams::small());
+        let gt = ground_truth(&base, &queries, 10);
+        let counter = DistCounter::new();
+        let params = QueryParams::new(10, 96).with_seed_count(16);
+        let mut hit = 0;
+        for (qi, row) in gt.iter().enumerate() {
+            let res = idx.search(queries.get(qi as u32), &params, &counter);
+            hit += row.iter().filter(|t| res.neighbors.iter().any(|r| r.id == t.id)).count();
+        }
+        let recall = hit as f64 / 150.0;
+        assert!(recall > 0.9, "SSG recall too low: {recall}");
+    }
+
+    #[test]
+    fn local_expansion_avoids_per_node_beam_search() {
+        // SSG's construction should cost fewer distance calls than NSG's
+        // per-node beam searches on the same data/base parameters.
+        use crate::nsg::{NsgIndex, NsgParams};
+        let base = deep_like(300, 3);
+        let ssg = SsgIndex::build(base.clone(), SsgParams::small());
+        let nsg = NsgIndex::build(base, NsgParams::small());
+        assert!(
+            ssg.build_report().dist_calcs < nsg.build_report().dist_calcs,
+            "SSG {} should undercut NSG {}",
+            ssg.build_report().dist_calcs,
+            nsg.build_report().dist_calcs
+        );
+    }
+}

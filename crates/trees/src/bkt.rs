@@ -1,0 +1,244 @@
+//! Balanced K-means Trees (BKT) — SPTAG-BKT's seed-selection structure
+//! (**KM** in the paper's taxonomy).
+//!
+//! Each internal node clusters its point set with balanced k-means into
+//! `branching` children (each holding a centroid); leaves keep the raw
+//! ids. Seed retrieval descends best-first by query→centroid distance,
+//! which *does* cost counted distance evaluations — part of why KM's
+//! seed-selection overhead shows up in the paper's measurements.
+
+use crate::kmeans::balanced_kmeans;
+use gass_core::distance::{l2_sq, Space};
+use gass_core::seed::SeedProvider;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+#[derive(Clone, Debug)]
+enum Node {
+    Internal { children: Vec<(Vec<f32>, u32)> }, // (centroid, child index)
+    Leaf { ids: Vec<u32> },
+}
+
+/// A balanced k-means tree over all vectors of a store.
+#[derive(Clone, Debug)]
+pub struct BkTree {
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl BkTree {
+    /// Builds the tree with the given branching factor and leaf size.
+    /// Clustering distance evaluations are counted through `space`.
+    ///
+    /// # Panics
+    /// Panics if the store is empty, `branching < 2`, or `leaf_size == 0`.
+    pub fn build(space: Space<'_>, branching: usize, leaf_size: usize, seed: u64) -> Self {
+        assert!(!space.is_empty(), "BKT over empty store");
+        assert!(branching >= 2, "branching factor must be at least 2");
+        assert!(leaf_size > 0, "leaf size must be positive");
+        let ids: Vec<u32> = (0..space.len() as u32).collect();
+        let mut tree = Self { nodes: Vec::new(), root: 0 };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        tree.root = tree.build_rec(space, ids, branching, leaf_size, &mut rng);
+        tree
+    }
+
+    fn build_rec(
+        &mut self,
+        space: Space<'_>,
+        ids: Vec<u32>,
+        branching: usize,
+        leaf_size: usize,
+        rng: &mut SmallRng,
+    ) -> u32 {
+        if ids.len() <= leaf_size {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node::Leaf { ids });
+            return idx;
+        }
+        let clustering = balanced_kmeans(space, &ids, branching, 4, rng.random_range(0..u64::MAX));
+        let groups = clustering.groups(&ids);
+        let mut children = Vec::with_capacity(branching);
+        for (c, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // Degenerate clustering (all points in one group) would recurse
+            // forever; fall back to a leaf.
+            if group.len() == ids.len() {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::Leaf { ids: group });
+                return idx;
+            }
+            let child = self.build_rec(space, group, branching, leaf_size, rng);
+            children.push((clustering.centroids[c].clone(), child));
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node::Internal { children });
+        idx
+    }
+
+    /// Collects up to `budget` candidate ids by best-first centroid
+    /// descent; centroid distances are counted through `space`.
+    pub fn candidates(&self, space: Space<'_>, query: &[f32], budget: usize, out: &mut Vec<u32>) {
+        let mut frontier: Vec<(f32, u32)> = vec![(0.0, self.root)];
+        while !frontier.is_empty() {
+            let mut best = 0;
+            for i in 1..frontier.len() {
+                if frontier[i].0 < frontier[best].0 {
+                    best = i;
+                }
+            }
+            let (_, node) = frontier.swap_remove(best);
+            match &self.nodes[node as usize] {
+                Node::Leaf { ids } => {
+                    out.extend_from_slice(ids);
+                    if out.len() >= budget {
+                        return;
+                    }
+                }
+                Node::Internal { children } => {
+                    for (centroid, child) in children {
+                        space.counter().bump();
+                        let d = l2_sq(query, centroid);
+                        frontier.push((d, *child));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Approximate heap bytes (centroids + leaf id lists + node vector).
+    pub fn heap_bytes(&self) -> usize {
+        let inner: usize = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                Node::Internal { children } => children
+                    .iter()
+                    .map(|(c, _)| c.capacity() * std::mem::size_of::<f32>() + 4)
+                    .sum(),
+                Node::Leaf { ids } => ids.capacity() * std::mem::size_of::<u32>(),
+            })
+            .sum();
+        inner + self.nodes.capacity() * std::mem::size_of::<Node>()
+    }
+}
+
+/// BKT seed provider (**KM** strategy, SPTAG-BKT).
+#[derive(Clone, Debug)]
+pub struct BktSeeds {
+    tree: BkTree,
+}
+
+impl BktSeeds {
+    /// Builds the BKT seed structure over `space`'s store.
+    pub fn build(space: Space<'_>, branching: usize, leaf_size: usize, seed: u64) -> Self {
+        Self { tree: BkTree::build(space, branching, leaf_size, seed) }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &BkTree {
+        &self.tree
+    }
+
+    /// Approximate heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.tree.heap_bytes()
+    }
+}
+
+impl SeedProvider for BktSeeds {
+    fn seeds(&self, space: Space<'_>, query: &[f32], count: usize, out: &mut Vec<u32>) {
+        self.tree.candidates(space, query, count.max(1), out);
+        out.sort_unstable();
+        out.dedup();
+        out.truncate(count.max(1));
+    }
+
+    fn label(&self) -> &'static str {
+        "KM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_core::distance::DistCounter;
+    use gass_core::store::VectorStore;
+
+    fn clustered_store(seed: u64) -> VectorStore {
+        // 4 well-separated 3-d blobs of 30 points.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let centers = [[0.0, 0.0, 0.0], [20.0, 0.0, 0.0], [0.0, 20.0, 0.0], [0.0, 0.0, 20.0]];
+        let mut s = VectorStore::new(3);
+        for c in centers {
+            for _ in 0..30 {
+                let v: Vec<f32> =
+                    c.iter().map(|x| x + rng.random_range(-0.5..0.5f32)).collect();
+                s.push(&v);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn all_ids_reachable() {
+        let store = clustered_store(1);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let tree = BkTree::build(space, 4, 10, 2);
+        let mut out = Vec::new();
+        tree.candidates(space, &[0.0; 3], usize::MAX, &mut out);
+        out.sort_unstable();
+        let expected: Vec<u32> = (0..120).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn descent_reaches_correct_blob() {
+        let store = clustered_store(3);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let tree = BkTree::build(space, 4, 10, 4);
+        counter.reset();
+        let mut out = Vec::new();
+        // Query near blob 1 (ids 30..60).
+        tree.candidates(space, &[20.0, 0.1, -0.1], 10, &mut out);
+        assert!(!out.is_empty());
+        let hits = out.iter().filter(|&&id| (30..60).contains(&id)).count();
+        assert!(
+            hits * 2 >= out.len(),
+            "most candidates should come from the nearest blob; got {hits}/{}",
+            out.len()
+        );
+        assert!(counter.get() > 0, "centroid descent must be counted");
+    }
+
+    #[test]
+    fn seed_provider_contract() {
+        let store = clustered_store(5);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let seeds = BktSeeds::build(space, 3, 8, 6);
+        let mut out = Vec::new();
+        seeds.seeds(space, &[0.0; 3], 5, &mut out);
+        assert!(out.len() <= 5);
+        assert!(!out.is_empty());
+        assert_eq!(seeds.label(), "KM");
+    }
+
+    #[test]
+    fn identical_points_build_terminates() {
+        let mut s = VectorStore::new(2);
+        for _ in 0..40 {
+            s.push(&[1.0, 1.0]);
+        }
+        let counter = DistCounter::new();
+        let space = Space::new(&s, &counter);
+        let tree = BkTree::build(space, 4, 8, 7);
+        let mut out = Vec::new();
+        tree.candidates(space, &[1.0, 1.0], usize::MAX, &mut out);
+        assert_eq!(out.len(), 40);
+    }
+}

@@ -1,0 +1,279 @@
+//! Lloyd's k-means and the *balanced* variant used by Balanced K-means
+//! Trees (SPTAG-BKT's seed-selection structure).
+//!
+//! Operates over an id subset of a [`VectorStore`] so divide-and-conquer
+//! methods can cluster recursively without copying vectors. All point ↔
+//! centroid distance evaluations are counted through the provided
+//! [`Space`], so clustering cost shows up in construction accounting.
+
+use gass_core::distance::{l2_sq, Space};
+use gass_core::store::VectorStore;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Result of a clustering run.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// `k` centroid vectors (row-major, `dim` floats each).
+    pub centroids: Vec<Vec<f32>>,
+    /// For each input id (parallel to the `ids` argument), the index of its
+    /// assigned cluster.
+    pub assignment: Vec<usize>,
+}
+
+impl Clustering {
+    /// Groups the input ids by cluster.
+    pub fn groups(&self, ids: &[u32]) -> Vec<Vec<u32>> {
+        let k = self.centroids.len();
+        let mut groups = vec![Vec::new(); k];
+        for (pos, &c) in self.assignment.iter().enumerate() {
+            groups[c].push(ids[pos]);
+        }
+        groups
+    }
+}
+
+fn init_centroids(
+    store: &VectorStore,
+    ids: &[u32],
+    k: usize,
+    rng: &mut SmallRng,
+) -> Vec<Vec<f32>> {
+    // k-means++ style seeding, but with a fixed candidate sample to keep it
+    // O(k·sample) rather than O(k·n).
+    let mut picks: Vec<u32> = ids.to_vec();
+    picks.shuffle(rng);
+    picks.truncate(k.max(1));
+    // If fewer ids than k, repeat.
+    while picks.len() < k {
+        picks.push(ids[rng.random_range(0..ids.len())]);
+    }
+    picks.iter().map(|&id| store.get(id).to_vec()).collect()
+}
+
+/// Standard Lloyd's k-means over `ids`, `iters` refinement rounds.
+///
+/// # Panics
+/// Panics if `ids` is empty or `k == 0`.
+pub fn kmeans(space: Space<'_>, ids: &[u32], k: usize, iters: usize, seed: u64) -> Clustering {
+    assert!(!ids.is_empty(), "k-means over empty id set");
+    assert!(k > 0, "k must be positive");
+    let store = space.store();
+    let dim = store.dim();
+    let k = k.min(ids.len());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut centroids = init_centroids(store, ids, k, &mut rng);
+    let mut assignment = vec![0usize; ids.len()];
+
+    for _ in 0..iters.max(1) {
+        // Assign.
+        for (pos, &id) in ids.iter().enumerate() {
+            let v = store.get(id);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, cent) in centroids.iter().enumerate() {
+                space.counter().bump();
+                let d = l2_sq(v, cent);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignment[pos] = best;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (pos, &id) in ids.iter().enumerate() {
+            let c = assignment[pos];
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(store.get(id)) {
+                *s += *x as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed empty cluster at a random point.
+                let id = ids[rng.random_range(0..ids.len())];
+                centroids[c] = store.get(id).to_vec();
+            } else {
+                for (dst, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *dst = (*s / counts[c] as f64) as f32;
+                }
+            }
+        }
+    }
+
+    // Final assignment against the last centroid update.
+    for (pos, &id) in ids.iter().enumerate() {
+        let v = store.get(id);
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (c, cent) in centroids.iter().enumerate() {
+            space.counter().bump();
+            let d = l2_sq(v, cent);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        assignment[pos] = best;
+    }
+
+    Clustering { centroids, assignment }
+}
+
+/// Balanced k-means (Malinen & Fränti style, greedy approximation): like
+/// Lloyd's, but each cluster accepts at most `ceil(n/k)` points per round.
+/// Points are processed in order of assignment confidence (gap between
+/// best and second-best centroid), so strongly attached points claim their
+/// cluster first.
+pub fn balanced_kmeans(
+    space: Space<'_>,
+    ids: &[u32],
+    k: usize,
+    iters: usize,
+    seed: u64,
+) -> Clustering {
+    assert!(!ids.is_empty(), "balanced k-means over empty id set");
+    assert!(k > 0, "k must be positive");
+    let store = space.store();
+    let dim = store.dim();
+    let k = k.min(ids.len());
+    let cap = ids.len().div_ceil(k);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut centroids = init_centroids(store, ids, k, &mut rng);
+    let mut assignment = vec![0usize; ids.len()];
+
+    for _ in 0..iters.max(1) {
+        // Compute all point->centroid distances and a confidence score:
+        // (confidence, position, sorted (distance, centroid) preferences).
+        type Pref = (f32, usize, Vec<(f32, usize)>);
+        let mut prefs: Vec<Pref> = Vec::with_capacity(ids.len());
+        for (pos, &id) in ids.iter().enumerate() {
+            let v = store.get(id);
+            let mut ds: Vec<(f32, usize)> = centroids
+                .iter()
+                .enumerate()
+                .map(|(c, cent)| {
+                    space.counter().bump();
+                    (l2_sq(v, cent), c)
+                })
+                .collect();
+            ds.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let confidence = if ds.len() > 1 { ds[1].0 - ds[0].0 } else { f32::INFINITY };
+            prefs.push((confidence, pos, ds));
+        }
+        // Most-confident points assign first.
+        prefs.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut loads = vec![0usize; k];
+        for (_, pos, ds) in &prefs {
+            let mut placed = false;
+            for &(_, c) in ds {
+                if loads[c] < cap {
+                    assignment[*pos] = c;
+                    loads[c] += 1;
+                    placed = true;
+                    break;
+                }
+            }
+            debug_assert!(placed, "capacity sums to >= n, a slot must exist");
+        }
+        // Update centroids.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (pos, &id) in ids.iter().enumerate() {
+            let c = assignment[pos];
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(store.get(id)) {
+                *s += *x as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for (dst, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *dst = (*s / counts[c] as f64) as f32;
+                }
+            }
+        }
+    }
+
+    Clustering { centroids, assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_core::distance::DistCounter;
+
+    /// Two well-separated 2-d blobs of 20 points each.
+    fn blobs() -> VectorStore {
+        let mut s = VectorStore::new(2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            s.push(&[rng.random_range(-0.1..0.1f32), rng.random_range(-0.1..0.1f32)]);
+        }
+        for _ in 0..20 {
+            s.push(&[10.0 + rng.random_range(-0.1..0.1f32), rng.random_range(-0.1..0.1f32)]);
+        }
+        s
+    }
+
+    #[test]
+    fn kmeans_separates_blobs() {
+        let store = blobs();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let ids: Vec<u32> = (0..40).collect();
+        let c = kmeans(space, &ids, 2, 10, 1);
+        // All points in the same blob share a cluster.
+        let first = c.assignment[0];
+        assert!(c.assignment[..20].iter().all(|&a| a == first));
+        let second = c.assignment[20];
+        assert_ne!(first, second);
+        assert!(c.assignment[20..].iter().all(|&a| a == second));
+        assert!(counter.get() > 0, "clustering cost must be counted");
+    }
+
+    #[test]
+    fn kmeans_handles_k_larger_than_n() {
+        let store = blobs();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let ids: Vec<u32> = vec![0, 1, 2];
+        let c = kmeans(space, &ids, 10, 3, 1);
+        assert_eq!(c.centroids.len(), 3);
+        assert_eq!(c.assignment.len(), 3);
+    }
+
+    #[test]
+    fn balanced_kmeans_caps_cluster_sizes() {
+        let store = blobs();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let ids: Vec<u32> = (0..40).collect();
+        // 4 clusters over 40 points -> each cluster must hold exactly <=10.
+        let c = balanced_kmeans(space, &ids, 4, 6, 9);
+        let groups = c.groups(&ids);
+        assert_eq!(groups.len(), 4);
+        for g in &groups {
+            assert!(g.len() <= 10, "balanced cluster exceeded capacity: {}", g.len());
+        }
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn groups_partition_input() {
+        let store = blobs();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let ids: Vec<u32> = (5..25).collect();
+        let c = kmeans(space, &ids, 3, 4, 2);
+        let groups = c.groups(&ids);
+        let mut all: Vec<u32> = groups.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, ids);
+    }
+}

@@ -1,0 +1,224 @@
+//! Minimum spanning trees over point subsets — HCNNG's per-cluster graph
+//! primitive.
+//!
+//! HCNNG repeatedly clusters the dataset, builds an MST inside every leaf
+//! (a few hundred points), and merges the MST edges of all runs into one
+//! graph. Leaf MSTs are small, so Prim's algorithm with dense `O(m²)`
+//! distance evaluation is the right tool; every evaluation is counted.
+
+use gass_core::distance::Space;
+
+/// An undirected weighted edge between two stored vectors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MstEdge {
+    /// First endpoint (dataset id).
+    pub a: u32,
+    /// Second endpoint (dataset id).
+    pub b: u32,
+    /// Squared Euclidean length.
+    pub weight: f32,
+}
+
+/// Computes the MST of the complete Euclidean graph over `ids` using
+/// Prim's algorithm. Returns `ids.len() - 1` edges (empty for fewer than
+/// two points).
+///
+/// HCNNG additionally caps the *degree* of each vertex within a single
+/// MST; pass the cap through `max_degree` (use `usize::MAX` to disable).
+/// When a minimal edge would exceed the cap on either endpoint, the next
+/// best admissible edge is chosen, as in the reference implementation.
+pub fn prim_mst(space: Space<'_>, ids: &[u32], max_degree: usize) -> Vec<MstEdge> {
+    let m = ids.len();
+    if m < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; m];
+    let mut degree = vec![0usize; m];
+    // best[j] = (weight, tree vertex) of the cheapest admissible edge
+    // connecting j to the tree.
+    let mut best: Vec<(f32, usize)> = vec![(f32::INFINITY, usize::MAX); m];
+    let mut edges = Vec::with_capacity(m - 1);
+
+    in_tree[0] = true;
+    for j in 1..m {
+        best[j] = (space.dist(ids[0], ids[j]), 0);
+    }
+
+    for _ in 1..m {
+        // Pick the closest out-of-tree vertex whose tree endpoint still has
+        // degree budget.
+        let mut pick = usize::MAX;
+        let mut pick_w = f32::INFINITY;
+        for j in 0..m {
+            if !in_tree[j] && best[j].1 != usize::MAX && best[j].0 < pick_w {
+                pick = j;
+                pick_w = best[j].0;
+            }
+        }
+        if pick == usize::MAX {
+            // All candidate edges hit saturated endpoints: relax by
+            // recomputing against any unsaturated tree vertex.
+            for j in 0..m {
+                if in_tree[j] {
+                    continue;
+                }
+                best[j] = (f32::INFINITY, usize::MAX);
+                for t in 0..m {
+                    if in_tree[t] && degree[t] < max_degree {
+                        let w = space.dist(ids[t], ids[j]);
+                        if w < best[j].0 {
+                            best[j] = (w, t);
+                        }
+                    }
+                }
+                if best[j].1 != usize::MAX && best[j].0 < pick_w {
+                    pick = j;
+                    pick_w = best[j].0;
+                }
+            }
+            if pick == usize::MAX {
+                // Degree cap makes the tree infeasible (cap too small);
+                // fall back to ignoring the cap for this edge.
+                for j in 0..m {
+                    if in_tree[j] {
+                        continue;
+                    }
+                    for t in 0..m {
+                        if in_tree[t] {
+                            let w = space.dist(ids[t], ids[j]);
+                            if w < pick_w {
+                                pick = j;
+                                pick_w = w;
+                                best[j] = (w, t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let t = best[pick].1;
+        edges.push(MstEdge { a: ids[t], b: ids[pick], weight: best[pick].0 });
+        degree[t] += 1;
+        degree[pick] += 1;
+        in_tree[pick] = true;
+
+        // Update candidate edges through the newly added vertex (only if it
+        // still has budget).
+        if degree[pick] < max_degree {
+            for j in 0..m {
+                if !in_tree[j] {
+                    let w = space.dist(ids[pick], ids[j]);
+                    if w < best[j].0 {
+                        best[j] = (w, pick);
+                    }
+                }
+            }
+        }
+        // Invalidate candidates pointing at a now-saturated vertex.
+        if degree[t] >= max_degree {
+            for j in 0..m {
+                if !in_tree[j] && best[j].1 == t {
+                    best[j] = (f32::INFINITY, usize::MAX);
+                    for v in 0..m {
+                        if in_tree[v] && degree[v] < max_degree {
+                            let w = space.dist(ids[v], ids[j]);
+                            if w < best[j].0 {
+                                best[j] = (w, v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gass_core::distance::DistCounter;
+    use gass_core::store::VectorStore;
+
+    #[test]
+    fn mst_of_line_is_the_chain() {
+        let store = VectorStore::from_flat(1, vec![0.0, 1.0, 2.5, 4.5]);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let ids: Vec<u32> = (0..4).collect();
+        let mut edges = prim_mst(space, &ids, usize::MAX);
+        assert_eq!(edges.len(), 3);
+        edges.sort_by(|x, y| x.weight.total_cmp(&y.weight));
+        // Chain edges: (0,1)=1, (1,2)=2.25, (2,3)=4.
+        assert!((edges[0].weight - 1.0).abs() < 1e-6);
+        assert!((edges[1].weight - 2.25).abs() < 1e-6);
+        assert!((edges[2].weight - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mst_spans_all_vertices() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut store = VectorStore::new(3);
+        for _ in 0..60 {
+            let v: Vec<f32> = (0..3).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+            store.push(&v);
+        }
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let ids: Vec<u32> = (0..60).collect();
+        let edges = prim_mst(space, &ids, usize::MAX);
+        assert_eq!(edges.len(), 59);
+        // Union-find connectivity check.
+        let mut parent: Vec<usize> = (0..60).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for e in &edges {
+            let (ra, rb) = (find(&mut parent, e.a as usize), find(&mut parent, e.b as usize));
+            assert_ne!(ra, rb, "MST must not contain cycles");
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        for v in 0..60 {
+            assert_eq!(find(&mut parent, v), root, "vertex {v} disconnected");
+        }
+    }
+
+    #[test]
+    fn degree_cap_respected_when_feasible() {
+        // Star-shaped data would want a hub; with cap 3 the MST must
+        // distribute degree.
+        let mut store = VectorStore::new(2);
+        store.push(&[0.0, 0.0]); // center
+        for i in 0..8 {
+            let ang = i as f32 * std::f32::consts::TAU / 8.0;
+            store.push(&[ang.cos(), ang.sin()]);
+        }
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let ids: Vec<u32> = (0..9).collect();
+        let edges = prim_mst(space, &ids, 3);
+        assert_eq!(edges.len(), 8);
+        let mut degree = vec![0usize; 9];
+        for e in &edges {
+            degree[e.a as usize] += 1;
+            degree[e.b as usize] += 1;
+        }
+        assert!(degree.iter().all(|&d| d <= 3), "degrees: {degree:?}");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let store = VectorStore::from_flat(1, vec![1.0]);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        assert!(prim_mst(space, &[], usize::MAX).is_empty());
+        assert!(prim_mst(space, &[0], usize::MAX).is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Classic data-series summarizations surveyed in the paper's Section 2 —
+//! PAA and SAX — with their lower-bounding distances.
+//!
+//! These are the ancestors of the EAPCA summarization ELPIS builds on
+//! (PAA keeps per-segment means; EAPCA adds standard deviations; SAX
+//! quantizes PAA into symbols). Provided as substrates for summarization
+//! experiments and for composing new DC-style methods; each carries its
+//! standard lower-bounding distance so pruning stays admissible.
+
+use gass_core::store::VectorStore;
+
+/// Piecewise Aggregate Approximation: per-segment means over equal-length
+/// segments (remainder absorbed by the last one).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Paa {
+    /// One mean per segment.
+    pub means: Vec<f32>,
+    /// Original dimensionality (needed by the lower bound).
+    pub dim: usize,
+}
+
+/// Computes the PAA of `v` with `segments` segments.
+///
+/// # Panics
+/// Panics if `segments == 0` or exceeds `v.len()`.
+pub fn paa(v: &[f32], segments: usize) -> Paa {
+    assert!(segments > 0 && segments <= v.len(), "invalid segment count");
+    let base = v.len() / segments;
+    let mut means = Vec::with_capacity(segments);
+    for s in 0..segments {
+        let start = s * base;
+        let end = if s + 1 == segments { v.len() } else { start + base };
+        let seg = &v[start..end];
+        means.push(seg.iter().sum::<f32>() / seg.len() as f32);
+    }
+    Paa { means, dim: v.len() }
+}
+
+/// Squared PAA lower bound: `Σ len_seg · (Δmean)² ≤ ‖a − b‖²`
+/// (Cauchy–Schwarz per segment).
+pub fn paa_lower_bound(a: &Paa, b: &Paa) -> f32 {
+    assert_eq!(a.means.len(), b.means.len(), "segment mismatch");
+    assert_eq!(a.dim, b.dim, "dimension mismatch");
+    let segments = a.means.len();
+    let base = a.dim / segments;
+    let mut lb = 0.0f32;
+    for s in 0..segments {
+        let len = if s + 1 == segments { a.dim - base * (segments - 1) } else { base };
+        let d = a.means[s] - b.means[s];
+        lb += len as f32 * d * d;
+    }
+    lb
+}
+
+/// Breakpoints dividing the standard normal into `a` equiprobable regions
+/// (SAX's alphabet), for alphabet sizes 2..=8 (the common range).
+fn sax_breakpoints(alphabet: usize) -> &'static [f32] {
+    match alphabet {
+        2 => &[0.0],
+        3 => &[-0.43, 0.43],
+        4 => &[-0.67, 0.0, 0.67],
+        5 => &[-0.84, -0.25, 0.25, 0.84],
+        6 => &[-0.97, -0.43, 0.0, 0.43, 0.97],
+        7 => &[-1.07, -0.57, -0.18, 0.18, 0.57, 1.07],
+        8 => &[-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15],
+        _ => panic!("SAX alphabet must be between 2 and 8"),
+    }
+}
+
+/// Symbolic Aggregate Approximation: PAA means quantized into an
+/// equiprobable-normal alphabet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sax {
+    /// One symbol (0-based) per segment.
+    pub symbols: Vec<u8>,
+    /// Alphabet size.
+    pub alphabet: usize,
+    /// Original dimensionality.
+    pub dim: usize,
+}
+
+/// Computes the SAX word of `v` (via PAA) with the given segment count
+/// and alphabet size (2–8). Input is assumed z-normalized, per SAX's
+/// contract.
+pub fn sax(v: &[f32], segments: usize, alphabet: usize) -> Sax {
+    let p = paa(v, segments);
+    let bps = sax_breakpoints(alphabet);
+    let symbols = p
+        .means
+        .iter()
+        .map(|&m| bps.iter().take_while(|&&b| m >= b).count() as u8)
+        .collect();
+    Sax { symbols, alphabet, dim: v.len() }
+}
+
+/// MINDIST: the classic SAX lower bound between two words (squared). Two
+/// symbols one apart contribute zero; farther symbols contribute the gap
+/// between the nearer breakpoints.
+pub fn sax_mindist_sq(a: &Sax, b: &Sax) -> f32 {
+    assert_eq!(a.symbols.len(), b.symbols.len(), "segment mismatch");
+    assert_eq!(a.alphabet, b.alphabet, "alphabet mismatch");
+    assert_eq!(a.dim, b.dim, "dimension mismatch");
+    let bps = sax_breakpoints(a.alphabet);
+    let segments = a.symbols.len();
+    let len = a.dim as f32 / segments as f32;
+    let mut acc = 0.0f32;
+    for (&sa, &sb) in a.symbols.iter().zip(&b.symbols) {
+        let (lo, hi) = if sa < sb { (sa, sb) } else { (sb, sa) };
+        if hi - lo >= 2 {
+            let d = bps[hi as usize - 1] - bps[lo as usize];
+            acc += len * d * d;
+        }
+    }
+    acc
+}
+
+/// Summarizes every vector of a store with PAA (row-major convenience).
+pub fn paa_store(store: &VectorStore, segments: usize) -> Vec<Paa> {
+    store.iter().map(|(_, v)| paa(v, segments)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eapca;
+    use gass_core::l2_sq;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn paa_of_constant_segments() {
+        let p = paa(&[1.0, 1.0, 2.0, 2.0, 3.0, 3.0], 3);
+        assert_eq!(p.means, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn paa_lower_bound_is_admissible() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let a: Vec<f32> = (0..24).map(|_| rng.random_range(-2.0..2.0f32)).collect();
+            let b: Vec<f32> = (0..24).map(|_| rng.random_range(-2.0..2.0f32)).collect();
+            for segs in [1usize, 3, 6, 24] {
+                let lb = paa_lower_bound(&paa(&a, segs), &paa(&b, segs));
+                let exact = l2_sq(&a, &b);
+                assert!(lb <= exact + 1e-3, "PAA lb {lb} > exact {exact} at {segs} segs");
+            }
+        }
+    }
+
+    #[test]
+    fn paa_bound_never_beats_eapca_bound() {
+        // EAPCA adds std terms on top of PAA's mean terms, so its bound
+        // dominates PAA's (both admissible).
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let a: Vec<f32> = (0..16).map(|_| rng.random_range(-2.0..2.0f32)).collect();
+            let b: Vec<f32> = (0..16).map(|_| rng.random_range(-2.0..2.0f32)).collect();
+            let p = paa_lower_bound(&paa(&a, 4), &paa(&b, 4));
+            let lens = [4usize, 4, 4, 4];
+            let e = eapca::lower_bound_pair(
+                &eapca::summarize(&a, 4),
+                &eapca::summarize(&b, 4),
+                &lens,
+            );
+            assert!(e + 1e-4 >= p, "EAPCA {e} should dominate PAA {p}");
+        }
+    }
+
+    #[test]
+    fn sax_symbols_are_ordered() {
+        // Increasing values map to non-decreasing symbols.
+        let v = [-2.0f32, -0.5, 0.0, 0.5, 2.0];
+        let s = sax(&v, 5, 4);
+        for w in s.symbols.windows(2) {
+            assert!(w[0] <= w[1], "symbols out of order: {:?}", s.symbols);
+        }
+        assert_eq!(s.symbols[0], 0);
+        assert_eq!(*s.symbols.last().unwrap() as usize, 3);
+    }
+
+    #[test]
+    fn sax_mindist_is_admissible_on_znormalized_series() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let mut a: Vec<f32> = (0..32).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+            let mut b: Vec<f32> = (0..32).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+            gass_data::synth::znormalize(&mut a);
+            gass_data::synth::znormalize(&mut b);
+            for alpha in [3usize, 5, 8] {
+                let lb = sax_mindist_sq(&sax(&a, 8, alpha), &sax(&b, 8, alpha));
+                let exact = l2_sq(&a, &b);
+                assert!(
+                    lb <= exact + 1e-3,
+                    "SAX mindist {lb} > exact {exact} at alphabet {alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_symbols_contribute_zero() {
+        let a = Sax { symbols: vec![2, 3], alphabet: 4, dim: 8 };
+        let b = Sax { symbols: vec![3, 2], alphabet: 4, dim: 8 };
+        assert_eq!(sax_mindist_sq(&a, &b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet must be between")]
+    fn oversized_alphabet_rejected() {
+        let _ = sax(&[0.0; 8], 2, 20);
+    }
+
+    #[test]
+    fn paa_store_covers_all_rows() {
+        let store = VectorStore::from_flat(4, vec![0.0; 12]);
+        assert_eq!(paa_store(&store, 2).len(), 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Trinary-Projection (TP) trees — SPTAG's dataset-partitioning structure.
+//!
+//! A TP tree recursively splits a point set by its projection onto a sparse
+//! random direction (a weighted combination of a few coordinate axes, per
+//! Wang et al.), cutting the projected values into three children at the
+//! 1/3 and 2/3 quantiles. SPTAG runs several random TP-tree divisions and
+//! builds an exact k-NN graph inside each resulting leaf; repeated
+//! divisions give overlapping neighborhoods that the merge step fuses.
+//!
+//! Projections are axis combinations, not full distance computations, so
+//! partitioning itself adds no counted distance calls.
+
+use gass_core::store::VectorStore;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of coordinate axes combined into one projection direction.
+const PROJECTION_AXES: usize = 3;
+
+/// A single hierarchical trinary division of a point set: only the leaves
+/// are retained (SPTAG consumes the partition, not the tree).
+#[derive(Clone, Debug)]
+pub struct TpPartition {
+    leaves: Vec<Vec<u32>>,
+}
+
+impl TpPartition {
+    /// Partitions `ids` into leaves of at most `leaf_size` points.
+    ///
+    /// # Panics
+    /// Panics if `ids` is empty or `leaf_size == 0`.
+    pub fn build(store: &VectorStore, ids: &[u32], leaf_size: usize, seed: u64) -> Self {
+        assert!(!ids.is_empty(), "TP partition over empty id set");
+        assert!(leaf_size > 0, "leaf size must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut leaves = Vec::new();
+        split_rec(store, ids.to_vec(), leaf_size, &mut rng, &mut leaves);
+        Self { leaves }
+    }
+
+    /// The leaf id lists.
+    pub fn leaves(&self) -> &[Vec<u32>] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+}
+
+fn random_direction(dim: usize, rng: &mut SmallRng) -> Vec<(usize, f32)> {
+    let axes = PROJECTION_AXES.min(dim);
+    let mut chosen = Vec::with_capacity(axes);
+    while chosen.len() < axes {
+        let a = rng.random_range(0..dim);
+        if !chosen.iter().any(|&(d, _)| d == a) {
+            let w: f32 = if rng.random_range(0..2) == 0 { 1.0 } else { -1.0 };
+            chosen.push((a, w));
+        }
+    }
+    chosen
+}
+
+fn project(v: &[f32], dir: &[(usize, f32)]) -> f32 {
+    dir.iter().map(|&(d, w)| v[d] * w).sum()
+}
+
+fn split_rec(
+    store: &VectorStore,
+    ids: Vec<u32>,
+    leaf_size: usize,
+    rng: &mut SmallRng,
+    leaves: &mut Vec<Vec<u32>>,
+) {
+    if ids.len() <= leaf_size {
+        leaves.push(ids);
+        return;
+    }
+    let dir = random_direction(store.dim(), rng);
+    let mut proj: Vec<(f32, u32)> =
+        ids.iter().map(|&id| (project(store.get(id), &dir), id)).collect();
+    proj.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let third = proj.len() / 3;
+    // Trinary cut at 1/3 and 2/3; guarantee progress even for tiny sets.
+    let c1 = third.max(1);
+    let c2 = (2 * third).max(c1 + 1).min(proj.len() - 1);
+    let low: Vec<u32> = proj[..c1].iter().map(|&(_, id)| id).collect();
+    let mid: Vec<u32> = proj[c1..c2].iter().map(|&(_, id)| id).collect();
+    let high: Vec<u32> = proj[c2..].iter().map(|&(_, id)| id).collect();
+    for part in [low, mid, high] {
+        if !part.is_empty() {
+            split_rec(store, part, leaf_size, rng, leaves);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_store(n: usize, dim: usize, seed: u64) -> VectorStore {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut s = VectorStore::new(dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn leaves_partition_input() {
+        let store = random_store(500, 8, 1);
+        let ids: Vec<u32> = (0..500).collect();
+        let p = TpPartition::build(&store, &ids, 32, 2);
+        let mut all: Vec<u32> = p.leaves().iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, ids);
+    }
+
+    #[test]
+    fn leaf_size_respected() {
+        let store = random_store(300, 4, 3);
+        let ids: Vec<u32> = (0..300).collect();
+        let p = TpPartition::build(&store, &ids, 20, 4);
+        for leaf in p.leaves() {
+            assert!(leaf.len() <= 20, "oversized leaf: {}", leaf.len());
+            assert!(!leaf.is_empty());
+        }
+        assert!(p.num_leaves() >= 300 / 20);
+    }
+
+    #[test]
+    fn different_seeds_give_different_partitions() {
+        let store = random_store(200, 6, 5);
+        let ids: Vec<u32> = (0..200).collect();
+        let a = TpPartition::build(&store, &ids, 25, 10);
+        let b = TpPartition::build(&store, &ids, 25, 11);
+        // Overwhelmingly likely the first leaves differ.
+        assert_ne!(a.leaves()[0], b.leaves()[0]);
+    }
+
+    #[test]
+    fn tiny_input_single_leaf() {
+        let store = random_store(3, 2, 7);
+        let p = TpPartition::build(&store, &[0, 1, 2], 8, 1);
+        assert_eq!(p.num_leaves(), 1);
+        assert_eq!(p.leaves()[0].len(), 3);
+    }
+
+    #[test]
+    fn identical_points_terminate() {
+        let mut s = VectorStore::new(2);
+        for _ in 0..64 {
+            s.push(&[5.0, 5.0]);
+        }
+        let ids: Vec<u32> = (0..64).collect();
+        let p = TpPartition::build(&s, &ids, 8, 9);
+        let total: usize = p.leaves().iter().map(Vec::len).sum();
+        assert_eq!(total, 64);
+    }
+}

@@ -1,0 +1,52 @@
+//! Method shootout: build every evaluated method on one dataset and print
+//! a comparison table (indexing time, construction distance calls, index
+//! size, recall and query cost at a fixed beam width) — a miniature of the
+//! paper's Figures 7/9/12 in one screen.
+//!
+//! ```sh
+//! cargo run --release --example method_shootout [n]
+//! ```
+
+use gass::prelude::*;
+use gass_eval::{evaluate_at, fmt_bytes, fmt_count, footprint, Table};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let base = gass::data::synth::deep_like(n, 42);
+    let queries = gass::data::synth::deep_like(50, 7);
+    let k = 10;
+    let truth = gass::data::ground_truth(&base, &queries, k);
+    println!("Deep-like: {} x {}d, {} queries, k={k}\n", n, base.dim(), queries.len());
+
+    let mut table = Table::new(vec![
+        "method",
+        "build_s",
+        "build_dists",
+        "index_size",
+        "recall@10(L=64)",
+        "dists/query",
+    ]);
+
+    for kind in MethodKind::all_sota() {
+        let t = std::time::Instant::now();
+        let built = build_method(kind, base.clone(), 1);
+        let build_s = t.elapsed().as_secs_f64();
+        let p = evaluate_at(built.index.as_ref(), &queries, &truth, k, 64, 16);
+        let fp = footprint(built.index.as_ref(), &base);
+        table.row(vec![
+            kind.name(),
+            format!("{build_s:.2}"),
+            fmt_count(built.build.dist_calcs),
+            fmt_bytes(fp.total()),
+            format!("{:.4}", p.recall),
+            fmt_count(p.dist_calcs / queries.len() as u64),
+        ]);
+        eprintln!("done: {}", kind.name());
+    }
+
+    println!("{}", table.render());
+    println!(
+        "(index_size includes the raw vectors, per the paper's convention; \
+         ELPIS additionally duplicates vectors into its leaf graphs)"
+    );
+}

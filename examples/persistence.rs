@@ -1,0 +1,70 @@
+//! Persistence: build once, save to disk, reload and serve — plus a
+//! concurrent-throughput measurement of the reloaded index.
+//!
+//! ```sh
+//! cargo run --release --example persistence
+//! ```
+
+use gass::prelude::*;
+use gass_core::seed::RandomSeeds;
+use gass_core::{load_flat_graph, load_store, save_flat_graph, save_store, PrebuiltIndex};
+use gass_eval::measure_throughput;
+
+fn main() {
+    let n = 10_000;
+    let base = gass::data::synth::sift_like(n, 42);
+    let queries = gass::data::synth::sift_like(64, 43);
+
+    // --- Build and save -----------------------------------------------
+    let t = std::time::Instant::now();
+    let index = HnswIndex::build(base.clone(), HnswParams { m: 12, ef_construction: 96, seed: 7 });
+    println!("built HNSW over {n} vectors in {:.2}s", t.elapsed().as_secs_f64());
+
+    let dir = std::env::temp_dir().join("gass_persistence_example");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let store_path = dir.join("sift_like.store.gass");
+    let graph_path = dir.join("sift_like.hnsw.gass");
+    save_store(&base, &store_path).expect("save store");
+    save_flat_graph(index.base_graph(), &graph_path).expect("save graph");
+    println!(
+        "saved: {} ({} bytes) + {} ({} bytes)",
+        store_path.display(),
+        std::fs::metadata(&store_path).unwrap().len(),
+        graph_path.display(),
+        std::fs::metadata(&graph_path).unwrap().len(),
+    );
+
+    // --- Reload and serve ----------------------------------------------
+    let t = std::time::Instant::now();
+    let store = load_store(&store_path).expect("load store");
+    let graph = load_flat_graph(&graph_path).expect("load graph");
+    let served = PrebuiltIndex::new(
+        store,
+        graph,
+        Box::new(RandomSeeds::new(n, 1)),
+        "HNSW(base, reloaded)",
+    );
+    println!("reloaded in {:.3}s\n", t.elapsed().as_secs_f64());
+
+    // Reloaded answers must match the live index on its base layer.
+    let counter = DistCounter::new();
+    let params = QueryParams::new(10, 80).with_seed_count(16);
+    let live = index.search(queries.get(0), &params, &counter);
+    let reloaded = served.search(queries.get(0), &params, &counter);
+    println!(
+        "query 0: live top-1 = {} | reloaded top-1 = {} (dist {:.4} vs {:.4})",
+        live.neighbors[0].id,
+        reloaded.neighbors[0].id,
+        live.neighbors[0].dist.sqrt(),
+        reloaded.neighbors[0].dist.sqrt()
+    );
+
+    // --- Concurrent throughput on the reloaded index --------------------
+    for threads in [1usize, 4, 8] {
+        let rep = measure_throughput(&served, &queries, &params, threads, 4);
+        println!(
+            "threads={threads:<2} qps={:>9.0}  p50={:>7.1}us p95={:>7.1}us p99={:>7.1}us",
+            rep.qps, rep.p50_us, rep.p95_us, rep.p99_us
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Persistence integration: a built graph survives a disk round-trip and
+//! serves identical answers through `PrebuiltIndex`.
+
+use gass::prelude::*;
+use gass_core::seed::StaticSeeds;
+use gass_core::{load_flat_graph, load_store, save_flat_graph, save_store, PrebuiltIndex};
+
+fn tmp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("gass_it_persist");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn hnsw_base_layer_roundtrips() {
+    let base = gass::data::synth::deep_like(400, 31);
+    let queries = gass::data::synth::deep_like(8, 32);
+    let index = HnswIndex::build(base.clone(), HnswParams::small());
+
+    let dir = tmp_dir();
+    let sp = dir.join("store.gass");
+    let gp = dir.join("graph.gass");
+    save_store(&base, &sp).unwrap();
+    save_flat_graph(index.base_graph(), &gp).unwrap();
+
+    let reloaded = PrebuiltIndex::new(
+        load_store(&sp).unwrap(),
+        load_flat_graph(&gp).unwrap(),
+        Box::new(StaticSeeds::new(vec![0])),
+        "reloaded",
+    );
+
+    // Same graph + same seeds => identical traversal => identical answers.
+    let counter = DistCounter::new();
+    let params = QueryParams::new(5, 64);
+    let direct_seeds = StaticSeeds::new(vec![0]);
+    let live = PrebuiltIndex::new(
+        base.clone(),
+        index.base_graph().clone(),
+        Box::new(direct_seeds),
+        "live",
+    );
+    for (qi, q) in queries.iter() {
+        let a = live.search(q, &params, &counter);
+        let b = reloaded.search(q, &params, &counter);
+        let ids_a: Vec<u32> = a.neighbors.iter().map(|n| n.id).collect();
+        let ids_b: Vec<u32> = b.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(ids_a, ids_b, "query {qi} diverged after reload");
+    }
+}

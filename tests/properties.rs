@@ -1,0 +1,214 @@
+//! Property-based tests (proptest) over the core invariants: ND
+//! definitional properties, beam-search exactness at full width, EAPCA
+//! lower-bound validity, and priority-queue equivalence.
+
+use gass::prelude::*;
+use gass_core::{BoundedMaxHeap, SortedBuffer, Space};
+use proptest::prelude::*;
+
+fn arb_points(
+    n: std::ops::RangeInclusive<usize>,
+    dim: usize,
+) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(
+        prop::collection::vec(-10.0f32..10.0, dim..=dim),
+        n,
+    )
+}
+
+fn store_of(points: &[Vec<f32>]) -> VectorStore {
+    let mut s = VectorStore::new(points[0].len());
+    for p in points {
+        s.push(p);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// RRND(α≥1) and MOND(θ≥60°) never keep fewer neighbors than their
+    /// pairwise test allows relative to RND: every candidate *kept by
+    /// RND* passes the weaker RRND pairwise test against RND's own kept
+    /// set, and pruning ratios order RND ≥ RRND (paper Section 3.4).
+    #[test]
+    fn nd_pruning_ratios_are_ordered(points in arb_points(8..=40, 4)) {
+        let store = store_of(&points);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let q = 0u32;
+        let cands: Vec<Neighbor> = (1..store.len() as u32)
+            .map(|i| Neighbor::new(i, gass_core::l2_sq(store.get(q), store.get(i))))
+            .collect();
+        let r_rnd = NdStrategy::Rnd.pruning_ratio(space, q, &cands);
+        let r_rrnd = NdStrategy::rrnd_default().pruning_ratio(space, q, &cands);
+        prop_assert!(r_rnd + 1e-9 >= r_rrnd, "RND {r_rnd} < RRND {r_rrnd}");
+        // α = 1 must reproduce RND exactly.
+        let kept_rnd = NdStrategy::Rnd.diversify(space, q, &cands, usize::MAX);
+        let kept_a1 = NdStrategy::Rrnd { alpha: 1.0 }.diversify(space, q, &cands, usize::MAX);
+        prop_assert_eq!(kept_rnd, kept_a1);
+    }
+
+    /// The kept set is always sorted by distance, self-free, duplicate-free
+    /// and within the degree bound — for every strategy.
+    #[test]
+    fn nd_output_is_well_formed(
+        points in arb_points(5..=30, 3),
+        max_degree in 1usize..8,
+    ) {
+        let store = store_of(&points);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let cands: Vec<Neighbor> = (0..store.len() as u32)
+            .map(|i| Neighbor::new(i, gass_core::l2_sq(store.get(0), store.get(i))))
+            .collect();
+        for nd in [NdStrategy::NoNd, NdStrategy::Rnd,
+                   NdStrategy::rrnd_default(), NdStrategy::mond_default()] {
+            let kept = nd.diversify(space, 0, &cands, max_degree);
+            prop_assert!(kept.len() <= max_degree);
+            prop_assert!(kept.iter().all(|n| n.id != 0));
+            for w in kept.windows(2) {
+                prop_assert!(w[0].dist <= w[1].dist);
+                prop_assert!(w[0].id != w[1].id);
+            }
+        }
+    }
+
+    /// Beam search with beam width ≥ n on a connected graph is exact.
+    #[test]
+    fn full_width_beam_search_is_exact(
+        points in arb_points(4..=24, 3),
+        qx in -10.0f32..10.0, qy in -10.0f32..10.0, qz in -10.0f32..10.0,
+    ) {
+        let store = store_of(&points);
+        let n = store.len();
+        // Ring + chords: trivially connected.
+        let mut g = gass_core::AdjacencyGraph::new(n);
+        for i in 0..n as u32 {
+            g.add_undirected(i, (i + 1) % n as u32);
+        }
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let query = [qx, qy, qz];
+        let mut scratch = gass_core::SearchScratch::new(n, n);
+        let res = gass_core::beam_search(&g, space, &query, &[0], 3, n, &mut scratch);
+        let exact = gass_core::serial_scan(space, &query, 3);
+        let got: Vec<u32> = res.neighbors.iter().map(|x| x.id).collect();
+        let want: Vec<u32> = exact.iter().map(|x| x.id).collect();
+        // Allow tie permutations: compare distances instead of ids.
+        for (a, b) in res.neighbors.iter().zip(&exact) {
+            prop_assert!((a.dist - b.dist).abs() < 1e-4,
+                "got {got:?}, want {want:?}");
+        }
+    }
+
+    /// EAPCA pairwise lower bound never exceeds the true distance, for any
+    /// segmentation.
+    #[test]
+    fn eapca_lower_bound_valid(
+        a in prop::collection::vec(-5.0f32..5.0, 12),
+        b in prop::collection::vec(-5.0f32..5.0, 12),
+        segments in 1usize..=12,
+    ) {
+        let sa = gass::trees::summarize(&a, segments);
+        let sb = gass::trees::summarize(&b, segments);
+        let base = 12 / segments;
+        let mut lens = vec![base; segments];
+        *lens.last_mut().unwrap() += 12 - base * segments;
+        let lb = gass::trees::eapca::lower_bound_pair(&sa, &sb, &lens);
+        let exact = gass_core::l2_sq(&a, &b);
+        prop_assert!(lb <= exact + 1e-2, "lb {lb} > exact {exact}");
+    }
+
+    /// The two priority-queue implementations retain identical top-k sets
+    /// for any candidate stream.
+    #[test]
+    fn queues_agree(
+        dists in prop::collection::vec(0.0f32..100.0, 1..80),
+        cap in 1usize..16,
+    ) {
+        let mut buffer = SortedBuffer::new(cap);
+        let mut heap = BoundedMaxHeap::new(cap);
+        for (i, &d) in dists.iter().enumerate() {
+            let nb = Neighbor::new(i as u32, d);
+            buffer.insert(nb);
+            heap.push(nb);
+        }
+        let mut from_buffer = buffer.top_k(cap);
+        let mut from_heap = heap.into_sorted();
+        from_buffer.sort();
+        from_heap.sort();
+        prop_assert_eq!(from_buffer, from_heap);
+    }
+
+    /// Recall of an exact scan is always 1 against its own ground truth.
+    #[test]
+    fn recall_of_truth_is_one(points in arb_points(6..=30, 4), k in 1usize..5) {
+        let store = store_of(&points);
+        let truth = gass::data::exact_knn(&store, store.get(0), k.min(store.len()));
+        prop_assert_eq!(gass::eval::recall_at_k(&truth, &truth, k), 1.0);
+    }
+
+    /// The epoch-versioned visited set behaves exactly like a HashSet
+    /// under any interleaving of insert/contains/clear.
+    #[test]
+    fn visited_set_matches_hashset_model(
+        ops in prop::collection::vec((0u8..3, 0u32..64), 1..200),
+    ) {
+        let mut sut = gass_core::VisitedSet::new(64);
+        let mut model = std::collections::HashSet::new();
+        for (op, id) in ops {
+            match op {
+                0 => {
+                    let fresh = sut.insert(id);
+                    prop_assert_eq!(fresh, model.insert(id));
+                }
+                1 => prop_assert_eq!(sut.contains(id), model.contains(&id)),
+                _ => {
+                    sut.clear();
+                    model.clear();
+                }
+            }
+        }
+    }
+
+    /// Store/graph persistence round-trips bit-exactly for arbitrary
+    /// contents.
+    #[test]
+    fn persistence_roundtrips(points in arb_points(2..=20, 5)) {
+        let store = store_of(&points);
+        let decoded =
+            gass_core::persist::decode_store(gass_core::persist::encode_store(&store))
+                .unwrap();
+        prop_assert_eq!(decoded.as_flat(), store.as_flat());
+
+        use gass_core::GraphView;
+        let mut adj = gass_core::AdjacencyGraph::new(store.len());
+        for i in 0..store.len() as u32 {
+            adj.add_edge(i, (i + 1) % store.len() as u32);
+        }
+        let graph = gass_core::FlatGraph::from_adjacency(&adj, None);
+        let back = gass_core::persist::decode_flat_graph(
+            gass_core::persist::encode_flat_graph(&graph),
+        )
+        .unwrap();
+        for v in 0..graph.num_nodes() as u32 {
+            prop_assert_eq!(back.neighbors(v), graph.neighbors(v));
+        }
+    }
+
+    /// EAPCA summaries are scale-consistent: summarizing a scaled vector
+    /// scales means and stds by the same factor.
+    #[test]
+    fn eapca_summary_is_linear(
+        v in prop::collection::vec(-5.0f32..5.0, 8),
+        scale in 0.1f32..4.0,
+    ) {
+        let a = gass::trees::summarize(&v, 4);
+        let scaled: Vec<f32> = v.iter().map(|x| x * scale).collect();
+        let b = gass::trees::summarize(&scaled, 4);
+        for (x, y) in a.features.iter().zip(&b.features) {
+            prop_assert!((x * scale - y).abs() < 1e-3, "{x} * {scale} != {y}");
+        }
+    }
+}
