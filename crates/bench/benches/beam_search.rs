@@ -16,7 +16,10 @@ fn bench_beam(c: &mut Criterion) {
     let n = 5_000;
     let base = deep_like(n, 1);
     let queries = deep_like(16, 2);
-    let index = HnswIndex::build(base.clone(), HnswParams { m: 12, ef_construction: 64, seed: 3 });
+    let index = HnswIndex::build(
+        base.clone(),
+        HnswParams { m: 12, ef_construction: 64, seed: 3, threads: 1 },
+    );
     let flat: &FlatGraph = index.base_graph();
     let mut lists = AdjacencyGraph::new(n);
     for u in 0..n as u32 {

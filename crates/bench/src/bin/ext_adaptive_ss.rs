@@ -29,7 +29,14 @@ fn main() {
 
     let g = IiGraph::build(
         base.clone(),
-        IiParams { max_degree: 24, beam_width: 128, nd: NdStrategy::Rnd, build_seeds: 8, seed: 5 },
+        IiParams {
+            max_degree: 24,
+            beam_width: 128,
+            nd: NdStrategy::Rnd,
+            build_seeds: 8,
+            seed: 5,
+            threads: 1,
+        },
     );
     let setup = DistCounter::new();
     let space = Space::new(g.store(), &setup);
@@ -48,9 +55,7 @@ fn main() {
         sn_build
     );
 
-    let mut table = Table::new(vec![
-        "workload", "ss", "L", "recall", "dists_per_query",
-    ]);
+    let mut table = Table::new(vec!["workload", "ss", "L", "recall", "dists_per_query"]);
     let providers: Vec<(&str, &dyn SeedProvider)> =
         vec![("CS", &cs), ("SN", &sn), ("KS", &ks), ("MD", &md)];
 

@@ -28,12 +28,10 @@ fn main() {
     );
     let hnsw = HnswIndex::build(
         base.clone(),
-        HnswParams { m: 12, ef_construction: 96, seed: 441 },
+        HnswParams { m: 12, ef_construction: 96, seed: 441, threads: 1 },
     );
 
-    let mut table = Table::new(vec![
-        "method", "build_dists", "L", "recall", "dists_per_query",
-    ]);
+    let mut table = Table::new(vec!["method", "build_dists", "L", "recall", "dists_per_query"]);
     for p in sweep(&hvs, &queries, &truth, k, &beam_sweep(), 1) {
         table.row(vec![
             "HVS".to_string(),

@@ -14,9 +14,7 @@ use gass_bench::{beam_sweep, num_queries, results_dir, tiers};
 use gass_core::index::AnnIndex;
 use gass_data::DatasetKind;
 use gass_eval::{sweep, Table};
-use gass_graphs::{
-    EfannaIndex, EfannaParams, IehIndex, IehParams, KGraphIndex, KGraphParams,
-};
+use gass_graphs::{EfannaIndex, EfannaParams, IehIndex, IehParams, KGraphIndex, KGraphParams};
 
 fn main() {
     let n = tiers()[0].n;
@@ -29,9 +27,7 @@ fn main() {
     let efanna = EfannaIndex::build(base.clone(), EfannaParams::small());
     let kgraph = KGraphIndex::build(base.clone(), KGraphParams::small());
 
-    let mut table = Table::new(vec![
-        "method", "build_dists", "L", "recall", "dists_per_query",
-    ]);
+    let mut table = Table::new(vec!["method", "build_dists", "L", "recall", "dists_per_query"]);
     let indexes: Vec<(&dyn AnnIndex, u64)> = vec![
         (&ieh, ieh.build_report().dist_calcs),
         (&efanna, efanna.build_report().dist_calcs),

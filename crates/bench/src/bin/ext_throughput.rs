@@ -19,15 +19,12 @@ fn main() {
     let (base, queries) = DatasetKind::Deep.generate(n, num_queries(), 333);
     println!("Extension: concurrent QPS, Deep (n={n}), L=80, k=10\n");
 
-    let mut table = Table::new(vec![
-        "method", "threads", "qps", "p50_us", "p99_us",
-    ]);
+    let mut table = Table::new(vec!["method", "threads", "qps", "p50_us", "p99_us"]);
     let params = QueryParams::new(10, 80).with_seed_count(16);
     for kind in MethodKind::scalable() {
         let built = build_method(kind, base.clone(), 333);
         for threads in [1usize, 2, 4, 8] {
-            let rep =
-                measure_throughput(built.index.as_ref(), &queries, &params, threads, 4);
+            let rep = measure_throughput(built.index.as_ref(), &queries, &params, threads, 4);
             table.row(vec![
                 kind.name(),
                 threads.to_string(),

@@ -40,10 +40,16 @@ fn main() {
             exact_ids.push(res[0].id);
             ok += 1;
         }
-        rows.push(("SerialScan".into(), t.elapsed().as_secs_f64() * 1e3 / queries.len() as f64, ok));
+        rows.push((
+            "SerialScan".into(),
+            t.elapsed().as_secs_f64() * 1e3 / queries.len() as f64,
+            ok,
+        ));
 
         // Graph methods, checked against the exact ids.
-        for (name, idx) in [("ELPIS", &elpis as &dyn AnnIndex), ("EFANNA", &efanna as &dyn AnnIndex)] {
+        for (name, idx) in
+            [("ELPIS", &elpis as &dyn AnnIndex), ("EFANNA", &efanna as &dyn AnnIndex)]
+        {
             let counter = DistCounter::new();
             let t = std::time::Instant::now();
             let mut matches = 0;
@@ -53,7 +59,11 @@ fn main() {
                     matches += 1;
                 }
             }
-            rows.push((name.into(), t.elapsed().as_secs_f64() * 1e3 / queries.len() as f64, matches));
+            rows.push((
+                name.into(),
+                t.elapsed().as_secs_f64() * 1e3 / queries.len() as f64,
+                matches,
+            ));
         }
     }
 

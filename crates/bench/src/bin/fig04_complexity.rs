@@ -27,9 +27,8 @@ fn main() {
         _ => "hard (high LID, low LRC)",
     };
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
-    for kind in DatasetKind::real_datasets()
-        .into_iter()
-        .chain(DatasetKind::power_law_datasets())
+    for kind in
+        DatasetKind::real_datasets().into_iter().chain(DatasetKind::power_law_datasets())
     {
         // GIST is 960-d: keep its sample smaller so the harness stays
         // laptop-friendly.
@@ -50,7 +49,8 @@ fn main() {
     // Shape check: the easy trio must rank below the hard trio on LID.
     let lid_of = |name: &str| rows.iter().find(|r| r.0 == name).map(|r| r.1).unwrap();
     let easy = ["ImageNet", "Deep", "Sift"].iter().map(|d| lid_of(d)).fold(0.0, f64::max);
-    let hard = ["Seismic", "RandPow0", "Text2Img"].iter().map(|d| lid_of(d)).fold(f64::MAX, f64::min);
+    let hard =
+        ["Seismic", "RandPow0", "Text2Img"].iter().map(|d| lid_of(d)).fold(f64::MAX, f64::min);
     println!(
         "shape check — max(easy LID) = {easy:.2} < min(hard LID) = {hard:.2}: {}",
         easy < hard

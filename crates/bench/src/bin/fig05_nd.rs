@@ -24,9 +24,8 @@ fn main() {
         NdStrategy::rrnd_default(),
         NdStrategy::NoNd,
     ];
-    let mut table = Table::new(vec![
-        "dataset", "tier", "nd", "L", "recall", "dist_calcs_per_query",
-    ]);
+    let mut table =
+        Table::new(vec!["dataset", "tier", "nd", "L", "recall", "dist_calcs_per_query"]);
 
     for kind in [DatasetKind::Deep, DatasetKind::Sift] {
         for tier in small_tiers() {
@@ -40,6 +39,7 @@ fn main() {
                     nd,
                     build_seeds: 8,
                     seed: 5,
+                    threads: 1,
                 };
                 let g = IiGraph::build(base.clone(), params);
                 // The reference implementations (NSG-lineage) initialize

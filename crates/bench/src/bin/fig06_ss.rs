@@ -44,15 +44,12 @@ fn main() {
     // overhead); we use k=20 to keep tier runtimes friendly.
     let k = 20;
     let target = 0.99;
-    let ls = [
-        20usize, 30, 40, 50, 60, 80, 100, 120, 160, 200, 240, 320, 480, 640,
-    ];
+    let ls = [20usize, 30, 40, 50, 60, 80, 100, 120, 160, 200, 240, 320, 480, 640];
     let use_all_tiers = std::env::var("GASS_ALL_TIERS").is_ok();
     let tier_list = if use_all_tiers { tiers() } else { small_tiers() };
 
-    let mut table = Table::new(vec![
-        "dataset", "tier", "ss", "L@0.99", "recall", "dists_per_query",
-    ]);
+    let mut table =
+        Table::new(vec!["dataset", "tier", "ss", "L@0.99", "recall", "dists_per_query"]);
 
     for kind in [DatasetKind::Deep, DatasetKind::Sift] {
         for tier in &tier_list {
@@ -60,7 +57,14 @@ fn main() {
             let truth = gass_data::ground_truth(&base, &queries, k);
             let g = IiGraph::build(
                 base.clone(),
-                IiParams { max_degree: 24, beam_width: 128, nd: NdStrategy::Rnd, build_seeds: 8, seed: 5 },
+                IiParams {
+                    max_degree: 24,
+                    beam_width: 128,
+                    nd: NdStrategy::Rnd,
+                    build_seeds: 8,
+                    seed: 5,
+                    threads: 1,
+                },
             );
             let setup = DistCounter::new();
             let space = Space::new(g.store(), &setup);

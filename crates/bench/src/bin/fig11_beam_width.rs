@@ -21,7 +21,10 @@ fn main() {
     let tier = small_tiers()[1];
     let (base, queries) = DatasetKind::Deep.generate(tier.n, num_queries(), 41);
     let truth = gass_data::ground_truth(&base, &queries, k);
-    println!("Figure 11: beam width to reach target recall, Deep{} ({} vectors)\n", tier.label, tier.n);
+    println!(
+        "Figure 11: beam width to reach target recall, Deep{} ({} vectors)\n",
+        tier.label, tier.n
+    );
 
     let mut table = Table::new(vec!["method", "L@0.90", "L@0.95", "L@0.99"]);
     for kind in [

@@ -18,17 +18,10 @@ fn main() {
     let n = tiers()[0].n;
     let k = 10;
     let base = DatasetKind::Deep.generate_base(n, 151);
-    let methods = [
-        MethodKind::Hnsw,
-        MethodKind::Nsg,
-        MethodKind::Elpis,
-        MethodKind::SptagBkt,
-    ];
+    let methods = [MethodKind::Hnsw, MethodKind::Nsg, MethodKind::Elpis, MethodKind::SptagBkt];
     let noise_levels = [0.01f32, 0.02, 0.05, 0.10];
 
-    let mut table = Table::new(vec![
-        "noise", "method", "L", "recall", "dist_calcs_per_query",
-    ]);
+    let mut table = Table::new(vec!["noise", "method", "L", "recall", "dist_calcs_per_query"]);
     let built: Vec<_> = methods
         .iter()
         .map(|&m| {

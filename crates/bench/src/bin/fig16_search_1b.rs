@@ -19,9 +19,8 @@ fn main() {
     let (base, queries) = DatasetKind::Deep.generate(n, num_queries(), 107);
     let truth = gass_data::ground_truth(&base, &queries, k);
 
-    let mut table = Table::new(vec![
-        "method", "L", "recall", "dist_calcs_per_query", "ms_per_query",
-    ]);
+    let mut table =
+        Table::new(vec!["method", "L", "recall", "dist_calcs_per_query", "ms_per_query"]);
     for kind in MethodKind::scalable() {
         let built = build_method(kind, base.clone(), 107);
         for p in sweep(built.index.as_ref(), &queries, &truth, k, &beam_sweep(), 16) {
@@ -43,7 +42,7 @@ fn main() {
         base.clone(),
         ElpisParams {
             leaf_size: leaf,
-            hnsw: HnswParams { m: 10, ef_construction: 64, seed: 107 },
+            hnsw: HnswParams { m: 10, ef_construction: 64, seed: 107, threads: 1 },
             nprobe: 8,
             parallel_query: true,
             ..ElpisParams::small()

@@ -15,7 +15,7 @@
 //! cargo run --release -p gass-bench --bin fig17_impl_opt
 //! ```
 
-use gass_bench::{beam_sweep, beam_search_two_heaps, num_queries, results_dir, tiers};
+use gass_bench::{beam_search_two_heaps, beam_sweep, num_queries, results_dir, tiers};
 use gass_core::distance::{DistCounter, Space};
 use gass_core::graph::{AdjacencyGraph, GraphView};
 use gass_core::search::{beam_search, SearchScratch};
@@ -31,7 +31,10 @@ fn main() {
     let truth = gass_data::ground_truth(&base, &queries, k);
     println!("Figure 17: implementation ablations on HNSW's base graph, n={n}\n");
 
-    let index = HnswIndex::build(base.clone(), HnswParams { m: 12, ef_construction: 96, seed: 3 });
+    let index = HnswIndex::build(
+        base.clone(),
+        HnswParams { m: 12, ef_construction: 96, seed: 3, threads: 1 },
+    );
     let flat = index.base_graph();
     // Rebuild the same edges as adjacency lists.
     let mut lists = AdjacencyGraph::new(n);
@@ -44,9 +47,8 @@ fn main() {
     let mut scratch = SearchScratch::new(n, 512);
     let mut visited = VisitedSet::new(n);
 
-    let mut table = Table::new(vec![
-        "variant", "L", "recall", "ms_per_query", "dist_calcs_per_query",
-    ]);
+    let mut table =
+        Table::new(vec!["variant", "L", "recall", "ms_per_query", "dist_calcs_per_query"]);
 
     for l in beam_sweep() {
         // Entry seeds via the hierarchy (shared by all variants; its cost
@@ -56,23 +58,24 @@ fn main() {
             .map(|qi| index.hierarchy().descend(space, queries.get(qi)).unwrap_or(0))
             .collect();
 
-        let mut run = |label: &str, f: &mut dyn FnMut(&[f32], u32) -> Vec<gass_core::Neighbor>| {
-            counter.reset();
-            let t = std::time::Instant::now();
-            let mut recall = 0.0;
-            for (qi, tr) in truth.iter().enumerate() {
-                let found = f(queries.get(qi as u32), entries[qi]);
-                recall += recall_at_k(tr, &found, k);
-            }
-            let secs = t.elapsed().as_secs_f64();
-            table.row(vec![
-                label.to_string(),
-                l.to_string(),
-                format!("{:.4}", recall / truth.len() as f64),
-                format!("{:.3}", secs * 1e3 / truth.len() as f64),
-                (counter.get() / truth.len() as u64).to_string(),
-            ]);
-        };
+        let mut run =
+            |label: &str, f: &mut dyn FnMut(&[f32], u32) -> Vec<gass_core::Neighbor>| {
+                counter.reset();
+                let t = std::time::Instant::now();
+                let mut recall = 0.0;
+                for (qi, tr) in truth.iter().enumerate() {
+                    let found = f(queries.get(qi as u32), entries[qi]);
+                    recall += recall_at_k(tr, &found, k);
+                }
+                let secs = t.elapsed().as_secs_f64();
+                table.row(vec![
+                    label.to_string(),
+                    l.to_string(),
+                    format!("{:.4}", recall / truth.len() as f64),
+                    format!("{:.3}", secs * 1e3 / truth.len() as f64),
+                    (counter.get() / truth.len() as u64).to_string(),
+                ]);
+            };
 
         run("flat+linear (Opt)", &mut |q, e| {
             beam_search(flat, space, q, &[e], k, l, &mut scratch).neighbors

@@ -42,26 +42,39 @@ fn main() {
         MethodKind::Vamana,
     ];
 
-    let mut table = Table::new(vec!["scenario", "recommended", "evidence(recall@L=80, dists/query)"]);
+    let mut table =
+        Table::new(vec!["scenario", "recommended", "evidence(recall@L=80, dists/query)"]);
 
     // Small + easy.
     let mut easy = probe(DatasetKind::Deep, small, &candidates);
-    easy.sort_by(|a, b| (b.1, std::cmp::Reverse(b.2)).partial_cmp(&(a.1, std::cmp::Reverse(a.2))).unwrap());
+    easy.sort_by(|a, b| {
+        (b.1, std::cmp::Reverse(b.2)).partial_cmp(&(a.1, std::cmp::Reverse(a.2))).unwrap()
+    });
     let top_easy: Vec<String> = easy.iter().take(3).map(|e| e.0.clone()).collect();
     table.row(vec![
         "<=25GB, easy data".to_string(),
         top_easy.join(", "),
-        easy.iter().take(3).map(|e| format!("{}:{:.3}/{}", e.0, e.1, e.2)).collect::<Vec<_>>().join("  "),
+        easy.iter()
+            .take(3)
+            .map(|e| format!("{}:{:.3}/{}", e.0, e.1, e.2))
+            .collect::<Vec<_>>()
+            .join("  "),
     ]);
 
     // Small + hard.
     let mut hard = probe(DatasetKind::Seismic, small, &candidates);
-    hard.sort_by(|a, b| (b.1, std::cmp::Reverse(b.2)).partial_cmp(&(a.1, std::cmp::Reverse(a.2))).unwrap());
+    hard.sort_by(|a, b| {
+        (b.1, std::cmp::Reverse(b.2)).partial_cmp(&(a.1, std::cmp::Reverse(a.2))).unwrap()
+    });
     let top_hard: Vec<String> = hard.iter().take(3).map(|e| e.0.clone()).collect();
     table.row(vec![
         "<=25GB, hard data".to_string(),
         top_hard.join(", "),
-        hard.iter().take(3).map(|e| format!("{}:{:.3}/{}", e.0, e.1, e.2)).collect::<Vec<_>>().join("  "),
+        hard.iter()
+            .take(3)
+            .map(|e| format!("{}:{:.3}/{}", e.0, e.1, e.2))
+            .collect::<Vec<_>>()
+            .join("  "),
     ]);
 
     // Large tier: only the scalable builders qualify by construction.
@@ -70,7 +83,11 @@ fn main() {
     table.row(vec![
         ">=100GB".to_string(),
         large.iter().take(2).map(|e| e.0.clone()).collect::<Vec<_>>().join(", "),
-        large.iter().map(|e| format!("{}:{:.3}/{}", e.0, e.1, e.2)).collect::<Vec<_>>().join("  "),
+        large
+            .iter()
+            .map(|e| format!("{}:{:.3}/{}", e.0, e.1, e.2))
+            .collect::<Vec<_>>()
+            .join("  "),
     ]);
 
     table.emit(&results_dir(), "fig18_recommend").expect("write results");

@@ -22,7 +22,9 @@ fn main() {
     let n = 8_000 * gass_bench::scale();
     let list_len = 100;
     let probes = 60;
-    println!("Table 1: ND pruning ratios, {n} vectors, {probes} candidate lists of {list_len}\n");
+    println!(
+        "Table 1: ND pruning ratios, {n} vectors, {probes} candidate lists of {list_len}\n"
+    );
 
     let mut table = Table::new(vec!["dataset", "RND", "MOND", "RRND"]);
     for kind in [DatasetKind::Deep, DatasetKind::Sift] {

@@ -39,13 +39,20 @@ fn main() {
         // RND pruning — the paper's "SN-based graph").
         let sn_graph = HnswIndex::build(
             base.clone(),
-            HnswParams { m: 12, ef_construction: 128, seed: 5 },
+            HnswParams { m: 12, ef_construction: 128, seed: 5, threads: 1 },
         );
         // KS-construction graph: the baseline II+RND with random build
         // seeds.
         let ks_graph = IiGraph::build(
             base.clone(),
-            IiParams { max_degree: 24, beam_width: 128, nd: NdStrategy::Rnd, build_seeds: 8, seed: 5 },
+            IiParams {
+                max_degree: 24,
+                beam_width: 128,
+                nd: NdStrategy::Rnd,
+                build_seeds: 8,
+                seed: 5,
+                threads: 1,
+            },
         );
 
         let sn_build = sn_graph.build_report().dist_calcs;

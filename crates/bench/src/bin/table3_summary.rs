@@ -32,16 +32,16 @@ fn grade(rank: usize, total: usize) -> &'static str {
 fn knobs(kind: MethodKind) -> (usize, usize) {
     // (index knobs, search knobs)
     match kind {
-        MethodKind::Hnsw => (2, 1),          // M, ef | L
-        MethodKind::Nsg => (2, 1),           // R, L_build (base inherited) | L
-        MethodKind::Ssg => (3, 1),           // R, pool, theta | L
-        MethodKind::Vamana => (3, 1),        // R, L, alpha | L
+        MethodKind::Hnsw => (2, 1),   // M, ef | L
+        MethodKind::Nsg => (2, 1),    // R, L_build (base inherited) | L
+        MethodKind::Ssg => (3, 1),    // R, pool, theta | L
+        MethodKind::Vamana => (3, 1), // R, L, alpha | L
         MethodKind::Dpg => (3, 1),
-        MethodKind::Efanna => (5, 2),        // k, trees, leaf, cands, iters | L, seeds
+        MethodKind::Efanna => (5, 2), // k, trees, leaf, cands, iters | L, seeds
         MethodKind::KGraph => (4, 2),
         MethodKind::Ngt => (4, 1),
         MethodKind::SptagKdt | MethodKind::SptagBkt => (5, 2),
-        MethodKind::Elpis => (3, 2),         // leaf, M, ef | L, nprobe
+        MethodKind::Elpis => (3, 2), // leaf, M, ef | L, nprobe
         MethodKind::Lshapg => (5, 2),
         MethodKind::Hcnng => (3, 1),
         MethodKind::Nsw => (2, 1),
@@ -99,10 +99,7 @@ fn main() {
 
     // Rank-based terciles per criterion.
     let rank_of = |values: &[f64], v: f64, ascending: bool| -> usize {
-        values
-            .iter()
-            .filter(|&&x| if ascending { x < v } else { x > v })
-            .count()
+        values.iter().filter(|&&x| if ascending { x < v } else { x > v }).count()
     };
     let q_costs: Vec<f64> = rows.iter().map(|r| r.q_cost as f64).collect();
     let recalls: Vec<f64> = rows.iter().map(|r| r.recall).collect();

@@ -141,14 +141,9 @@ pub fn run_search_figure(
         let truth = gass_data::ground_truth(&base, &queries, k);
         for &method in methods {
             let built = gass_graphs::build_method(method, base.clone(), seed);
-            for p in gass_eval::sweep(
-                built.index.as_ref(),
-                &queries,
-                &truth,
-                k,
-                &beam_sweep(),
-                16,
-            ) {
+            for p in
+                gass_eval::sweep(built.index.as_ref(), &queries, &truth, k, &beam_sweep(), 16)
+            {
                 table.row(vec![
                     kind.name(),
                     n.to_string(),
@@ -192,8 +187,7 @@ mod tests {
         let counter = DistCounter::new();
         let space = Space::new(&store, &counter);
         let mut visited = VisitedSet::new(50);
-        let heap_res =
-            beam_search_two_heaps(&g, space, &[33.3], &[0], 5, 16, &mut visited);
+        let heap_res = beam_search_two_heaps(&g, space, &[33.3], &[0], 5, 16, &mut visited);
         let mut scratch = SearchScratch::new(50, 16);
         let buf_res = beam_search(&g, space, &[33.3], &[0], 5, 16, &mut scratch);
         let a: Vec<u32> = heap_res.iter().map(|n| n.id).collect();

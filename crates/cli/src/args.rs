@@ -37,7 +37,9 @@ impl fmt::Display for ArgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArgError::MissingCommand => write!(f, "no subcommand given (try `gass help`)"),
-            ArgError::Malformed(a) => write!(f, "malformed argument `{a}` (expected --key value pairs)"),
+            ArgError::Malformed(a) => {
+                write!(f, "malformed argument `{a}` (expected --key value pairs)")
+            }
             ArgError::MissingOption(k) => write!(f, "missing required option --{k}"),
             ArgError::BadValue { key, value, expected } => {
                 write!(f, "option --{key}: `{value}` is not a valid {expected}")
@@ -73,6 +75,18 @@ impl Args {
             .ok_or_else(|| ArgError::MissingOption(key.to_string()))
     }
 
+    /// An optional parsed option; `Ok(None)` when absent.
+    pub fn get_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ArgError> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
     /// An optional parsed option with a default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.options.get(key) {
@@ -101,6 +115,8 @@ mod tests {
         assert_eq!(a.require("method").unwrap(), "hnsw");
         assert_eq!(a.get_or::<usize>("n", 0).unwrap(), 100);
         assert_eq!(a.get_or::<usize>("missing", 7).unwrap(), 7);
+        assert_eq!(a.get_opt::<usize>("n").unwrap(), Some(100));
+        assert_eq!(a.get_opt::<usize>("missing").unwrap(), None);
     }
 
     #[test]

@@ -39,8 +39,11 @@ COMMANDS:
 
   build     --method <hnsw|vamana|nsg|ssg|kgraph|efanna|dpg|ngt|sptag-kdt|
                       sptag-bkt|hcnng|nsw|ii-rnd|ii-nond>
-            --store <file> --out <file> [--seed <u64>]
+            --store <file> --out <file> [--seed <u64>] [--threads <t>]
             Build a graph index over a saved store and save the graph.
+            --threads 0 uses all cores; 1 forces the serial path; absent
+            keeps each method's default (serial for the incremental-
+            insertion methods, all cores for the rest).
 
   query     --store <file> --graph <file> --queries <file>
             [--k <10>] [--beam <80>] [--seeds <16>]
@@ -70,36 +73,76 @@ fn dataset_of(name: &str) -> Result<DatasetKind, String> {
 }
 
 /// Builds `method` and extracts its frozen graph for persistence.
-fn build_graph(method: &str, store: VectorStore, seed: u64) -> Result<FlatGraph, String> {
+///
+/// `threads = None` keeps each method's default (serial insertion for
+/// HNSW/II, auto-parallel refinement for the batch-computed methods);
+/// `Some(t)` forces `t` workers everywhere the method supports them, with
+/// `Some(0)` meaning "all available cores".
+fn build_graph(
+    method: &str,
+    store: VectorStore,
+    seed: u64,
+    threads: Option<usize>,
+) -> Result<FlatGraph, String> {
     use gass_core::nd::NdStrategy;
     let adj_to_flat = |g: &gass_core::AdjacencyGraph| FlatGraph::from_adjacency(g, None);
+    // Incremental-insertion methods change their (still correct) output when
+    // parallelised, so they stay serial unless asked; the refinement-style
+    // methods are bit-identical at any thread count and default to all cores.
+    let t_serial = threads.unwrap_or(1);
+    let t_auto = threads.unwrap_or(0);
     Ok(match method {
         "hnsw" => {
-            let p = graphs::HnswParams { seed, ..graphs::HnswParams::small() };
+            let p =
+                graphs::HnswParams { seed, threads: t_serial, ..graphs::HnswParams::small() };
             graphs::HnswIndex::build(store, p).base_graph().clone()
         }
         "vamana" => {
-            let p = graphs::VamanaParams { seed, ..graphs::VamanaParams::small() };
+            let p = graphs::VamanaParams {
+                seed,
+                threads: t_serial,
+                ..graphs::VamanaParams::small()
+            };
             graphs::VamanaIndex::build(store, p).graph().clone()
         }
         "nsg" => {
-            let p = graphs::NsgParams { seed, ..graphs::NsgParams::small() };
+            let p = graphs::NsgParams {
+                seed,
+                threads: t_auto,
+                base: graphs::EfannaParams {
+                    seed,
+                    threads: t_auto,
+                    ..graphs::NsgParams::small().base
+                },
+                ..graphs::NsgParams::small()
+            };
             graphs::NsgIndex::build(store, p).graph().clone()
         }
         "ssg" => {
-            let p = graphs::SsgParams { seed, ..graphs::SsgParams::small() };
+            let p = graphs::SsgParams {
+                seed,
+                threads: t_auto,
+                base: graphs::EfannaParams {
+                    seed,
+                    threads: t_auto,
+                    ..graphs::SsgParams::small().base
+                },
+                ..graphs::SsgParams::small()
+            };
             graphs::SsgIndex::build(store, p).graph().clone()
         }
         "kgraph" => {
-            let p = graphs::KGraphParams { seed, ..graphs::KGraphParams::small() };
+            let p =
+                graphs::KGraphParams { seed, threads: t_auto, ..graphs::KGraphParams::small() };
             graphs::KGraphIndex::build(store, p).graph().clone()
         }
         "efanna" => {
-            let p = graphs::EfannaParams { seed, ..graphs::EfannaParams::small() };
+            let p =
+                graphs::EfannaParams { seed, threads: t_auto, ..graphs::EfannaParams::small() };
             graphs::EfannaIndex::build(store, p).graph().clone()
         }
         "dpg" => {
-            let p = graphs::DpgParams { seed, ..graphs::DpgParams::small() };
+            let p = graphs::DpgParams { seed, threads: t_auto, ..graphs::DpgParams::small() };
             adj_to_flat(graphs::DpgIndex::build(store, p).graph())
         }
         "ngt" => {
@@ -121,7 +164,8 @@ fn build_graph(method: &str, store: VectorStore, seed: u64) -> Result<FlatGraph,
             graphs::SptagIndex::build(store, p).graph().clone()
         }
         "hcnng" => {
-            let p = graphs::HcnngParams { seed, ..graphs::HcnngParams::small() };
+            let p =
+                graphs::HcnngParams { seed, threads: t_auto, ..graphs::HcnngParams::small() };
             adj_to_flat(graphs::HcnngIndex::build(store, p).graph())
         }
         "nsw" => {
@@ -129,11 +173,19 @@ fn build_graph(method: &str, store: VectorStore, seed: u64) -> Result<FlatGraph,
             adj_to_flat(graphs::NswIndex::build(store, p).graph())
         }
         "ii-rnd" => {
-            let p = graphs::IiParams { seed, ..graphs::IiParams::small(NdStrategy::Rnd) };
+            let p = graphs::IiParams {
+                seed,
+                threads: t_serial,
+                ..graphs::IiParams::small(NdStrategy::Rnd)
+            };
             graphs::IiGraph::build(store, p).graph().clone()
         }
         "ii-nond" => {
-            let p = graphs::IiParams { seed, ..graphs::IiParams::small(NdStrategy::NoNd) };
+            let p = graphs::IiParams {
+                seed,
+                threads: t_serial,
+                ..graphs::IiParams::small(NdStrategy::NoNd)
+            };
             graphs::IiGraph::build(store, p).graph().clone()
         }
         other => {
@@ -172,10 +224,11 @@ fn run(args: Args) -> Result<(), String> {
             let store_path = args.require("store").map_err(|e| e.to_string())?;
             let out = args.require("out").map_err(|e| e.to_string())?;
             let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+            let threads: Option<usize> = args.get_opt("threads").map_err(|e| e.to_string())?;
             let store =
                 persist::load_store(Path::new(store_path)).map_err(|e| e.to_string())?;
             let t = std::time::Instant::now();
-            let graph = build_graph(method, store, seed)?;
+            let graph = build_graph(method, store, seed, threads)?;
             println!(
                 "built {method} over {} nodes in {:.2}s ({} edges, avg degree {:.1})",
                 graph.num_nodes(),
@@ -212,12 +265,8 @@ fn run(args: Args) -> Result<(), String> {
             }
             let n = store.len();
             let truth = gass_data::ground_truth(&store, &queries, k);
-            let index = PrebuiltIndex::new(
-                store,
-                graph,
-                Box::new(RandomSeeds::new(n, 7)),
-                "loaded",
-            );
+            let index =
+                PrebuiltIndex::new(store, graph, Box::new(RandomSeeds::new(n, 7)), "loaded");
             let counter = DistCounter::new();
             let params = QueryParams::new(k, beam).with_seed_count(seeds);
             let t = std::time::Instant::now();

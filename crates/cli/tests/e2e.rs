@@ -27,19 +27,38 @@ fn generate_build_query_roundtrip() {
     let queries = dir.join("q.store.gass");
 
     let out = run_ok(gass().args([
-        "generate", "--dataset", "deep", "--n", "800", "--seed", "5",
-        "--out", store.to_str().unwrap(),
+        "generate",
+        "--dataset",
+        "deep",
+        "--n",
+        "800",
+        "--seed",
+        "5",
+        "--out",
+        store.to_str().unwrap(),
     ]));
     assert!(out.contains("800 x 96d"), "unexpected generate output: {out}");
 
     run_ok(gass().args([
-        "generate", "--dataset", "deep", "--n", "10", "--seed", "9",
-        "--out", queries.to_str().unwrap(),
+        "generate",
+        "--dataset",
+        "deep",
+        "--n",
+        "10",
+        "--seed",
+        "9",
+        "--out",
+        queries.to_str().unwrap(),
     ]));
 
     let out = run_ok(gass().args([
-        "build", "--method", "hnsw", "--store", store.to_str().unwrap(),
-        "--out", graph.to_str().unwrap(),
+        "build",
+        "--method",
+        "hnsw",
+        "--store",
+        store.to_str().unwrap(),
+        "--out",
+        graph.to_str().unwrap(),
     ]));
     assert!(out.contains("built hnsw over 800 nodes"), "{out}");
 
@@ -49,9 +68,17 @@ fn generate_build_query_roundtrip() {
     assert!(out.contains("vector store, 800 x 96d"), "{out}");
 
     let out = run_ok(gass().args([
-        "query", "--store", store.to_str().unwrap(), "--graph",
-        graph.to_str().unwrap(), "--queries", queries.to_str().unwrap(),
-        "--k", "5", "--beam", "64",
+        "query",
+        "--store",
+        store.to_str().unwrap(),
+        "--graph",
+        graph.to_str().unwrap(),
+        "--queries",
+        queries.to_str().unwrap(),
+        "--k",
+        "5",
+        "--beam",
+        "64",
     ]));
     // recall@5=0.xxxx — parse and require a sane floor.
     let recall: f64 = out
@@ -69,7 +96,8 @@ fn helpful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
-    let out = gass().args(["build", "--method", "elpis", "--store", "x", "--out", "y"])
+    let out = gass()
+        .args(["build", "--method", "elpis", "--store", "x", "--out", "y"])
         .output()
         .unwrap();
     assert!(!out.status.success());

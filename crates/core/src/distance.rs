@@ -41,6 +41,42 @@ pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
     sum
 }
 
+/// Squared Euclidean distance from one query to **four** stored vectors at
+/// once — the beam-search neighbor loop's batched kernel.
+///
+/// Evaluating four candidates per call gives the compiler sixteen
+/// independent accumulation chains (vs. four in [`l2_sq`]) and reuses each
+/// loaded query chunk across all four vectors. Per vector the arithmetic —
+/// lane split, accumulation order, remainder handling — is exactly
+/// [`l2_sq`]'s, so results are bit-identical to four separate calls.
+#[inline]
+pub fn l2_sq_batch(query: &[f32], vs: [&[f32]; 4]) -> [f32; 4] {
+    for v in vs {
+        debug_assert_eq!(query.len(), v.len());
+    }
+    let mut acc = [[0.0f32; 4]; 4];
+    let chunks = query.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        for (v, vec) in vs.iter().enumerate() {
+            for lane in 0..4 {
+                let d = query[base + lane] - vec[base + lane];
+                acc[v][lane] += d * d;
+            }
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for (v, vec) in vs.iter().enumerate() {
+        let mut sum = acc[v][0] + acc[v][1] + acc[v][2] + acc[v][3];
+        for i in chunks * 4..query.len() {
+            let d = query[i] - vec[i];
+            sum += d * d;
+        }
+        out[v] = sum;
+    }
+    out
+}
+
 /// Euclidean distance (`sqrt` of [`l2_sq`]).
 #[inline]
 pub fn l2(a: &[f32], b: &[f32]) -> f32 {
@@ -183,6 +219,22 @@ impl<'a> Space<'a> {
         self.counter.bump();
         l2_sq(query, self.store.get(i))
     }
+
+    /// Counted squared distances from `query` to four stored vectors at
+    /// once (see [`l2_sq_batch`]). Counts four evaluations.
+    #[inline]
+    pub fn dist_to_batch(&self, query: &[f32], ids: [u32; 4]) -> [f32; 4] {
+        self.counter.add(4);
+        l2_sq_batch(
+            query,
+            [
+                self.store.get(ids[0]),
+                self.store.get(ids[1]),
+                self.store.get(ids[2]),
+                self.store.get(ids[3]),
+            ],
+        )
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +253,35 @@ mod tests {
     fn l2_sq_zero_for_identical() {
         let a = vec![1.5f32; 9];
         assert_eq!(l2_sq(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn l2_sq_batch_is_bit_identical_to_l2_sq() {
+        // Awkward dimension (13) exercises the remainder path too.
+        for dim in [1usize, 4, 13, 96] {
+            let q: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.7).sin()).collect();
+            let vs: Vec<Vec<f32>> = (0..4)
+                .map(|v| (0..dim).map(|i| ((i + v * 31) as f32 * 0.3).cos()).collect())
+                .collect();
+            let batch = l2_sq_batch(&q, [&vs[0], &vs[1], &vs[2], &vs[3]]);
+            for v in 0..4 {
+                assert_eq!(
+                    batch[v].to_bits(),
+                    l2_sq(&q, &vs[v]).to_bits(),
+                    "dim={dim} vector={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dist_to_batch_counts_four() {
+        let store = VectorStore::from_flat(2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let ds = space.dist_to_batch(&[0.0, 0.0], [0, 1, 2, 3]);
+        assert_eq!(counter.get(), 4);
+        assert_eq!(ds, [0.0, 1.0, 1.0, 2.0]);
     }
 
     #[test]

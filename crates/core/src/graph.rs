@@ -60,6 +60,18 @@ impl AdjacencyGraph {
         Self { adj: vec![Vec::with_capacity(degree_hint); n] }
     }
 
+    /// Wraps raw adjacency lists (no validation beyond what callers built).
+    /// Used by [`crate::par::ConcurrentAdjacency::freeze`] to hand a
+    /// concurrently built graph back to the serial world.
+    pub fn from_lists(adj: Vec<Vec<u32>>) -> Self {
+        Self { adj }
+    }
+
+    /// Consumes the graph, yielding its raw adjacency lists.
+    pub fn into_lists(self) -> Vec<Vec<u32>> {
+        self.adj
+    }
+
     /// Appends a new isolated node, returning its id. Incremental-insertion
     /// methods (NSW, HNSW) grow the graph this way.
     pub fn push_node(&mut self) -> u32 {
@@ -183,8 +195,7 @@ impl FlatGraph {
             let ns = g.neighbors(v);
             let take = ns.len().min(slots);
             counts[v as usize] = take as u32;
-            edges[v as usize * slots..v as usize * slots + take]
-                .copy_from_slice(&ns[..take]);
+            edges[v as usize * slots..v as usize * slots + take].copy_from_slice(&ns[..take]);
         }
         Self { slots, counts, edges }
     }

@@ -8,7 +8,7 @@
 
 use crate::distance::{DistCounter, Space};
 use crate::search::{SearchResult, SearchScratch};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Per-query parameters.
 #[derive(Clone, Copy, Debug)]
@@ -68,8 +68,12 @@ pub trait AnnIndex: Send + Sync {
     fn dim(&self) -> usize;
 
     /// Answers one k-NN query.
-    fn search(&self, query: &[f32], params: &QueryParams, counter: &DistCounter)
-        -> SearchResult;
+    fn search(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> SearchResult;
 
     /// Structural statistics.
     fn stats(&self) -> IndexStats;
@@ -99,14 +103,11 @@ impl ScratchPool {
     /// Borrows a scratch (allocating one if the pool is empty), prepared for
     /// `n` nodes and beam width `l`, runs `f`, and returns the scratch.
     pub fn with<R>(&self, n: usize, l: usize, f: impl FnOnce(&mut SearchScratch) -> R) -> R {
-        let mut scratch = self
-            .pool
-            .lock()
-            .pop()
-            .unwrap_or_else(|| SearchScratch::new(n, l));
+        let mut scratch =
+            self.pool.lock().unwrap().pop().unwrap_or_else(|| SearchScratch::new(n, l));
         scratch.prepare(n, l);
         let out = f(&mut scratch);
-        self.pool.lock().push(scratch);
+        self.pool.lock().unwrap().push(scratch);
         out
     }
 }
@@ -121,9 +122,7 @@ pub fn search_batch<I: AnnIndex + ?Sized>(
     params: &QueryParams,
     counter: &DistCounter,
 ) -> Vec<SearchResult> {
-    (0..queries.len() as u32)
-        .map(|q| index.search(queries.get(q), params, counter))
-        .collect()
+    (0..queries.len() as u32).map(|q| index.search(queries.get(q), params, counter)).collect()
 }
 
 /// A trivial exact index: serial scan. Implements [`AnnIndex`] so the
@@ -161,10 +160,7 @@ impl AnnIndex for SerialScanIndex {
         let space = Space::new(&self.store, counter);
         let neighbors = crate::search::serial_scan(space, query, params.k);
         let n = self.store.len();
-        SearchResult {
-            neighbors,
-            stats: crate::search::SearchStats { hops: 0, evaluated: n },
-        }
+        SearchResult { neighbors, stats: crate::search::SearchStats { hops: 0, evaluated: n } }
     }
 
     fn stats(&self) -> IndexStats {

@@ -30,19 +30,26 @@ pub mod distance;
 pub mod graph;
 pub mod index;
 pub mod nd;
-pub mod persist;
 pub mod neighbor;
+pub mod par;
+pub mod persist;
 pub mod search;
 pub mod seed;
 pub mod store;
 pub mod visited;
 
-pub use distance::{l2, l2_sq, DistCounter, Space};
+pub use distance::{l2, l2_sq, l2_sq_batch, DistCounter, Space};
 pub use graph::{AdjacencyGraph, FlatGraph, GraphView};
-pub use index::{AnnIndex, IndexStats, PrebuiltIndex, QueryParams, ScratchPool, SerialScanIndex};
+pub use index::{
+    AnnIndex, IndexStats, PrebuiltIndex, QueryParams, ScratchPool, SerialScanIndex,
+};
 pub use nd::NdStrategy;
-pub use persist::{load_flat_graph, load_store, save_flat_graph, save_store, PersistError};
 pub use neighbor::{BoundedMaxHeap, Neighbor, SortedBuffer};
+pub use par::{
+    bounded_prefix_batches, effective_threads, par_for, par_map, par_map_with, par_workers,
+    prefix_doubling_batches, ConcurrentAdjacency,
+};
+pub use persist::{load_flat_graph, load_store, save_flat_graph, save_store, PersistError};
 pub use search::{
     beam_search, beam_search_with_sink, greedy_search, serial_scan, SearchResult,
     SearchScratch, SearchStats,

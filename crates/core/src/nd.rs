@@ -127,12 +127,7 @@ impl NdStrategy {
         candidates: &[Neighbor],
         max_degree: usize,
     ) -> Vec<Neighbor> {
-        self.diversify_by(
-            |i, j| space.dist(i, j),
-            query_id,
-            candidates,
-            max_degree,
-        )
+        self.diversify_by(|i, j| space.dist(i, j), query_id, candidates, max_degree)
     }
 
     /// [`Self::diversify`] for an external (non-stored) query point: the
@@ -147,11 +142,8 @@ impl NdStrategy {
     where
         F: FnMut(u32, u32) -> f32,
     {
-        let mut sorted: Vec<Neighbor> = candidates
-            .iter()
-            .copied()
-            .filter(|c| c.id != query_id)
-            .collect();
+        let mut sorted: Vec<Neighbor> =
+            candidates.iter().copied().filter(|c| c.id != query_id).collect();
         sorted.sort_unstable();
         sorted.dedup_by_key(|c| c.id);
 
@@ -165,9 +157,7 @@ impl NdStrategy {
             if kept.len() >= max_degree {
                 break;
             }
-            let ok = kept
-                .iter()
-                .all(|k| self.pair_ok(cand.dist, k.dist, dist(k.id, cand.id)));
+            let ok = kept.iter().all(|k| self.pair_ok(cand.dist, k.dist, dist(k.id, cand.id)));
             if ok {
                 kept.push(cand);
             }
@@ -211,9 +201,8 @@ mod tests {
         s.push(&[0.6, 1.35]); // 3 = X3 (angle vs X1 ≈ 66°, near X2)
         s.push(&[-1.6, 1.2]); // 4 = X4 (far, own direction)
         let q = s.get(0).to_vec();
-        let cands: Vec<Neighbor> = (1..5)
-            .map(|i| Neighbor::new(i, crate::distance::l2_sq(&q, s.get(i))))
-            .collect();
+        let cands: Vec<Neighbor> =
+            (1..5).map(|i| Neighbor::new(i, crate::distance::l2_sq(&q, s.get(i)))).collect();
         (s, cands)
     }
 
@@ -284,11 +273,7 @@ mod tests {
         let (s, cands) = fig2_world();
         let counter = DistCounter::new();
         let space = Space::new(&s, &counter);
-        for strat in [
-            NdStrategy::Rnd,
-            NdStrategy::rrnd_default(),
-            NdStrategy::mond_default(),
-        ] {
+        for strat in [NdStrategy::Rnd, NdStrategy::rrnd_default(), NdStrategy::mond_default()] {
             let kept = strat.diversify(space, 0, &cands, 1);
             assert_eq!(kept.len(), 1);
             assert_eq!(kept[0].id, 1, "closest always survives");
@@ -322,9 +307,8 @@ mod tests {
         let counter = DistCounter::new();
         let space = Space::new(&s, &counter);
         let q = s.get(0).to_vec();
-        let cands: Vec<Neighbor> = (1..60)
-            .map(|i| Neighbor::new(i, crate::distance::l2_sq(&q, s.get(i))))
-            .collect();
+        let cands: Vec<Neighbor> =
+            (1..60).map(|i| Neighbor::new(i, crate::distance::l2_sq(&q, s.get(i)))).collect();
         let r_rnd = NdStrategy::Rnd.pruning_ratio(space, 0, &cands);
         let r_mond = NdStrategy::mond_default().pruning_ratio(space, 0, &cands);
         let r_rrnd = NdStrategy::rrnd_default().pruning_ratio(space, 0, &cands);
@@ -343,8 +327,7 @@ mod tests {
         s.push(&[0.0, 0.0]); // coincident with query
         let counter = DistCounter::new();
         let space = Space::new(&s, &counter);
-        let cands =
-            vec![Neighbor::new(1, 1.0), Neighbor::new(2, 0.0)];
+        let cands = vec![Neighbor::new(1, 1.0), Neighbor::new(2, 0.0)];
         let kept = NdStrategy::mond_default().diversify(space, 0, &cands, 10);
         // Coincident point sorts first and is kept as the seed neighbor;
         // the real neighbor must then be rejected or kept consistently —

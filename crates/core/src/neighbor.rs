@@ -79,9 +79,7 @@ impl SortedBuffer {
     /// beat the current worst or the buffer had room). Duplicate ids are
     /// rejected.
     pub fn insert(&mut self, n: Neighbor) -> bool {
-        if self.entries.len() == self.capacity
-            && n >= self.entries[self.capacity - 1].0
-        {
+        if self.entries.len() == self.capacity && n >= self.entries[self.capacity - 1].0 {
             return false;
         }
         let pos = self.entries.partition_point(|(e, _)| *e < n);
@@ -293,8 +291,7 @@ mod tests {
     #[test]
     fn heap_and_buffer_agree() {
         // Same stream of candidates -> same retained top-k set.
-        let cands: Vec<Neighbor> =
-            (0..50).map(|i| n(i, ((i * 37) % 50) as f32)).collect();
+        let cands: Vec<Neighbor> = (0..50).map(|i| n(i, ((i * 37) % 50) as f32)).collect();
         let mut b = SortedBuffer::new(8);
         let mut h = BoundedMaxHeap::new(8);
         for &c in &cands {

@@ -125,15 +125,36 @@ pub fn beam_search_with_sink<G: GraphView + ?Sized>(
 
     while let Some(current) = scratch.buffer.next_unexpanded() {
         stats.hops += 1;
+        // First-visit neighbors are evaluated four at a time through the
+        // batched kernel (`l2_sq_batch`, bit-identical per vector), with a
+        // scalar tail. Evaluation order — and hence sink order, counter
+        // total, and buffer content — matches the one-at-a-time loop.
+        let mut pending = [0u32; 4];
+        let mut fill = 0usize;
         for &nb in graph.neighbors(current.id) {
             if scratch.visited.insert(nb) {
-                let d = space.dist_to(query, nb);
-                stats.evaluated += 1;
-                if let Some(sink) = sink.as_deref_mut() {
-                    sink.push(Neighbor::new(nb, d));
+                pending[fill] = nb;
+                fill += 1;
+                if fill == 4 {
+                    let ds = space.dist_to_batch(query, pending);
+                    stats.evaluated += 4;
+                    for (&id, &d) in pending.iter().zip(ds.iter()) {
+                        if let Some(sink) = sink.as_deref_mut() {
+                            sink.push(Neighbor::new(id, d));
+                        }
+                        scratch.buffer.insert(Neighbor::new(id, d));
+                    }
+                    fill = 0;
                 }
-                scratch.buffer.insert(Neighbor::new(nb, d));
             }
+        }
+        for &id in &pending[..fill] {
+            let d = space.dist_to(query, id);
+            stats.evaluated += 1;
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.push(Neighbor::new(id, d));
+            }
+            scratch.buffer.insert(Neighbor::new(id, d));
         }
     }
 

@@ -20,9 +20,9 @@
 //! be queried under any strategy — the instrument behind Figure 6.
 
 use crate::distance::Space;
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Mutex;
 
 /// A source of beam-search seed nodes.
 ///
@@ -140,7 +140,7 @@ impl SeedProvider for RandomSeeds {
         if let Some(a) = self.anchor {
             out.push(a);
         }
-        let mut rng = self.rng.lock();
+        let mut rng = self.rng.lock().unwrap();
         let want = count.max(1);
         // Sampling with replacement is fine: beam search deduplicates, and
         // for n >> count collisions are negligible.

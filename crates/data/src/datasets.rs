@@ -92,7 +92,12 @@ impl DatasetKind {
     /// protocol: held-out dataset vectors for SALD/ImageNet/Seismic,
     /// fresh same-distribution draws for the embedding datasets, and a
     /// shifted distribution for Text-to-Image.
-    pub fn generate(&self, n: usize, n_queries: usize, seed: u64) -> (VectorStore, VectorStore) {
+    pub fn generate(
+        &self,
+        n: usize,
+        n_queries: usize,
+        seed: u64,
+    ) -> (VectorStore, VectorStore) {
         match self {
             DatasetKind::Sald | DatasetKind::ImageNet | DatasetKind::Seismic => {
                 let full = self.generate_base(n + n_queries, seed);
@@ -120,9 +125,8 @@ mod tests {
 
     #[test]
     fn every_dataset_generates_consistent_shapes() {
-        for kind in DatasetKind::real_datasets()
-            .into_iter()
-            .chain(DatasetKind::power_law_datasets())
+        for kind in
+            DatasetKind::real_datasets().into_iter().chain(DatasetKind::power_law_datasets())
         {
             let n = if kind == DatasetKind::Gist { 20 } else { 60 };
             let (base, queries) = kind.generate(n, 5, 11);

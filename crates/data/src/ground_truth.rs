@@ -2,7 +2,7 @@
 //!
 //! Recall — the paper's accuracy measure — needs the true nearest
 //! neighbors of every query. Brute force is `O(n·d)` per query;
-//! we shard queries across threads with crossbeam's scoped threads.
+//! we shard queries across threads with `gass_core::par`.
 //! Ground-truth distance evaluations are *not* charged to any experiment
 //! counter (they are the referee, not a contestant).
 
@@ -19,25 +19,8 @@ pub fn ground_truth(base: &VectorStore, queries: &VectorStore, k: usize) -> Vec<
     if nq == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(nq);
-    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
-
-    let chunk = nq.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
-            let base = &base;
-            let queries = &queries;
-            scope.spawn(move |_| {
-                let start = t * chunk;
-                for (i, out) in out_chunk.iter_mut().enumerate() {
-                    let q = queries.get((start + i) as u32);
-                    *out = exact_knn(base, q, k);
-                }
-            });
-        }
-    })
-    .expect("ground-truth worker panicked");
-    results
+    let threads = gass_core::par::effective_threads(0).min(nq);
+    gass_core::par::par_map(threads, nq, |i| exact_knn(base, queries.get(i as u32), k))
 }
 
 /// Exact `k`-NN of a single query (sequential).

@@ -24,7 +24,11 @@ use rand::{RngExt, SeedableRng};
 ///
 /// # Panics
 /// Panics if `count >= store.len()`.
-pub fn holdout_split(store: &VectorStore, count: usize, seed: u64) -> (VectorStore, VectorStore) {
+pub fn holdout_split(
+    store: &VectorStore,
+    count: usize,
+    seed: u64,
+) -> (VectorStore, VectorStore) {
     assert!(count < store.len(), "cannot hold out the entire dataset");
     let mut ids: Vec<u32> = (0..store.len() as u32).collect();
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -41,12 +45,7 @@ pub fn holdout_split(store: &VectorStore, count: usize, seed: u64) -> (VectorSto
 /// to random dataset vectors. The paper's "1%"–"10%" query sets use
 /// `σ² = 0.01 … 0.1` (applied after scaling noise to the data's own
 /// per-coordinate spread so the percentage is meaningful across analogs).
-pub fn noisy_queries(
-    store: &VectorStore,
-    count: usize,
-    sigma2: f32,
-    seed: u64,
-) -> VectorStore {
+pub fn noisy_queries(store: &VectorStore, count: usize, sigma2: f32, seed: u64) -> VectorStore {
     assert!(!store.is_empty(), "noisy queries from an empty store");
     let mut rng = SmallRng::seed_from_u64(seed);
     let dim = store.dim();

@@ -36,8 +36,7 @@ mod tests {
     fn power_law_zero_is_uniform() {
         let mut rng = SmallRng::seed_from_u64(1);
         let n = 20000;
-        let mean: f64 =
-            (0..n).map(|_| power_law(&mut rng, 0.0) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| power_law(&mut rng, 0.0) as f64).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "uniform mean should be ~0.5, got {mean}");
     }
 

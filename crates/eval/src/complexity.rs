@@ -129,10 +129,7 @@ mod tests {
         };
         let low = dataset_complexity(&make(2), 20, 50, 1).mean_lid;
         let high = dataset_complexity(&make(16), 20, 50, 1).mean_lid;
-        assert!(
-            high > low * 2.0,
-            "16-d LID ({high}) should dwarf 2-d LID ({low})"
-        );
+        assert!(high > low * 2.0, "16-d LID ({high}) should dwarf 2-d LID ({low})");
         assert!(low > 0.8 && low < 5.0, "2-d LID estimate off: {low}");
     }
 

@@ -78,10 +78,7 @@ pub fn sweep(
     beam_widths: &[usize],
     seed_count: usize,
 ) -> Vec<SweepPoint> {
-    beam_widths
-        .iter()
-        .map(|&l| evaluate_at(index, queries, truth, k, l, seed_count))
-        .collect()
+    beam_widths.iter().map(|&l| evaluate_at(index, queries, truth, k, l, seed_count)).collect()
 }
 
 /// Smallest beam width (from `candidates`) reaching `target` mean recall,

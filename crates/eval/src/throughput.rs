@@ -56,32 +56,27 @@ pub fn measure_throughput(
     let total = queries.len() * rounds.max(1);
     let counter = DistCounter::new();
     let next = AtomicUsize::new(0);
-    let mut per_thread_latencies: Vec<Vec<f64>> = vec![Vec::new(); threads];
+    let collected = std::sync::Mutex::new(Vec::with_capacity(total));
 
     let wall = std::time::Instant::now();
-    crossbeam::thread::scope(|scope| {
-        for lat in per_thread_latencies.iter_mut() {
-            let next = &next;
-            let counter = counter.clone();
-            scope.spawn(move |_| {
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        return;
-                    }
-                    let q = queries.get((i % queries.len()) as u32);
-                    let t = std::time::Instant::now();
-                    let res = index.search(q, params, &counter);
-                    lat.push(t.elapsed().as_secs_f64() * 1e6);
-                    std::hint::black_box(res);
-                }
-            });
+    gass_core::par::par_workers(threads, |_worker| {
+        let mut lat = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
+            }
+            let q = queries.get((i % queries.len()) as u32);
+            let t = std::time::Instant::now();
+            let res = index.search(q, params, &counter);
+            lat.push(t.elapsed().as_secs_f64() * 1e6);
+            std::hint::black_box(res);
         }
-    })
-    .expect("throughput worker panicked");
+        collected.lock().unwrap().extend(lat);
+    });
     let wall_s = wall.elapsed().as_secs_f64();
 
-    let mut latencies: Vec<f64> = per_thread_latencies.into_iter().flatten().collect();
+    let mut latencies: Vec<f64> = collected.into_inner().unwrap();
     latencies.sort_by(f64::total_cmp);
     let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
     ThroughputReport {

@@ -9,14 +9,20 @@
 //! variant of this same graph under different seed providers. This module
 //! is that instrument.
 
-use crate::common::{add_reverse_edges, BuildReport};
+use crate::common::{add_reverse_edges, add_reverse_edges_concurrent, BuildReport};
 use gass_core::distance::{DistCounter, Space};
 use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
-use gass_core::search::{beam_search, SearchResult};
+use gass_core::par::ConcurrentAdjacency;
+use gass_core::search::{beam_search, SearchResult, SearchScratch};
 use gass_core::seed::{RandomSeeds, SeedProvider, StaticSeeds};
 use gass_core::store::VectorStore;
+
+/// Parallel batches are capped at 1/8 of the already-built prefix (see
+/// `gass_core::bounded_prefix_batches`): bounding how much of the graph a
+/// batch is blind to keeps recall within noise of the serial build.
+const BATCH_FRAC: usize = 8;
 
 /// Construction parameters for the baseline II graph.
 #[derive(Clone, Copy, Debug)]
@@ -35,13 +41,38 @@ pub struct IiParams {
     pub build_seeds: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Construction worker threads (0 = all available cores). At `1` the
+    /// build is the exact sequential insertion. Above 1, prefix-doubling
+    /// batches insert concurrently: per-batch seed draws stay serial (the
+    /// seeder RNG is stateful), searches run in parallel against the
+    /// frozen prefix, edges apply under striped locks.
+    pub threads: usize,
 }
 
 impl IiParams {
     /// Sensible small-scale defaults: `R=24`, `L=96`, RND, 8 build seeds.
     pub fn small(nd: NdStrategy) -> Self {
-        Self { max_degree: 24, beam_width: 96, nd, build_seeds: 8, seed: 42 }
+        Self { max_degree: 24, beam_width: 96, nd, build_seeds: 8, seed: 42, threads: 1 }
     }
+}
+
+/// Draws this insertion's construction seeds: entry 0 plus `build_seeds`
+/// random nodes folded into the inserted prefix `[0, id)`. Consumes the
+/// seeder's RNG, so callers must invoke it in id order.
+fn insertion_seeds(
+    seeder: &RandomSeeds,
+    space: Space<'_>,
+    store: &VectorStore,
+    build_seeds: usize,
+    id: u32,
+) -> Vec<u32> {
+    let mut seed_buf = vec![0u32];
+    let mut raw = Vec::new();
+    seeder.seeds(space, store.get(id), build_seeds, &mut raw);
+    seed_buf.extend(raw.into_iter().map(|s| s % id));
+    seed_buf.sort_unstable();
+    seed_buf.dedup();
+    seed_buf
 }
 
 /// A built baseline II graph.
@@ -65,27 +96,29 @@ impl IiGraph {
         let counter = DistCounter::new();
         let start = std::time::Instant::now();
         let n = store.len();
-        let mut graph = AdjacencyGraph::with_degree_hint(n, params.max_degree + 1);
-        {
+        let threads = gass_core::effective_threads(params.threads.max(1));
+        let graph = {
             let space = Space::new(&store, &counter);
-            let build_seeder =
-                RandomSeeds::new(n, params.seed ^ 0x5eed);
-            let mut scratch =
-                gass_core::search::SearchScratch::new(n, params.beam_width);
-            let mut seed_buf: Vec<u32> = Vec::new();
-
-            for id in 1..n as u32 {
+            let build_seeder = RandomSeeds::new(n, params.seed ^ 0x5eed);
+            let mut scratch = SearchScratch::new(n, params.beam_width);
+            // Serial path inserts everything; the parallel path only the
+            // seed prefix, then continues in prefix-doubling batches.
+            let serial_end = if threads <= 1 {
+                n
+            } else {
+                gass_core::bounded_prefix_batches(
+                    params.beam_width.max(64).min(n),
+                    BATCH_FRAC,
+                    n,
+                )
+                .first()
+                .map_or(n, |b| b.start)
+            };
+            let mut graph = AdjacencyGraph::with_degree_hint(n, params.max_degree + 1);
+            for id in 1..serial_end as u32 {
                 // Seeds among the already inserted prefix [0, id).
-                seed_buf.clear();
-                seed_buf.push(0);
-                {
-                    let mut raw = Vec::new();
-                    build_seeder.seeds(space, store.get(id), params.build_seeds, &mut raw);
-                    seed_buf.extend(raw.into_iter().map(|s| s % id));
-                }
-                seed_buf.sort_unstable();
-                seed_buf.dedup();
-
+                let seed_buf =
+                    insertion_seeds(&build_seeder, space, &store, params.build_seeds, id);
                 let res = beam_search(
                     &graph,
                     space,
@@ -107,13 +140,90 @@ impl IiGraph {
                     params.nd,
                 );
             }
-        }
-        let build = BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
+            if threads <= 1 {
+                graph
+            } else {
+                let batches = gass_core::bounded_prefix_batches(
+                    params.beam_width.max(64).min(n),
+                    BATCH_FRAC,
+                    n,
+                );
+                let conc = ConcurrentAdjacency::from_adjacency(graph);
+                for batch in batches {
+                    // Seed draws stay serial, in id order: the seeder RNG
+                    // is stateful and its stream must match the serial
+                    // build's draw order.
+                    let seeds: Vec<Vec<u32>> = batch
+                        .clone()
+                        .map(|id| {
+                            insertion_seeds(
+                                &build_seeder,
+                                space,
+                                &store,
+                                params.build_seeds,
+                                id as u32,
+                            )
+                        })
+                        .collect();
+                    // Phase A: read-only searches against the frozen prefix.
+                    let prepared: Vec<(u32, Vec<gass_core::Neighbor>)> =
+                        gass_core::par_map_with(
+                            threads,
+                            batch.len(),
+                            || SearchScratch::new(n, params.beam_width),
+                            |scratch, i| {
+                                let id = (batch.start + i) as u32;
+                                let res = beam_search(
+                                    &conc,
+                                    space,
+                                    store.get(id),
+                                    &seeds[i],
+                                    params.beam_width,
+                                    params.beam_width,
+                                    scratch,
+                                );
+                                let selected = params.nd.diversify(
+                                    space,
+                                    id,
+                                    &res.neighbors,
+                                    params.max_degree,
+                                );
+                                (id, selected)
+                            },
+                        );
+                    // Phase B: apply edges under the stripe locks.
+                    gass_core::par_for(threads, prepared.len(), |range| {
+                        for (id, selected) in &prepared[range] {
+                            conc.set_neighbors(*id, selected.iter().map(|s| s.id).collect());
+                            add_reverse_edges_concurrent(
+                                space,
+                                &conc,
+                                *id,
+                                selected,
+                                params.max_degree,
+                                params.nd,
+                            );
+                        }
+                    });
+                }
+                conc.freeze()
+            }
+        };
+        let build =
+            BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let flat = FlatGraph::from_adjacency(&graph, Some(params.max_degree));
         let default_seeds: Box<dyn SeedProvider> =
             Box::new(RandomSeeds::new(n, params.seed ^ 0xbeef));
         let label = format!("II+{}", params.nd.label());
-        Self { store, graph: flat, params, default_seeds, scratch: ScratchPool::new(), build, label }
+        Self {
+            store,
+            graph: flat,
+            params,
+            default_seeds,
+            scratch: ScratchPool::new(),
+            build,
+            label,
+        }
     }
 
     /// Replaces the default query-time seed provider (the SS experiments
@@ -135,15 +245,7 @@ impl IiGraph {
         let mut seeds = Vec::new();
         provider.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            beam_search(
-                &self.graph,
-                space,
-                query,
-                &seeds,
-                params.k,
-                params.beam_width,
-                scratch,
-            )
+            beam_search(&self.graph, space, query, &seeds, params.k, params.beam_width, scratch)
         })
     }
 
@@ -213,7 +315,12 @@ mod tests {
     use gass_data::ground_truth::ground_truth;
     use gass_data::synth::deep_like;
 
-    fn recall_of(index: &dyn AnnIndex, base: &VectorStore, queries: &VectorStore, l: usize) -> f64 {
+    fn recall_of(
+        index: &dyn AnnIndex,
+        base: &VectorStore,
+        queries: &VectorStore,
+        l: usize,
+    ) -> f64 {
         let k = 10;
         let gt = ground_truth(base, queries, k);
         let counter = DistCounter::new();
@@ -221,10 +328,7 @@ mod tests {
         let mut hit = 0usize;
         for (qi, row) in gt.iter().enumerate() {
             let res = index.search(queries.get(qi as u32), &params, &counter);
-            hit += row
-                .iter()
-                .filter(|t| res.neighbors.iter().any(|r| r.id == t.id))
-                .count();
+            hit += row.iter().filter(|t| res.neighbors.iter().any(|r| r.id == t.id)).count();
         }
         hit as f64 / (gt.len() * k) as f64
     }
@@ -268,10 +372,7 @@ mod tests {
         );
         let r_rnd = recall_of(&rnd, &base, &queries, 80);
         let r_nond = recall_of(&nond, &base, &queries, 80);
-        assert!(
-            r_rnd + 0.03 >= r_nond,
-            "RND recall {r_rnd} fell below NoND {r_nond}"
-        );
+        assert!(r_rnd + 0.03 >= r_nond, "RND recall {r_rnd} fell below NoND {r_nond}");
         assert!(r_rnd > 0.9, "RND recall too low: {r_rnd}");
     }
 
@@ -297,8 +398,7 @@ mod tests {
         let counter = DistCounter::new();
         let space = Space::new(g.store(), &counter);
         let md = gass_core::seed::MedoidSeed::compute(space);
-        let res =
-            g.search_with(&md, base.get(3), &QueryParams::new(3, 32), &counter);
+        let res = g.search_with(&md, base.get(3), &QueryParams::new(3, 32), &counter);
         assert_eq!(res.neighbors[0].id, 3);
     }
 }

@@ -6,6 +6,7 @@ use gass_core::distance::Space;
 use gass_core::graph::{AdjacencyGraph, GraphView};
 use gass_core::nd::NdStrategy;
 use gass_core::neighbor::{BoundedMaxHeap, Neighbor};
+use gass_core::par::ConcurrentAdjacency;
 
 /// What a build cost: wall-clock seconds and counted distance calls
 /// (Figures 7–8 and Table 2 inputs).
@@ -42,6 +43,40 @@ pub fn add_reverse_edges(
             let kept = nd.diversify(space, owner, &scored, max_degree);
             graph.set_neighbors(owner, kept.into_iter().map(|n| n.id).collect());
         }
+    }
+}
+
+/// [`add_reverse_edges`] against a [`ConcurrentAdjacency`]: each reverse
+/// list is mutated — and re-pruned on overflow — under its owner's stripe
+/// lock, so workers in a batch's apply phase insert their edges
+/// concurrently. Only one stripe lock is held at a time (pruning computes
+/// distances but takes no further locks), so no deadlock is possible.
+pub fn add_reverse_edges_concurrent(
+    space: Space<'_>,
+    graph: &ConcurrentAdjacency,
+    from: u32,
+    neighbors: &[Neighbor],
+    max_degree: usize,
+    nd: NdStrategy,
+) {
+    for nb in neighbors {
+        if nb.id == from {
+            continue;
+        }
+        graph.with(nb.id, |list| {
+            if list.contains(&from) {
+                return;
+            }
+            list.push(from);
+            if list.len() > max_degree {
+                let owner = nb.id;
+                let scored: Vec<Neighbor> =
+                    list.iter().map(|&v| Neighbor::new(v, space.dist(owner, v))).collect();
+                let kept = nd.diversify(space, owner, &scored, max_degree);
+                list.clear();
+                list.extend(kept.into_iter().map(|n| n.id));
+            }
+        });
     }
 }
 
@@ -116,10 +151,8 @@ mod tests {
         let space = Space::new(&store, &counter);
         let mut g = AdjacencyGraph::new(5);
         // Node 2 selected neighbors 0,1,3,4.
-        let sel: Vec<Neighbor> = [0u32, 1, 3, 4]
-            .iter()
-            .map(|&v| Neighbor::new(v, space.dist(2, v)))
-            .collect();
+        let sel: Vec<Neighbor> =
+            [0u32, 1, 3, 4].iter().map(|&v| Neighbor::new(v, space.dist(2, v))).collect();
         g.set_neighbors(2, sel.iter().map(|n| n.id).collect());
         add_reverse_edges(space, &mut g, 2, &sel, 2, NdStrategy::NoNd);
         for v in [0u32, 1, 3, 4] {

@@ -31,6 +31,11 @@ pub struct DpgParams {
     pub iters: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Construction worker threads (0 = all available cores). The
+    /// NNDescent join and the per-node diversification both parallelize
+    /// without changing the result: the built graph is bit-identical at
+    /// any thread count.
+    pub threads: usize,
 }
 
 impl DpgParams {
@@ -42,6 +47,7 @@ impl DpgParams {
             nd: NdStrategy::mond_default(),
             iters: 10,
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -63,12 +69,28 @@ impl DpgIndex {
         let start = std::time::Instant::now();
         let graph = {
             let space = Space::new(&store, &counter);
+            let threads = gass_core::effective_threads(params.threads);
             let mut state = KnnGraphState::random_init(space, params.base_k, params.seed);
-            state.run(space, params.iters, params.base_k + 8, 0.002, params.seed ^ 0xd);
+            state.run_with(
+                space,
+                params.iters,
+                params.base_k + 8,
+                0.002,
+                params.seed ^ 0xd,
+                threads,
+            );
+            // Per-node diversification only reads the frozen lists.
+            let kept_lists: Vec<Vec<u32>> = gass_core::par_map(threads, store.len(), |u| {
+                params
+                    .nd
+                    .diversify(space, u as u32, &state.lists()[u], params.target_degree)
+                    .into_iter()
+                    .map(|n| n.id)
+                    .collect()
+            });
             let mut g = AdjacencyGraph::new(store.len());
-            for (u, list) in state.lists().iter().enumerate() {
-                let kept = params.nd.diversify(space, u as u32, list, params.target_degree);
-                g.set_neighbors(u as u32, kept.into_iter().map(|n| n.id).collect());
+            for (u, kept) in kept_lists.into_iter().enumerate() {
+                g.set_neighbors(u as u32, kept);
             }
             g.undirected_closure();
             g
@@ -159,10 +181,7 @@ mod tests {
         let g = idx.graph();
         for u in 0..g.num_nodes() as u32 {
             for &v in g.neighbors(u) {
-                assert!(
-                    g.neighbors(v).contains(&u),
-                    "edge {u}->{v} missing its reverse"
-                );
+                assert!(g.neighbors(v).contains(&u), "edge {u}->{v} missing its reverse");
             }
         }
     }
@@ -171,10 +190,8 @@ mod tests {
     fn rnd_variant_prunes_harder_than_mond() {
         let base = deep_like(300, 5);
         let mond = DpgIndex::build(base.clone(), DpgParams::small());
-        let rnd = DpgIndex::build(
-            base,
-            DpgParams { nd: NdStrategy::Rnd, ..DpgParams::small() },
-        );
+        let rnd =
+            DpgIndex::build(base, DpgParams { nd: NdStrategy::Rnd, ..DpgParams::small() });
         assert!(
             rnd.stats().edges <= mond.stats().edges,
             "RND ({}) should not keep more edges than MOND ({})",

@@ -30,12 +30,26 @@ pub struct EfannaParams {
     pub sample: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Construction worker threads (0 = all available cores). Forest
+    /// candidate retrieval and the NNDescent join distances parallelize
+    /// without changing the result: the built graph is bit-identical at
+    /// any thread count.
+    pub threads: usize,
 }
 
 impl EfannaParams {
     /// Small-scale defaults.
     pub fn small() -> Self {
-        Self { k: 20, num_trees: 4, leaf_size: 16, init_candidates: 40, iters: 8, sample: 24, seed: 42 }
+        Self {
+            k: 20,
+            num_trees: 4,
+            leaf_size: 16,
+            init_candidates: 40,
+            iters: 8,
+            sample: 24,
+            seed: 42,
+            threads: 0,
+        }
     }
 }
 
@@ -58,12 +72,21 @@ impl EfannaIndex {
         let forest = KdForest::build(&store, params.num_trees, params.leaf_size, params.seed);
         let graph = {
             let space = Space::new(&store, &counter);
-            let candidates: Vec<Vec<u32>> = (0..store.len() as u32)
-                .map(|u| forest.candidates(store.get(u), params.init_candidates))
-                .collect();
+            let threads = gass_core::effective_threads(params.threads);
+            // Per-node forest lookups are independent reads.
+            let candidates: Vec<Vec<u32>> = gass_core::par_map(threads, store.len(), |u| {
+                forest.candidates(store.get(u as u32), params.init_candidates)
+            });
             let mut state = KnnGraphState::from_candidates(space, params.k, candidates);
             state.pad_random(space, params.seed ^ 0x9ad);
-            state.run(space, params.iters, params.sample, 0.002, params.seed ^ 0xefa);
+            state.run_with(
+                space,
+                params.iters,
+                params.sample,
+                0.002,
+                params.seed ^ 0xefa,
+                threads,
+            );
             let mut g = AdjacencyGraph::new(store.len());
             for (u, list) in state.lists().iter().enumerate() {
                 g.set_neighbors(u as u32, list.iter().map(|n| n.id).collect());

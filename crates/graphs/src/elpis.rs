@@ -31,6 +31,10 @@ pub struct ElpisParams {
     /// Search candidate leaves concurrently (ELPIS answers a single query
     /// with multiple threads — its 1B-scale advantage in Fig. 16).
     pub parallel_query: bool,
+    /// Construction worker threads (0 = all available cores). Leaf graphs
+    /// are independent with derived per-leaf seeds, so any thread count
+    /// builds the identical index.
+    pub threads: usize,
 }
 
 impl ElpisParams {
@@ -39,9 +43,10 @@ impl ElpisParams {
         Self {
             segments: 8,
             leaf_size: 256,
-            hnsw: HnswParams { m: 8, ef_construction: 48, seed: 42 },
+            hnsw: HnswParams { m: 8, ef_construction: 48, seed: 42, threads: 1 },
             nprobe: 4,
             parallel_query: false,
+            threads: 0,
         }
     }
 }
@@ -75,53 +80,34 @@ impl ElpisIndex {
 
         // Build leaf graphs in parallel; each leaf gets a deterministic
         // seed derived from its position.
-        let mut leaves: Vec<Option<Leaf>> = Vec::with_capacity(tree.num_leaves());
-        leaves.resize_with(tree.num_leaves(), || None);
-        crossbeam::thread::scope(|scope| {
-            for (li, slot) in leaves.iter_mut().enumerate() {
-                let store = &store;
-                let tree = &tree;
-                let counter = counter.clone();
-                scope.spawn(move |_| {
-                    let ids = tree.leaves()[li].ids.clone();
-                    let sub = store.subset(&ids);
-                    let index = if sub.len() >= 2 {
-                        HnswIndex::build(
-                            sub,
-                            HnswParams {
-                                seed: params.hnsw.seed.wrapping_add(li as u64),
-                                ..params.hnsw
-                            },
-                        )
-                    } else {
-                        // A singleton leaf still needs a searchable index;
-                        // pad by duplicating the lone vector (the duplicate
-                        // maps back to the same global id).
-                        let mut padded = store.subset(&ids);
-                        padded.push(store.get(ids[0]));
-                        HnswIndex::build(padded, params.hnsw)
-                    };
-                    counter.add(index.build_report().dist_calcs);
-                    *slot = Some(Leaf { ids, index });
-                });
-            }
-        })
-        .expect("ELPIS leaf builder panicked");
-        let leaves: Vec<Leaf> =
-            leaves.into_iter().map(|l| l.expect("leaf built")).collect();
+        let threads = gass_core::effective_threads(params.threads);
+        let leaves: Vec<Leaf> = gass_core::par_map(threads, tree.num_leaves(), |li| {
+            let ids = tree.leaves()[li].ids.clone();
+            let sub = store.subset(&ids);
+            let index = if sub.len() >= 2 {
+                HnswIndex::build(
+                    sub,
+                    HnswParams {
+                        seed: params.hnsw.seed.wrapping_add(li as u64),
+                        ..params.hnsw
+                    },
+                )
+            } else {
+                // A singleton leaf still needs a searchable index;
+                // pad by duplicating the lone vector (the duplicate
+                // maps back to the same global id).
+                let mut padded = store.subset(&ids);
+                padded.push(store.get(ids[0]));
+                HnswIndex::build(padded, params.hnsw)
+            };
+            counter.add(index.build_report().dist_calcs);
+            Leaf { ids, index }
+        });
 
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let raw_bytes = store.heap_bytes();
-        Self {
-            dim: store.dim(),
-            n: store.len(),
-            tree,
-            leaves,
-            params,
-            build,
-            raw_bytes,
-        }
+        Self { dim: store.dim(), n: store.len(), tree, leaves, params, build, raw_bytes }
     }
 
     /// Construction cost report.
@@ -203,18 +189,10 @@ impl AnnIndex for ElpisIndex {
             .collect();
 
         if self.params.parallel_query && candidates.len() > 1 {
-            let mut results: Vec<(Vec<Neighbor>, SearchStats)> =
-                Vec::with_capacity(candidates.len());
-            results.resize_with(candidates.len(), Default::default);
-            crossbeam::thread::scope(|scope| {
-                for (slot, &li) in results.iter_mut().zip(&candidates) {
-                    let counter = counter.clone();
-                    scope.spawn(move |_| {
-                        *slot = self.search_leaf(li, query, params, &counter);
-                    });
-                }
-            })
-            .expect("ELPIS query worker panicked");
+            let results: Vec<(Vec<Neighbor>, SearchStats)> =
+                gass_core::par_map(candidates.len(), candidates.len(), |i| {
+                    self.search_leaf(candidates[i], query, params, counter)
+                });
             for (neighbors, st) in results {
                 stats.hops += st.hops;
                 stats.evaluated += st.evaluated;
@@ -318,10 +296,8 @@ mod tests {
     #[test]
     fn nprobe_one_searches_single_leaf() {
         let base = deep_like(600, 5);
-        let idx = ElpisIndex::build(
-            base.clone(),
-            ElpisParams { nprobe: 1, ..ElpisParams::small() },
-        );
+        let idx =
+            ElpisIndex::build(base.clone(), ElpisParams { nprobe: 1, ..ElpisParams::small() });
         let counter = DistCounter::new();
         let res = idx.search(base.get(9), &QueryParams::new(5, 32), &counter);
         // The exact vector lives in its home leaf, which ranks first.
@@ -332,14 +308,10 @@ mod tests {
     fn higher_nprobe_never_hurts() {
         let base = deep_like(700, 6);
         let queries = deep_like(12, 7);
-        let one = ElpisIndex::build(
-            base.clone(),
-            ElpisParams { nprobe: 1, ..ElpisParams::small() },
-        );
-        let four = ElpisIndex::build(
-            base.clone(),
-            ElpisParams { nprobe: 4, ..ElpisParams::small() },
-        );
+        let one =
+            ElpisIndex::build(base.clone(), ElpisParams { nprobe: 1, ..ElpisParams::small() });
+        let four =
+            ElpisIndex::build(base.clone(), ElpisParams { nprobe: 4, ..ElpisParams::small() });
         let r1 = recall(&one, &base, &queries, 48);
         let r4 = recall(&four, &base, &queries, 48);
         assert!(r4 + 1e-9 >= r1, "nprobe=4 recall {r4} below nprobe=1 {r1}");

@@ -30,6 +30,10 @@ pub struct HcnngParams {
     pub num_seed_trees: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Construction worker threads (0 = all available cores). HCNNG is
+    /// deterministic at any thread count: every clustering has its own
+    /// derived seed and the MST edge sets are merged in clustering order.
+    pub threads: usize,
 }
 
 impl HcnngParams {
@@ -38,7 +42,14 @@ impl HcnngParams {
         // The reference HCNNG merges MSTs from dozens of clusterings,
         // which is what makes its construction footprint and time balloon
         // in the paper; 16 clusterings keep that character at our tiers.
-        Self { num_clusterings: 16, leaf_size: 96, mst_degree: 3, num_seed_trees: 4, seed: 42 }
+        Self {
+            num_clusterings: 16,
+            leaf_size: 96,
+            mst_degree: 3,
+            num_seed_trees: 4,
+            seed: 42,
+            threads: 0,
+        }
     }
 }
 
@@ -98,32 +109,22 @@ impl HcnngIndex {
         let start = std::time::Instant::now();
         let n = store.len();
         let all_ids: Vec<u32> = (0..n as u32).collect();
+        let threads = gass_core::effective_threads(params.threads);
         let graph = {
             let space = Space::new(&store, &counter);
-            let edge_sets: Vec<Vec<(u32, u32)>> = {
-                let mut out: Vec<Vec<(u32, u32)>> =
-                    vec![Vec::new(); params.num_clusterings.max(1)];
-                crossbeam::thread::scope(|scope| {
-                    for (c, slot) in out.iter_mut().enumerate() {
-                        let all_ids = &all_ids;
-                        scope.spawn(move |_| {
-                            let mut rng =
-                                SmallRng::seed_from_u64(params.seed.wrapping_add(c as u64));
-                            let mut leaves = Vec::new();
-                            random_divide(space, all_ids, params.leaf_size, &mut rng, &mut leaves);
-                            let mut edges = Vec::new();
-                            for leaf in &leaves {
-                                for e in prim_mst(space, leaf, params.mst_degree) {
-                                    edges.push((e.a, e.b));
-                                }
-                            }
-                            *slot = edges;
-                        });
+            let edge_sets: Vec<Vec<(u32, u32)>> =
+                gass_core::par_map(threads, params.num_clusterings.max(1), |c| {
+                    let mut rng = SmallRng::seed_from_u64(params.seed.wrapping_add(c as u64));
+                    let mut leaves = Vec::new();
+                    random_divide(space, &all_ids, params.leaf_size, &mut rng, &mut leaves);
+                    let mut edges = Vec::new();
+                    for leaf in &leaves {
+                        for e in prim_mst(space, leaf, params.mst_degree) {
+                            edges.push((e.a, e.b));
+                        }
                     }
-                })
-                .expect("HCNNG clustering worker panicked");
-                out
-            };
+                    edges
+                });
             let mut g = AdjacencyGraph::with_degree_hint(n, params.mst_degree * 2);
             for edges in edge_sets {
                 for (a, b) in edges {
@@ -132,8 +133,7 @@ impl HcnngIndex {
             }
             g
         };
-        let forest =
-            KdForest::build(&store, params.num_seed_trees, 16, params.seed ^ 0x4d);
+        let forest = KdForest::build(&store, params.num_seed_trees, 16, params.seed ^ 0x4d);
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         Self { store, graph, forest, scratch: ScratchPool::new(), build }

@@ -18,10 +18,10 @@ use gass_core::nd::NdStrategy;
 use gass_core::neighbor::Neighbor;
 use gass_core::search::{beam_search, SearchScratch};
 use gass_core::seed::SeedProvider;
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// One sparse layer: adjacency over a subset of global ids. Implements
 /// [`GraphView`] so the shared beam search runs on it unchanged.
@@ -52,10 +52,7 @@ impl SparseLayer {
     }
 
     fn heap_bytes(&self) -> usize {
-        self.adj
-            .values()
-            .map(|v| v.capacity() * std::mem::size_of::<u32>() + 24)
-            .sum()
+        self.adj.values().map(|v| v.capacity() * std::mem::size_of::<u32>() + 24).sum()
     }
 }
 
@@ -80,7 +77,7 @@ pub fn draw_level(m: usize, rng: &mut SmallRng) -> usize {
 /// the method that owns it).
 #[derive(Debug)]
 pub struct Hierarchy {
-    layers: Vec<SparseLayer>, // layers[0] is hierarchy layer 1
+    layers: Vec<SparseLayer>,    // layers[0] is hierarchy layer 1
     entry: Option<(u32, usize)>, // (node, top layer index into `layers`)
     m: usize,
     ef: usize,
@@ -153,7 +150,7 @@ impl Hierarchy {
 
         // Beam search + RND selection on each layer from min(level, top+1)
         // down to 1 (layer index level-1 .. 0).
-        let mut scratch = self.scratch.lock();
+        let mut scratch = self.scratch.lock().unwrap();
         for layer_idx in (0..level.min(top + 1)).rev() {
             let res = beam_search(
                 &self.layers[layer_idx],
@@ -164,12 +161,9 @@ impl Hierarchy {
                 self.ef,
                 &mut scratch,
             );
-            let selected =
-                NdStrategy::Rnd.diversify(space, id, &res.neighbors, self.m);
+            let selected = NdStrategy::Rnd.diversify(space, id, &res.neighbors, self.m);
             let layer = &mut self.layers[layer_idx];
-            layer
-                .adj
-                .insert(id, selected.iter().map(|n| n.id).collect());
+            layer.adj.insert(id, selected.iter().map(|n| n.id).collect());
             for nb in &selected {
                 let list = layer.adj.entry(nb.id).or_default();
                 if !list.contains(&id) {
@@ -182,9 +176,7 @@ impl Hierarchy {
                         .map(|&v| Neighbor::new(v, space.dist(owner, v)))
                         .collect();
                     let kept = NdStrategy::Rnd.diversify(space, owner, &scored, self.m);
-                    layer
-                        .adj
-                        .insert(owner, kept.into_iter().map(|n| n.id).collect());
+                    layer.adj.insert(owner, kept.into_iter().map(|n| n.id).collect());
                 }
             }
             if !res.neighbors.is_empty() {
@@ -323,10 +315,7 @@ mod tests {
             (0..400u32).map(|v| gass_core::l2_sq(&q, store.get(v))).collect();
         dists.sort_by(f32::total_cmp);
         let median = dists[200];
-        assert!(
-            d_landed <= median,
-            "descent landed badly: {d_landed} vs median {median}"
-        );
+        assert!(d_landed <= median, "descent landed badly: {d_landed} vs median {median}");
     }
 
     #[test]
@@ -336,10 +325,7 @@ mod tests {
         let space = Space::new(&store, &counter);
         let h = Hierarchy::build_over_store(space, 8, 24, 6);
         for l in 1..h.num_layers() {
-            assert!(
-                h.layer_len(l) <= h.layer_len(l - 1),
-                "layer {l} larger than layer below"
-            );
+            assert!(h.layer_len(l) <= h.layer_len(l - 1), "layer {l} larger than layer below");
         }
         // Layer 1 holds roughly n/M of the nodes.
         let l1 = h.layer_len(0) as f64;

@@ -9,16 +9,22 @@
 //! entry, beam-searches the base layer with `ef_construction`, selects `M`
 //! neighbors via RND, and re-prunes overflowing reverse lists.
 
-use crate::common::{add_reverse_edges, BuildReport};
+use crate::common::{add_reverse_edges, add_reverse_edges_concurrent, BuildReport};
 use crate::hierarchy::{draw_level, Hierarchy};
 use gass_core::distance::{DistCounter, Space};
 use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
+use gass_core::par::ConcurrentAdjacency;
 use gass_core::search::{beam_search, SearchResult, SearchScratch};
 use gass_core::store::VectorStore;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Parallel batches are capped at 1/8 of the already-built prefix: batch
+/// members don't see each other, and bounding that blindness keeps the
+/// batched build's recall within noise of the serial build.
+const BATCH_FRAC: usize = 8;
 
 /// HNSW construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -29,12 +35,18 @@ pub struct HnswParams {
     pub ef_construction: usize,
     /// RNG seed (level draws).
     pub seed: u64,
+    /// Construction worker threads (0 = all available cores). At `1` the
+    /// build runs the exact sequential insertion — bit-for-bit the serial
+    /// result. Above 1 it switches to ParlayANN-style prefix-doubling
+    /// batches: each batch's members search the graph of all previous
+    /// batches in parallel, then apply edges under striped locks.
+    pub threads: usize,
 }
 
 impl HnswParams {
-    /// Small-scale defaults: `M=12`, `ef=80`.
+    /// Small-scale defaults: `M=12`, `ef=80`, serial build.
     pub fn small() -> Self {
-        Self { m: 12, ef_construction: 80, seed: 42 }
+        Self { m: 12, ef_construction: 80, seed: 42, threads: 1 }
     }
 }
 
@@ -48,8 +60,43 @@ pub struct HnswIndex {
     build: BuildReport,
 }
 
+/// Search + diversify for one insertion against the graph so far. Pure
+/// with respect to the graph (reads only), so the parallel path runs it
+/// concurrently against a frozen batch prefix.
+fn prepare_insertion<G: GraphView + ?Sized>(
+    store: &VectorStore,
+    space: Space<'_>,
+    graph: &G,
+    hierarchy: &Hierarchy,
+    params: &HnswParams,
+    scratch: &mut SearchScratch,
+    id: u32,
+) -> Vec<gass_core::Neighbor> {
+    let query = store.get(id);
+    // SN descent over the current hierarchy gives the base entry point.
+    let entry = hierarchy.descend(space, query).unwrap_or(0);
+    let res = beam_search(
+        graph,
+        space,
+        query,
+        &[entry],
+        params.ef_construction,
+        params.ef_construction,
+        scratch,
+    );
+    let cands = if res.neighbors.is_empty() {
+        // Base graph may still be edgeless around the entry.
+        vec![gass_core::Neighbor::new(entry, space.dist_to(query, entry))]
+    } else {
+        res.neighbors
+    };
+    NdStrategy::Rnd.diversify(space, id, &cands, params.m)
+}
+
 impl HnswIndex {
-    /// Builds the index by incremental insertion.
+    /// Builds the index by incremental insertion. `params.threads <= 1`
+    /// runs the exact sequential algorithm; higher values insert
+    /// prefix-doubling batches in parallel (see [`HnswParams::threads`]).
     pub fn build(store: VectorStore, params: HnswParams) -> Self {
         assert!(store.len() >= 2, "need at least two vectors");
         assert!(params.m >= 2, "M must be at least 2");
@@ -57,47 +104,126 @@ impl HnswIndex {
         let start = std::time::Instant::now();
         let n = store.len();
         let m0 = params.m * 2;
-        let mut base = AdjacencyGraph::with_degree_hint(n, m0 + 1);
         let mut hierarchy = Hierarchy::new(n, params.m, params.ef_construction);
-        {
+        let threads = gass_core::effective_threads(params.threads.max(1));
+        let base = {
             let space = Space::new(&store, &counter);
+            // Levels are pre-drawn so serial and parallel builds consume
+            // the identical RNG stream (one draw per node, in id order —
+            // the only RNG use in the insertion loop).
             let mut rng = SmallRng::seed_from_u64(params.seed);
-            let mut scratch = SearchScratch::new(n, params.ef_construction);
-
-            // First node: hierarchy entry only.
-            hierarchy.insert(space, 0, draw_level(params.m, &mut rng));
-
-            for id in 1..n as u32 {
-                let level = draw_level(params.m, &mut rng);
-                let query = store.get(id);
-                // SN descent over the current hierarchy gives the base
-                // entry point.
-                let entry = hierarchy.descend(space, query).unwrap_or(0);
-                let res = beam_search(
-                    &base,
+            let levels: Vec<usize> = (0..n).map(|_| draw_level(params.m, &mut rng)).collect();
+            if threads <= 1 {
+                Self::build_serial(&store, space, &mut hierarchy, &params, m0, &levels)
+            } else {
+                Self::build_parallel(
+                    &store,
                     space,
-                    query,
-                    &[entry],
-                    params.ef_construction,
-                    params.ef_construction,
-                    &mut scratch,
-                );
-                let cands = if res.neighbors.is_empty() {
-                    // Base graph may still be edgeless around the entry.
-                    vec![gass_core::Neighbor::new(entry, space.dist_to(query, entry))]
-                } else {
-                    res.neighbors
-                };
-                let selected = NdStrategy::Rnd.diversify(space, id, &cands, params.m);
-                base.set_neighbors(id, selected.iter().map(|s| s.id).collect());
-                add_reverse_edges(space, &mut base, id, &selected, m0, NdStrategy::Rnd);
-                hierarchy.insert(space, id, level);
+                    &mut hierarchy,
+                    &params,
+                    m0,
+                    &levels,
+                    threads,
+                )
             }
-        }
+        };
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let base = FlatGraph::from_adjacency(&base, Some(m0));
         Self { store, base, hierarchy, params, scratch: ScratchPool::new(), build }
+    }
+
+    fn build_serial(
+        store: &VectorStore,
+        space: Space<'_>,
+        hierarchy: &mut Hierarchy,
+        params: &HnswParams,
+        m0: usize,
+        levels: &[usize],
+    ) -> AdjacencyGraph {
+        let n = store.len();
+        let mut base = AdjacencyGraph::with_degree_hint(n, m0 + 1);
+        let mut scratch = SearchScratch::new(n, params.ef_construction);
+        // First node: hierarchy entry only.
+        hierarchy.insert(space, 0, levels[0]);
+        for id in 1..n as u32 {
+            let selected =
+                prepare_insertion(store, space, &base, hierarchy, params, &mut scratch, id);
+            base.set_neighbors(id, selected.iter().map(|s| s.id).collect());
+            add_reverse_edges(space, &mut base, id, &selected, m0, NdStrategy::Rnd);
+            hierarchy.insert(space, id, levels[id as usize]);
+        }
+        base
+    }
+
+    /// ParlayANN-style batch insertion: a serial prefix seeds the graph,
+    /// then batch sizes double. Within a batch: (A) every member searches
+    /// the frozen prefix graph concurrently, (B) forward + reverse edges
+    /// are applied under striped locks, (C) hierarchy insertions run
+    /// serially in id order. Batch members do not see same-batch inserts,
+    /// which is the one semantic difference from the serial build.
+    fn build_parallel(
+        store: &VectorStore,
+        space: Space<'_>,
+        hierarchy: &mut Hierarchy,
+        params: &HnswParams,
+        m0: usize,
+        levels: &[usize],
+        threads: usize,
+    ) -> AdjacencyGraph {
+        let n = store.len();
+        let ef = params.ef_construction;
+        let batches = gass_core::bounded_prefix_batches(ef.max(64).min(n), BATCH_FRAC, n);
+        let prefix_end = batches.first().map_or(n, |b| b.start);
+
+        // Serial seed prefix — identical to the serial build over these ids.
+        let mut base = AdjacencyGraph::with_degree_hint(n, m0 + 1);
+        let mut scratch = SearchScratch::new(n, ef);
+        hierarchy.insert(space, 0, levels[0]);
+        for id in 1..prefix_end as u32 {
+            let selected =
+                prepare_insertion(store, space, &base, hierarchy, params, &mut scratch, id);
+            base.set_neighbors(id, selected.iter().map(|s| s.id).collect());
+            add_reverse_edges(space, &mut base, id, &selected, m0, NdStrategy::Rnd);
+            hierarchy.insert(space, id, levels[id as usize]);
+        }
+
+        let conc = ConcurrentAdjacency::from_adjacency(base);
+        for batch in batches {
+            // Phase A: read-only searches against the frozen prefix. No
+            // writer is active, so unlocked GraphView reads are safe.
+            let prepared: Vec<(u32, Vec<gass_core::Neighbor>)> = gass_core::par_map_with(
+                threads,
+                batch.len(),
+                || SearchScratch::new(n, ef),
+                |scratch, i| {
+                    let id = (batch.start + i) as u32;
+                    let selected =
+                        prepare_insertion(store, space, &conc, hierarchy, params, scratch, id);
+                    (id, selected)
+                },
+            );
+            // Phase B: apply edges under the stripe locks.
+            gass_core::par_for(threads, prepared.len(), |range| {
+                for (id, selected) in &prepared[range] {
+                    conc.set_neighbors(*id, selected.iter().map(|s| s.id).collect());
+                    add_reverse_edges_concurrent(
+                        space,
+                        &conc,
+                        *id,
+                        selected,
+                        m0,
+                        NdStrategy::Rnd,
+                    );
+                }
+            });
+            // Phase C: hierarchy updates are serial (upper layers are
+            // cheap: ~1/M of nodes appear above the base layer).
+            for (id, _) in &prepared {
+                hierarchy.insert(space, *id, levels[*id as usize]);
+            }
+        }
+        conc.freeze()
     }
 
     /// Construction cost report.

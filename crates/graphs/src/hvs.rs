@@ -22,8 +22,8 @@ use gass_core::distance::{l2_sq, DistCounter, Space};
 use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
-use gass_core::search::{beam_search, SearchScratch};
 use gass_core::search::SearchResult;
+use gass_core::search::{beam_search, SearchScratch};
 use gass_core::seed::SeedProvider;
 use gass_core::store::VectorStore;
 use gass_trees::kmeans::kmeans;
@@ -70,10 +70,7 @@ struct Level {
 
 impl Level {
     fn heap_bytes(&self) -> usize {
-        self.centroids
-            .iter()
-            .map(|c| c.capacity() * std::mem::size_of::<f32>())
-            .sum::<usize>()
+        self.centroids.iter().map(|c| c.capacity() * std::mem::size_of::<f32>()).sum::<usize>()
             + self.representatives.capacity() * std::mem::size_of::<u32>()
     }
 }
@@ -190,8 +187,7 @@ impl HvsIndex {
                 let query = store.get(id);
                 // Seed only among already-inserted nodes; fall back to the
                 // first node when the pyramid's pick isn't inserted yet.
-                let entry =
-                    pyramid.descend(space, query).filter(|&e| e < id).unwrap_or(0);
+                let entry = pyramid.descend(space, query).filter(|&e| e < id).unwrap_or(0);
                 let res = beam_search(
                     &base,
                     space,
@@ -208,7 +204,14 @@ impl HvsIndex {
                 };
                 let kept = NdStrategy::Rnd.diversify(space, id, &cands, m0);
                 base.set_neighbors(id, kept.iter().map(|k| k.id).collect());
-                crate::common::add_reverse_edges(space, &mut base, id, &kept, m0, NdStrategy::Rnd);
+                crate::common::add_reverse_edges(
+                    space,
+                    &mut base,
+                    id,
+                    &kept,
+                    m0,
+                    NdStrategy::Rnd,
+                );
             }
             (FlatGraph::from_adjacency(&base, Some(m0)), pyramid)
         };

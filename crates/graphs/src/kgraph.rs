@@ -25,12 +25,16 @@ pub struct KGraphParams {
     pub delta: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Construction worker threads (0 = all available cores). NNDescent's
+    /// join distances parallelize without changing the result: the built
+    /// graph is bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl KGraphParams {
     /// Small-scale defaults: `k=20`, 12 iterations, sample 24.
     pub fn small() -> Self {
-        Self { k: 20, iters: 12, sample: 24, delta: 0.002, seed: 42 }
+        Self { k: 20, iters: 12, sample: 24, delta: 0.002, seed: 42, threads: 0 }
     }
 }
 
@@ -51,8 +55,16 @@ impl KGraphIndex {
         let start = std::time::Instant::now();
         let graph = {
             let space = Space::new(&store, &counter);
+            let threads = gass_core::effective_threads(params.threads);
             let mut state = KnnGraphState::random_init(space, params.k, params.seed);
-            state.run(space, params.iters, params.sample, params.delta, params.seed ^ 0xd5);
+            state.run_with(
+                space,
+                params.iters,
+                params.sample,
+                params.delta,
+                params.seed ^ 0xd5,
+                threads,
+            );
             let mut g = AdjacencyGraph::new(store.len());
             for (u, list) in state.lists().iter().enumerate() {
                 g.set_neighbors(u as u32, list.iter().map(|n| n.id).collect());

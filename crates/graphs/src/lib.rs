@@ -73,7 +73,7 @@ pub use ngt::{NgtIndex, NgtParams};
 pub use nndescent::KnnGraphState;
 pub use nsg::{NsgIndex, NsgParams};
 pub use nsw::{NswIndex, NswParams};
-pub use registry::{build_method, BuiltMethod, MethodKind};
+pub use registry::{build_method, build_method_with_threads, BuiltMethod, MethodKind};
 pub use sptag::{SptagIndex, SptagParams, SptagVariant};
 pub use ssg::{SsgIndex, SsgParams};
 pub use vamana::{VamanaIndex, VamanaParams};

@@ -46,11 +46,7 @@ impl KnnGraphState {
     /// Initializes from externally supplied candidate lists (EFANNA seeds
     /// NNDescent with K-D-tree candidates). Lists are scored, deduplicated
     /// and truncated to `k`.
-    pub fn from_candidates(
-        space: Space<'_>,
-        k: usize,
-        candidates: Vec<Vec<u32>>,
-    ) -> Self {
+    pub fn from_candidates(space: Space<'_>, k: usize, candidates: Vec<Vec<u32>>) -> Self {
         assert_eq!(candidates.len(), space.len());
         let lists = candidates
             .into_iter()
@@ -117,13 +113,11 @@ impl KnnGraphState {
         true
     }
 
-    /// One NNDescent iteration. Returns the number of list updates
-    /// (reference implementations stop when this falls below `δ·n·k`).
-    pub fn iterate(&mut self, space: Space<'_>, sample_size: usize, seed: u64) -> usize {
+    /// Forward + reverse adjacency snapshot, sampled to `sample_size`.
+    /// Taken *before* any join mutation, it fixes the iteration's pair set.
+    fn joined_snapshot(&self, sample_size: usize, seed: u64) -> Vec<Vec<u32>> {
         let n = self.lists.len();
         let mut rng = SmallRng::seed_from_u64(seed);
-
-        // Forward + reverse adjacency snapshot, sampled to `sample_size`.
         let mut joined: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (u, list) in self.lists.iter().enumerate() {
             for nb in list {
@@ -139,6 +133,13 @@ impl KnnGraphState {
                 list.swap_remove(drop);
             }
         }
+        joined
+    }
+
+    /// One NNDescent iteration. Returns the number of list updates
+    /// (reference implementations stop when this falls below `δ·n·k`).
+    pub fn iterate(&mut self, space: Space<'_>, sample_size: usize, seed: u64) -> usize {
+        let joined = self.joined_snapshot(sample_size, seed);
 
         // Local join: every pair within a node's joined neighborhood are
         // potential neighbors of each other.
@@ -163,6 +164,50 @@ impl KnnGraphState {
         updates
     }
 
+    /// [`Self::iterate`] with the join distances computed across `threads`
+    /// workers. The snapshot fixes the pair set before the join starts and
+    /// distances are pure, so computing them in parallel and applying the
+    /// inserts serially in pair order yields the **bit-identical** lists
+    /// (and the identical distance count) as the serial iteration at any
+    /// thread count.
+    pub fn iterate_with(
+        &mut self,
+        space: Space<'_>,
+        sample_size: usize,
+        seed: u64,
+        threads: usize,
+    ) -> usize {
+        if threads <= 1 {
+            return self.iterate(space, sample_size, seed);
+        }
+        let joined = self.joined_snapshot(sample_size, seed);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for neighborhood in &joined {
+            for i in 0..neighborhood.len() {
+                for j in (i + 1)..neighborhood.len() {
+                    let (x, y) = (neighborhood[i], neighborhood[j]);
+                    if x != y {
+                        pairs.push((x, y));
+                    }
+                }
+            }
+        }
+        let dists: Vec<f32> = gass_core::par_map(threads, pairs.len(), |i| {
+            let (x, y) = pairs[i];
+            space.dist(x, y)
+        });
+        let mut updates = 0usize;
+        for (&(x, y), &d) in pairs.iter().zip(&dists) {
+            if self.try_insert(x, Neighbor::new(y, d)) {
+                updates += 1;
+            }
+            if self.try_insert(y, Neighbor::new(x, d)) {
+                updates += 1;
+            }
+        }
+        updates
+    }
+
     /// Runs up to `max_iters` iterations, stopping early when an iteration
     /// updates fewer than `delta * n * k` entries (the standard
     /// convergence rule). Returns iterations executed.
@@ -174,9 +219,24 @@ impl KnnGraphState {
         delta: f64,
         seed: u64,
     ) -> usize {
+        self.run_with(space, max_iters, sample_size, delta, seed, 1)
+    }
+
+    /// [`Self::run`] across `threads` workers (see [`Self::iterate_with`];
+    /// the refined graph is identical at any thread count).
+    pub fn run_with(
+        &mut self,
+        space: Space<'_>,
+        max_iters: usize,
+        sample_size: usize,
+        delta: f64,
+        seed: u64,
+        threads: usize,
+    ) -> usize {
         let threshold = (delta * self.lists.len() as f64 * self.k as f64).ceil() as usize;
         for it in 0..max_iters {
-            let updates = self.iterate(space, sample_size, seed.wrapping_add(it as u64));
+            let updates =
+                self.iterate_with(space, sample_size, seed.wrapping_add(it as u64), threads);
             if updates <= threshold {
                 return it + 1;
             }
@@ -283,6 +343,28 @@ mod tests {
         assert_eq!(state.lists()[0].len(), 2);
         assert_eq!(state.lists()[0][0].id, 1);
         assert_eq!(state.lists()[0][1].id, 2);
+    }
+
+    #[test]
+    fn parallel_join_is_bit_identical_to_serial() {
+        let store = deep_like(120, 11);
+        let counter_s = DistCounter::new();
+        let space_s = Space::new(&store, &counter_s);
+        let mut serial = KnnGraphState::random_init(space_s, 8, 3);
+        let counter_p = DistCounter::new();
+        let space_p = Space::new(&store, &counter_p);
+        let mut parallel = KnnGraphState::random_init(space_p, 8, 3);
+        let is = serial.run(space_s, 5, 16, 0.001, 9);
+        let ip = parallel.run_with(space_p, 5, 16, 0.001, 9, 4);
+        assert_eq!(is, ip, "iteration counts diverged");
+        assert_eq!(counter_s.get(), counter_p.get(), "distance counts diverged");
+        for (a, b) in serial.lists().iter().zip(parallel.lists()) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+            }
+        }
     }
 
     #[test]

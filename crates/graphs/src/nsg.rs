@@ -27,12 +27,18 @@ pub struct NsgParams {
     pub base: EfannaParams,
     /// RNG seed.
     pub seed: u64,
+    /// Construction worker threads (0 = all available cores). Every
+    /// candidate search reads only the immutable base graph, so the
+    /// parallel phase feeds a serial in-order apply and the built graph is
+    /// bit-identical at any thread count. (The EFANNA base has its own
+    /// `threads` knob.)
+    pub threads: usize,
 }
 
 impl NsgParams {
     /// Small-scale defaults.
     pub fn small() -> Self {
-        Self { max_degree: 24, build_l: 64, base: EfannaParams::small(), seed: 42 }
+        Self { max_degree: 24, build_l: 64, base: EfannaParams::small(), seed: 42, threads: 0 }
     }
 }
 
@@ -69,33 +75,45 @@ impl NsgIndex {
         let (graph, medoid) = {
             let space = Space::new(&store, &counter);
             let medoid = store.centroid_medoid();
-            let mut g = AdjacencyGraph::with_degree_hint(n, params.max_degree + 1);
-            let mut scratch = SearchScratch::new(n, params.build_l);
-            let mut sink: Vec<Neighbor> = Vec::new();
-
-            for u in 0..n as u32 {
-                sink.clear();
-                let query = store.get(u);
-                beam_search_with_sink(
-                    base_graph,
-                    space,
-                    query,
-                    &[medoid],
-                    params.build_l,
-                    params.build_l,
-                    &mut scratch,
-                    Some(&mut sink),
-                );
-                // Candidate pool: everything visited plus the node's base
-                // neighbors.
-                for &v in base_graph.neighbors(u) {
-                    if !sink.iter().any(|s| s.id == v) {
-                        sink.push(Neighbor::new(v, space.dist(u, v)));
+            let threads = gass_core::effective_threads(params.threads);
+            // Phase A: candidate generation reads only the immutable base
+            // graph, never the NSG under construction — so the per-node
+            // searches parallelize freely.
+            let prepared: Vec<Vec<Neighbor>> = gass_core::par_map_with(
+                threads,
+                n,
+                || (SearchScratch::new(n, params.build_l), Vec::new()),
+                |state, u| {
+                    let (scratch, sink) = state;
+                    let u = u as u32;
+                    sink.clear();
+                    beam_search_with_sink(
+                        base_graph,
+                        space,
+                        store.get(u),
+                        &[medoid],
+                        params.build_l,
+                        params.build_l,
+                        scratch,
+                        Some(sink),
+                    );
+                    // Candidate pool: everything visited plus the node's
+                    // base neighbors.
+                    for &v in base_graph.neighbors(u) {
+                        if !sink.iter().any(|s| s.id == v) {
+                            sink.push(Neighbor::new(v, space.dist(u, v)));
+                        }
                     }
-                }
-                let kept = NdStrategy::Rnd.diversify(space, u, &sink, params.max_degree);
+                    NdStrategy::Rnd.diversify(space, u, sink, params.max_degree)
+                },
+            );
+            // Phase B: serial apply in node order — identical to the
+            // sequential build.
+            let mut g = AdjacencyGraph::with_degree_hint(n, params.max_degree + 1);
+            for (u, kept) in prepared.iter().enumerate() {
+                let u = u as u32;
                 g.set_neighbors(u, kept.iter().map(|k| k.id).collect());
-                add_reverse_edges(space, &mut g, u, &kept, params.max_degree, NdStrategy::Rnd);
+                add_reverse_edges(space, &mut g, u, kept, params.max_degree, NdStrategy::Rnd);
             }
             repair_connectivity(space, &mut g, medoid);
             (g, medoid)

@@ -116,9 +116,28 @@ pub struct BuiltMethod {
 
 /// Builds `kind` on `store` with parameter presets scaled by `n`
 /// (degree/beam grow mildly with the tier, mirroring how the paper tunes
-/// per dataset size).
+/// per dataset size). Uses each method's default construction threading.
 pub fn build_method(kind: MethodKind, store: VectorStore, seed: u64) -> BuiltMethod {
+    build_method_with_threads(kind, store, seed, None)
+}
+
+/// [`build_method`] with an explicit construction-thread override.
+/// `None` keeps each method's own default: serial for the
+/// incremental-insertion methods (HNSW, Vamana, the II baseline) whose
+/// parallel builds change the algorithm, automatic (all cores) for the
+/// methods whose parallel builds are bit-identical to serial. `Some(t)`
+/// forces `t` threads everywhere a method has a knob (NGT, SPTAG and NSW
+/// construct serially regardless).
+pub fn build_method_with_threads(
+    kind: MethodKind,
+    store: VectorStore,
+    seed: u64,
+    threads: Option<usize>,
+) -> BuiltMethod {
     let n = store.len();
+    // Per-method defaults when no override is given (see the doc above).
+    let t_serial = threads.unwrap_or(1);
+    let t_auto = threads.unwrap_or(0);
     // Tier-scaled knobs.
     let degree = if n < 2_000 {
         16
@@ -132,7 +151,7 @@ pub fn build_method(kind: MethodKind, store: VectorStore, seed: u64) -> BuiltMet
         MethodKind::Hnsw => {
             let idx = HnswIndex::build(
                 store,
-                HnswParams { m: degree / 2, ef_construction: build_l, seed },
+                HnswParams { m: degree / 2, ef_construction: build_l, seed, threads: t_serial },
             );
             let build = idx.build_report();
             BuiltMethod { index: Box::new(idx), build }
@@ -143,8 +162,9 @@ pub fn build_method(kind: MethodKind, store: VectorStore, seed: u64) -> BuiltMet
                 NsgParams {
                     max_degree: degree,
                     build_l,
-                    base: EfannaParams { seed, ..EfannaParams::small() },
+                    base: EfannaParams { seed, threads: t_auto, ..EfannaParams::small() },
                     seed,
+                    threads: t_auto,
                 },
             );
             let build = idx.build_report();
@@ -155,8 +175,9 @@ pub fn build_method(kind: MethodKind, store: VectorStore, seed: u64) -> BuiltMet
                 store,
                 SsgParams {
                     max_degree: degree,
-                    base: EfannaParams { seed, ..EfannaParams::small() },
+                    base: EfannaParams { seed, threads: t_auto, ..EfannaParams::small() },
                     seed,
+                    threads: t_auto,
                     ..SsgParams::small()
                 },
             );
@@ -166,7 +187,13 @@ pub fn build_method(kind: MethodKind, store: VectorStore, seed: u64) -> BuiltMet
         MethodKind::Vamana => {
             let idx = VamanaIndex::build(
                 store,
-                VamanaParams { max_degree: degree, build_l, alpha: 1.3, seed },
+                VamanaParams {
+                    max_degree: degree,
+                    build_l,
+                    alpha: 1.3,
+                    seed,
+                    threads: t_serial,
+                },
             );
             let build = idx.build_report();
             BuiltMethod { index: Box::new(idx), build }
@@ -180,6 +207,7 @@ pub fn build_method(kind: MethodKind, store: VectorStore, seed: u64) -> BuiltMet
                     nd: NdStrategy::mond_default(),
                     iters: 10,
                     seed,
+                    threads: t_auto,
                 },
             );
             let build = idx.build_report();
@@ -188,20 +216,23 @@ pub fn build_method(kind: MethodKind, store: VectorStore, seed: u64) -> BuiltMet
         MethodKind::Efanna => {
             let idx = EfannaIndex::build(
                 store,
-                EfannaParams { k: degree, seed, ..EfannaParams::small() },
+                EfannaParams { k: degree, seed, threads: t_auto, ..EfannaParams::small() },
             );
             let build = idx.build_report();
             BuiltMethod { index: Box::new(idx), build }
         }
         MethodKind::Hcnng => {
-            let idx = HcnngIndex::build(store, HcnngParams { seed, ..HcnngParams::small() });
+            let idx = HcnngIndex::build(
+                store,
+                HcnngParams { seed, threads: t_auto, ..HcnngParams::small() },
+            );
             let build = idx.build_report();
             BuiltMethod { index: Box::new(idx), build }
         }
         MethodKind::KGraph => {
             let idx = KGraphIndex::build(
                 store,
-                KGraphParams { k: degree, seed, ..KGraphParams::small() },
+                KGraphParams { k: degree, seed, threads: t_auto, ..KGraphParams::small() },
             );
             let build = idx.build_report();
             BuiltMethod { index: Box::new(idx), build }
@@ -236,7 +267,15 @@ pub fn build_method(kind: MethodKind, store: VectorStore, seed: u64) -> BuiltMet
                 store,
                 ElpisParams {
                     leaf_size: leaf,
-                    hnsw: HnswParams { m: degree / 3, ef_construction: build_l / 2, seed },
+                    // Leaf graphs stay serial: they are small, and the
+                    // leaf-level fan-out supplies the parallelism.
+                    hnsw: HnswParams {
+                        m: degree / 3,
+                        ef_construction: build_l / 2,
+                        seed,
+                        threads: 1,
+                    },
+                    threads: t_auto,
                     // The paper tunes nprobes per dataset; at our tiers
                     // the EAPCA lower-bound filter does the pruning and a
                     // generous cap keeps recall robust on embedding-style
@@ -252,7 +291,12 @@ pub fn build_method(kind: MethodKind, store: VectorStore, seed: u64) -> BuiltMet
             let idx = LshapgIndex::build(
                 store,
                 LshapgParams {
-                    hnsw: HnswParams { m: degree / 2, ef_construction: build_l, seed },
+                    hnsw: HnswParams {
+                        m: degree / 2,
+                        ef_construction: build_l,
+                        seed,
+                        threads: t_serial,
+                    },
                     // Looser routing slack than the method's default: the
                     // paper observes LSHAPG's probabilistic rooting prunes
                     // promising neighbors and needs compensation.
@@ -280,6 +324,7 @@ pub fn build_method(kind: MethodKind, store: VectorStore, seed: u64) -> BuiltMet
                     nd,
                     build_seeds: 8,
                     seed,
+                    threads: t_serial,
                 },
             );
             let build = idx.build_report();

@@ -139,7 +139,14 @@ impl SptagIndex {
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let flat = FlatGraph::from_adjacency(&graph, Some(params.max_degree));
-        Self { store, graph: flat, seeder, variant: params.variant, scratch: ScratchPool::new(), build }
+        Self {
+            store,
+            graph: flat,
+            seeder,
+            variant: params.variant,
+            scratch: ScratchPool::new(),
+            build,
+        }
     }
 
     /// Construction cost report.

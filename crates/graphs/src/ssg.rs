@@ -33,6 +33,12 @@ pub struct SsgParams {
     pub base: EfannaParams,
     /// RNG seed.
     pub seed: u64,
+    /// Construction worker threads (0 = all available cores). The two-hop
+    /// expansion and MOND pruning read only the immutable base graph, so
+    /// the parallel phase feeds a serial in-order apply and the built
+    /// graph is bit-identical at any thread count. (The EFANNA base has
+    /// its own `threads` knob.)
+    pub threads: usize,
 }
 
 impl SsgParams {
@@ -45,6 +51,7 @@ impl SsgParams {
             num_trees: 3,
             base: EfannaParams::small(),
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -79,33 +86,42 @@ impl SsgIndex {
         let mond = NdStrategy::Mond { theta_deg: params.theta_deg };
         let graph = {
             let space = Space::new(&store, &counter);
-            let mut g = AdjacencyGraph::with_degree_hint(n, params.max_degree + 1);
-            let mut pool: Vec<u32> = Vec::new();
-
-            for u in 0..n as u32 {
-                // Two-hop local expansion on the base graph.
-                pool.clear();
-                pool.extend_from_slice(base_graph.neighbors(u));
-                'outer: for &v in base_graph.neighbors(u) {
-                    for &w in base_graph.neighbors(v) {
-                        if w != u {
-                            pool.push(w);
-                            if pool.len() >= params.pool_size {
-                                break 'outer;
+            let threads = gass_core::effective_threads(params.threads);
+            // Phase A: two-hop expansion + MOND pruning read only the
+            // immutable base graph, so the per-node work parallelizes
+            // freely.
+            let prepared: Vec<Vec<Neighbor>> =
+                gass_core::par_map_with(threads, n, Vec::new, |pool: &mut Vec<u32>, u| {
+                    let u = u as u32;
+                    // Two-hop local expansion on the base graph.
+                    pool.clear();
+                    pool.extend_from_slice(base_graph.neighbors(u));
+                    'outer: for &v in base_graph.neighbors(u) {
+                        for &w in base_graph.neighbors(v) {
+                            if w != u {
+                                pool.push(w);
+                                if pool.len() >= params.pool_size {
+                                    break 'outer;
+                                }
                             }
                         }
                     }
-                }
-                pool.sort_unstable();
-                pool.dedup();
-                let scored: Vec<Neighbor> = pool
-                    .iter()
-                    .filter(|&&v| v != u)
-                    .map(|&v| Neighbor::new(v, space.dist(u, v)))
-                    .collect();
-                let kept = mond.diversify(space, u, &scored, params.max_degree);
+                    pool.sort_unstable();
+                    pool.dedup();
+                    let scored: Vec<Neighbor> = pool
+                        .iter()
+                        .filter(|&&v| v != u)
+                        .map(|&v| Neighbor::new(v, space.dist(u, v)))
+                        .collect();
+                    mond.diversify(space, u, &scored, params.max_degree)
+                });
+            // Phase B: serial apply in node order — identical to the
+            // sequential build.
+            let mut g = AdjacencyGraph::with_degree_hint(n, params.max_degree + 1);
+            for (u, kept) in prepared.iter().enumerate() {
+                let u = u as u32;
                 g.set_neighbors(u, kept.iter().map(|k| k.id).collect());
-                add_reverse_edges(space, &mut g, u, &kept, params.max_degree, mond);
+                add_reverse_edges(space, &mut g, u, kept, params.max_degree, mond);
             }
 
             // Multiple random-rooted connectivity repairs.

@@ -6,18 +6,23 @@
 //! edges are added, and overflowing reverse lists are re-pruned with RND.
 //! Queries start at the medoid plus random warm-up seeds (MD+KS).
 
-use crate::common::{add_reverse_edges, BuildReport};
+use crate::common::{add_reverse_edges, add_reverse_edges_concurrent, BuildReport};
 use gass_core::distance::{DistCounter, Space};
 use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::neighbor::Neighbor;
+use gass_core::par::ConcurrentAdjacency;
 use gass_core::search::{beam_search, beam_search_with_sink, SearchResult, SearchScratch};
 use gass_core::seed::{RandomSeeds, SeedProvider};
 use gass_core::store::VectorStore;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
+
+/// Refinement chunk size of the parallel build: each chunk searches the
+/// frozen graph concurrently, then applies its edges under striped locks.
+const PARALLEL_CHUNK: usize = 256;
 
 /// Vamana construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -31,12 +36,18 @@ pub struct VamanaParams {
     pub alpha: f32,
     /// RNG seed.
     pub seed: u64,
+    /// Construction worker threads (0 = all available cores). At `1` the
+    /// refinement passes run the exact sequential algorithm. Above 1 each
+    /// pass processes chunks of [`PARALLEL_CHUNK`] nodes: chunk members
+    /// search the graph concurrently (not seeing same-chunk re-prunes),
+    /// then apply their edges under striped locks.
+    pub threads: usize,
 }
 
 impl VamanaParams {
-    /// Small-scale defaults: `R=24`, `L=64`, `α=1.3`.
+    /// Small-scale defaults: `R=24`, `L=64`, `α=1.3`, serial build.
     pub fn small() -> Self {
-        Self { max_degree: 24, build_l: 64, alpha: 1.3, seed: 42 }
+        Self { max_degree: 24, build_l: 64, alpha: 1.3, seed: 42, threads: 1 }
     }
 }
 
@@ -75,45 +86,99 @@ impl VamanaIndex {
             }
 
             let mut order: Vec<u32> = (0..n as u32).collect();
-            let mut scratch = SearchScratch::new(n, params.build_l);
-            let mut sink: Vec<Neighbor> = Vec::new();
-
-            for pass in 0..2 {
-                let alpha = if pass == 0 { 1.0 } else { params.alpha };
-                let nd = NdStrategy::Rrnd { alpha };
-                order.shuffle(&mut rng);
-                for &u in &order {
-                    sink.clear();
-                    beam_search_with_sink(
-                        &g,
-                        space,
-                        store.get(u),
-                        &[medoid],
-                        params.build_l,
-                        params.build_l,
-                        &mut scratch,
-                        Some(&mut sink),
-                    );
-                    for &v in g.neighbors(u) {
-                        if !sink.iter().any(|s| s.id == v) {
-                            sink.push(Neighbor::new(v, space.dist(u, v)));
+            let threads = gass_core::effective_threads(params.threads.max(1));
+            if threads <= 1 {
+                let mut scratch = SearchScratch::new(n, params.build_l);
+                let mut sink: Vec<Neighbor> = Vec::new();
+                for pass in 0..2 {
+                    let alpha = if pass == 0 { 1.0 } else { params.alpha };
+                    let nd = NdStrategy::Rrnd { alpha };
+                    order.shuffle(&mut rng);
+                    for &u in &order {
+                        sink.clear();
+                        beam_search_with_sink(
+                            &g,
+                            space,
+                            store.get(u),
+                            &[medoid],
+                            params.build_l,
+                            params.build_l,
+                            &mut scratch,
+                            Some(&mut sink),
+                        );
+                        for &v in g.neighbors(u) {
+                            if !sink.iter().any(|s| s.id == v) {
+                                sink.push(Neighbor::new(v, space.dist(u, v)));
+                            }
                         }
+                        let kept = nd.diversify(space, u, &sink, params.max_degree);
+                        g.set_neighbors(u, kept.iter().map(|k| k.id).collect());
+                        // Overflowing reverse lists re-prune with RND, per
+                        // the original algorithm.
+                        add_reverse_edges(
+                            space,
+                            &mut g,
+                            u,
+                            &kept,
+                            params.max_degree,
+                            NdStrategy::Rnd,
+                        );
                     }
-                    let kept = nd.diversify(space, u, &sink, params.max_degree);
-                    g.set_neighbors(u, kept.iter().map(|k| k.id).collect());
-                    // Overflowing reverse lists re-prune with RND, per the
-                    // original algorithm.
-                    add_reverse_edges(
-                        space,
-                        &mut g,
-                        u,
-                        &kept,
-                        params.max_degree,
-                        NdStrategy::Rnd,
-                    );
                 }
+                (g, medoid)
+            } else {
+                let conc = ConcurrentAdjacency::from_adjacency(g);
+                for pass in 0..2 {
+                    let alpha = if pass == 0 { 1.0 } else { params.alpha };
+                    let nd = NdStrategy::Rrnd { alpha };
+                    order.shuffle(&mut rng);
+                    for chunk in order.chunks(PARALLEL_CHUNK) {
+                        // Phase A: read-only searches + pruning against the
+                        // graph frozen at the chunk boundary.
+                        let prepared: Vec<(u32, Vec<Neighbor>)> = gass_core::par_map_with(
+                            threads,
+                            chunk.len(),
+                            || (SearchScratch::new(n, params.build_l), Vec::new()),
+                            |state, i| {
+                                let (scratch, sink) = state;
+                                let u = chunk[i];
+                                sink.clear();
+                                beam_search_with_sink(
+                                    &conc,
+                                    space,
+                                    store.get(u),
+                                    &[medoid],
+                                    params.build_l,
+                                    params.build_l,
+                                    scratch,
+                                    Some(sink),
+                                );
+                                for v in conc.snapshot(u) {
+                                    if !sink.iter().any(|s| s.id == v) {
+                                        sink.push(Neighbor::new(v, space.dist(u, v)));
+                                    }
+                                }
+                                (u, nd.diversify(space, u, sink, params.max_degree))
+                            },
+                        );
+                        // Phase B: apply under the stripe locks.
+                        gass_core::par_for(threads, prepared.len(), |range| {
+                            for (u, kept) in &prepared[range] {
+                                conc.set_neighbors(*u, kept.iter().map(|k| k.id).collect());
+                                add_reverse_edges_concurrent(
+                                    space,
+                                    &conc,
+                                    *u,
+                                    kept,
+                                    params.max_degree,
+                                    NdStrategy::Rnd,
+                                );
+                            }
+                        });
+                    }
+                }
+                (conc.freeze(), medoid)
             }
-            (g, medoid)
         };
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };

@@ -58,9 +58,7 @@ fn mix_key(codes: &[i32]) -> u64 {
 
 impl LshTable {
     fn new(dim: usize, m: usize, width: f32, rng: &mut SmallRng) -> Self {
-        let projections = (0..m)
-            .map(|_| (0..dim).map(|_| gaussian(rng)).collect())
-            .collect();
+        let projections = (0..m).map(|_| (0..dim).map(|_| gaussian(rng)).collect()).collect();
         let offsets = (0..m).map(|_| rng.random_range(0.0..width)).collect();
         Self { projections, offsets, width, buckets: HashMap::new() }
     }
@@ -74,10 +72,7 @@ impl LshTable {
     }
 
     fn codes(&self, v: &[f32]) -> Vec<i32> {
-        self.raw_projections(v)
-            .into_iter()
-            .map(|x| (x / self.width).floor() as i32)
-            .collect()
+        self.raw_projections(v).into_iter().map(|x| (x / self.width).floor() as i32).collect()
     }
 
     fn insert(&mut self, id: u32, v: &[f32]) {
@@ -107,16 +102,10 @@ impl LshTable {
     }
 
     fn heap_bytes(&self) -> usize {
-        let proj: usize = self
-            .projections
-            .iter()
-            .map(|p| p.capacity() * std::mem::size_of::<f32>())
-            .sum();
-        let buckets: usize = self
-            .buckets
-            .values()
-            .map(|b| b.capacity() * std::mem::size_of::<u32>() + 16)
-            .sum();
+        let proj: usize =
+            self.projections.iter().map(|p| p.capacity() * std::mem::size_of::<f32>()).sum();
+        let buckets: usize =
+            self.buckets.values().map(|b| b.capacity() * std::mem::size_of::<u32>() + 16).sum();
         proj + buckets + self.offsets.capacity() * std::mem::size_of::<f32>()
     }
 }
@@ -141,7 +130,13 @@ impl LshIndex {
     ///
     /// # Panics
     /// Panics if the store is empty or any parameter is zero/non-positive.
-    pub fn build(store: &VectorStore, num_tables: usize, m: usize, width: f32, seed: u64) -> Self {
+    pub fn build(
+        store: &VectorStore,
+        num_tables: usize,
+        m: usize,
+        width: f32,
+        seed: u64,
+    ) -> Self {
         assert!(!store.is_empty(), "LSH over empty store");
         assert!(num_tables > 0 && m > 0, "tables and projections must be positive");
         assert!(width > 0.0, "bucket width must be positive");

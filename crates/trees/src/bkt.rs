@@ -56,7 +56,8 @@ impl BkTree {
             self.nodes.push(Node::Leaf { ids });
             return idx;
         }
-        let clustering = balanced_kmeans(space, &ids, branching, 4, rng.random_range(0..u64::MAX));
+        let clustering =
+            balanced_kmeans(space, &ids, branching, 4, rng.random_range(0..u64::MAX));
         let groups = clustering.groups(&ids);
         let mut children = Vec::with_capacity(branching);
         for (c, group) in groups.into_iter().enumerate() {
@@ -80,7 +81,13 @@ impl BkTree {
 
     /// Collects up to `budget` candidate ids by best-first centroid
     /// descent; centroid distances are counted through `space`.
-    pub fn candidates(&self, space: Space<'_>, query: &[f32], budget: usize, out: &mut Vec<u32>) {
+    pub fn candidates(
+        &self,
+        space: Space<'_>,
+        query: &[f32],
+        budget: usize,
+        out: &mut Vec<u32>,
+    ) {
         let mut frontier: Vec<(f32, u32)> = vec![(0.0, self.root)];
         while !frontier.is_empty() {
             let mut best = 0;

@@ -56,11 +56,8 @@ impl CentroidSeeds {
 
     /// Approximate heap bytes.
     pub fn heap_bytes(&self) -> usize {
-        let c: usize = self
-            .centroids
-            .iter()
-            .map(|v| v.capacity() * std::mem::size_of::<f32>())
-            .sum();
+        let c: usize =
+            self.centroids.iter().map(|v| v.capacity() * std::mem::size_of::<f32>()).sum();
         let m: usize =
             self.members.iter().map(|v| v.capacity() * std::mem::size_of::<u32>()).sum();
         c + m
@@ -95,9 +92,7 @@ impl SeedProvider for CentroidSeeds {
         if out.is_empty() {
             // All nearby centroids empty (degenerate clustering): any
             // member works.
-            if let Some(first) =
-                self.members.iter().find_map(|m| m.first().copied())
-            {
+            if let Some(first) = self.members.iter().find_map(|m| m.first().copied()) {
                 out.push(first);
             }
         }

@@ -43,8 +43,7 @@ pub fn summarize(v: &[f32], segments: usize) -> EapcaSummary {
         let end = if s + 1 == segments { v.len() } else { start + base };
         let seg = &v[start..end];
         let mean = seg.iter().sum::<f32>() / seg.len() as f32;
-        let var =
-            seg.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / seg.len() as f32;
+        let var = seg.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / seg.len() as f32;
         features.push(mean);
         features.push(var.sqrt());
     }
@@ -269,10 +268,7 @@ mod tests {
             let b: Vec<f32> = (0..16).map(|_| rng.random_range(-1.0..1.0f32)).collect();
             let lb = lower_bound_pair(&summarize(&a, 4), &summarize(&b, 4), &lens);
             let exact = l2_sq(&a, &b);
-            assert!(
-                lb <= exact + 1e-3,
-                "lower bound {lb} exceeds true distance {exact}"
-            );
+            assert!(lb <= exact + 1e-3, "lower bound {lb} exceeds true distance {exact}");
         }
     }
 

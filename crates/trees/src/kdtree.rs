@@ -96,7 +96,8 @@ impl KdTree {
                 }
                 Node::Split { dim, value, left, right } => {
                     let diff = query[*dim as usize] - *value;
-                    let (near, far) = if diff < 0.0 { (*left, *right) } else { (*right, *left) };
+                    let (near, far) =
+                        if diff < 0.0 { (*left, *right) } else { (*right, *left) };
                     frontier.push((0.0, near));
                     frontier.push((diff.abs(), far));
                 }
@@ -189,12 +190,7 @@ pub struct KdForest {
 
 impl KdForest {
     /// Builds `num_trees` randomized trees over all vectors in `store`.
-    pub fn build(
-        store: &VectorStore,
-        num_trees: usize,
-        leaf_size: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn build(store: &VectorStore, num_trees: usize, leaf_size: usize, seed: u64) -> Self {
         assert!(num_trees > 0, "forest needs at least one tree");
         let ids: Vec<u32> = (0..store.len() as u32).collect();
         let trees = (0..num_trees)
@@ -285,10 +281,8 @@ mod tests {
         assert!(cands.len() >= 4);
         // Best candidate among the returned ones must be close to the true
         // NN (grid point (3,7), distance^2 = 0.01+0.04).
-        let best = cands
-            .iter()
-            .map(|&id| l2_sq(&query, store.get(id)))
-            .fold(f32::INFINITY, f32::min);
+        let best =
+            cands.iter().map(|&id| l2_sq(&query, store.get(id))).fold(f32::INFINITY, f32::min);
         assert!(best <= 0.5, "best returned candidate too far: {best}");
     }
 

@@ -85,11 +85,8 @@ pub struct Sax {
 pub fn sax(v: &[f32], segments: usize, alphabet: usize) -> Sax {
     let p = paa(v, segments);
     let bps = sax_breakpoints(alphabet);
-    let symbols = p
-        .means
-        .iter()
-        .map(|&m| bps.iter().take_while(|&&b| m >= b).count() as u8)
-        .collect();
+    let symbols =
+        p.means.iter().map(|&m| bps.iter().take_while(|&&b| m >= b).count() as u8).collect();
     Sax { symbols, alphabet, dim: v.len() }
 }
 

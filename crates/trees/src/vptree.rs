@@ -81,7 +81,13 @@ impl VpTree {
 
     /// Retrieves up to `budget` candidate ids for `query`, best-first by
     /// ball margin; vantage-point distances are counted through `space`.
-    pub fn candidates(&self, space: Space<'_>, query: &[f32], budget: usize, out: &mut Vec<u32>) {
+    pub fn candidates(
+        &self,
+        space: Space<'_>,
+        query: &[f32],
+        budget: usize,
+        out: &mut Vec<u32>,
+    ) {
         let mut frontier: Vec<(f32, u32)> = vec![(0.0, self.root)];
         while !frontier.is_empty() {
             let mut best = 0;
@@ -117,7 +123,13 @@ impl VpTree {
 
     /// Exact-ish k-NN through the tree with a candidate budget, returning
     /// evaluated neighbors sorted by distance. Convenience for tests.
-    pub fn knn(&self, space: Space<'_>, query: &[f32], k: usize, budget: usize) -> Vec<Neighbor> {
+    pub fn knn(
+        &self,
+        space: Space<'_>,
+        query: &[f32],
+        k: usize,
+        budget: usize,
+    ) -> Vec<Neighbor> {
         let mut cand = Vec::new();
         self.candidates(space, query, budget, &mut cand);
         cand.sort_unstable();

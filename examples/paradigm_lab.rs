@@ -27,8 +27,7 @@ fn main() {
     // Axis 1: Neighborhood Diversification during construction.
     // ------------------------------------------------------------------
     println!("== ND strategies on the II baseline (Section 4.2) ==");
-    let mut nd_table =
-        Table::new(vec!["ND", "edges", "recall@10(L=48)", "dists/query"]);
+    let mut nd_table = Table::new(vec!["ND", "edges", "recall@10(L=48)", "dists/query"]);
     let mut rnd_graph = None;
     for nd in [
         NdStrategy::NoNd,

@@ -17,7 +17,10 @@ fn main() {
 
     // --- Build and save -----------------------------------------------
     let t = std::time::Instant::now();
-    let index = HnswIndex::build(base.clone(), HnswParams { m: 12, ef_construction: 96, seed: 7 });
+    let index = HnswIndex::build(
+        base.clone(),
+        HnswParams { m: 12, ef_construction: 96, seed: 7, threads: 1 },
+    );
     println!("built HNSW over {n} vectors in {:.2}s", t.elapsed().as_secs_f64());
 
     let dir = std::env::temp_dir().join("gass_persistence_example");

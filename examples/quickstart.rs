@@ -18,7 +18,10 @@ fn main() {
 
     // --- 2. Index ----------------------------------------------------
     let t0 = std::time::Instant::now();
-    let index = HnswIndex::build(base.clone(), HnswParams { m: 16, ef_construction: 128, seed: 1 });
+    let index = HnswIndex::build(
+        base.clone(),
+        HnswParams { m: 16, ef_construction: 128, seed: 1, threads: 1 },
+    );
     let report = index.build_report();
     println!(
         "built HNSW in {:.2}s ({} construction distance calcs)",

@@ -1,0 +1,308 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy/runner subset the workspace's property tests
+//! use: range strategies over integers and floats, `prop::collection::vec`,
+//! tuple strategies, the `proptest!` block macro with an optional
+//! `proptest_config` attribute, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Failing cases are **not shrunk** — the panic message reports the case
+//! seed instead, which together with the deterministic per-test RNG is
+//! enough to reproduce. That trades debugging convenience for zero
+//! dependencies, not coverage: generation is as random as the real crate.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// RNG handed to strategies during a test case.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Seeds a case RNG.
+    pub fn seed(seed: u64) -> Self {
+        Self(SmallRng::seed_from_u64(seed))
+    }
+
+    /// Access to the underlying generator.
+    pub fn inner(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}
+
+/// A failed property within a test case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of random values (subset of `proptest::strategy::Strategy`;
+/// no shrinking).
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::RngExt::random_range(rng.inner(), self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::RngExt::random_range(rng.inner(), self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::RngExt::random_range(rng.inner(), self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A 0),
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+}
+
+/// Number-of-elements specification for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max_inclusive: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { min: r.start, max_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self { min: *r.start(), max_inclusive: *r.end() }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len =
+            rand::RngExt::random_range(rng.inner(), self.size.min..=self.size.max_inclusive);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Module-path mirror of `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        /// `Vec` strategy with `size` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[doc(hidden)]
+pub fn run_cases(
+    cfg: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    // FNV-1a over the test name keeps seeds stable across runs and
+    // distinct across tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for i in 0..cfg.cases {
+        let seed = h ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::seed(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!("property `{name}` failed at case {i} (seed {seed:#x}): {e}");
+        }
+    }
+}
+
+/// Property-test block macro (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)*
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Generated values respect their strategies.
+        #[test]
+        fn ranges_and_collections(
+            xs in prop::collection::vec(-1.0f32..1.0, 3..=7),
+            n in 1usize..5,
+            pair in (0u8..3, 0u32..64),
+        ) {
+            prop_assert!(xs.len() >= 3 && xs.len() <= 7);
+            prop_assert!(xs.iter().all(|x| (-1.0..1.0).contains(x)));
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(pair.0 < 3 && pair.1 < 64);
+            prop_assert_eq!(n, n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_seed() {
+        crate::run_cases(&crate::ProptestConfig::with_cases(1), "always_fails", |_rng| {
+            Err(crate::TestCaseError::fail("nope"))
+        });
+    }
+}

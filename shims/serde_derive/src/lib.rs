@@ -1,0 +1,210 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input by walking the raw token stream (no `syn` in an
+//! offline build) and emits impls for the shapes this workspace actually
+//! declares: non-generic structs with named fields, and non-generic enums
+//! whose variants are unit or struct-like. Anything else is a compile
+//! error, which is the right failure mode for a shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+enum Input {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skips attribute tokens (`#[...]`, including doc comments) and
+/// visibility modifiers (`pub`, `pub(...)`) starting at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named-field bodies, returning field names.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        // Skip past `: Type` to the next top-level comma. Generic angle
+        // brackets never appear in this workspace's field types beyond
+        // `Vec<...>` etc., whose commas (if any) sit inside `<...>`; track
+        // angle depth to stay at the top level.
+        i += 1;
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("unexpected token {other} in derive input"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic type {name}");
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream().into_iter().collect::<Vec<_>>();
+            }
+            Some(_) => i += 1,
+            None => panic!("no braced body found for {name}"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct { name, fields: parse_named_fields(&body) },
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs_and_vis(&body, j);
+                let Some(TokenTree::Ident(vname)) = body.get(j) else {
+                    break;
+                };
+                let vname = vname.to_string();
+                j += 1;
+                let fields = match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Some(parse_named_fields(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!("serde_derive shim does not support tuple variant {vname}")
+                    }
+                    _ => None,
+                };
+                variants.push(Variant { name: vname, fields });
+                // Skip to past the next comma (discriminants don't occur
+                // in this workspace).
+                while j < body.len() {
+                    if matches!(&body[j], TokenTree::Punct(p) if p.as_char() == ',') {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim cannot derive for {other} items"),
+    }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let mut body = format!(
+                "let mut st = serde::Serializer::serialize_struct(serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in &fields {
+                body.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("serde::ser::SerializeStruct::end(st)\n");
+            wrap_serialize_impl(&name, &body)
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Serializer::serialize_unit_variant(\
+                         serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n\
+                             let mut sv = serde::Serializer::serialize_struct_variant(\
+                             serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut sv, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeStructVariant::end(sv)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            wrap_serialize_impl(&name, &format!("match self {{\n{arms}}}\n"))
+        }
+    };
+    out.parse().expect("generated Serialize impl failed to parse")
+}
+
+fn wrap_serialize_impl(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn serialize<S: serde::Serializer>(&self, serializer: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+/// Derives the marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_input(input) {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    };
+    format!("#[automatically_derived]\nimpl<'de> serde::Deserialize<'de> for {name} {{}}\n")
+        .parse()
+        .expect("generated Deserialize impl failed to parse")
+}

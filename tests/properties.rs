@@ -10,10 +10,7 @@ fn arb_points(
     n: std::ops::RangeInclusive<usize>,
     dim: usize,
 ) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    prop::collection::vec(
-        prop::collection::vec(-10.0f32..10.0, dim..=dim),
-        n,
-    )
+    prop::collection::vec(prop::collection::vec(-10.0f32..10.0, dim..=dim), n)
 }
 
 fn store_of(points: &[Vec<f32>]) -> VectorStore {

@@ -67,16 +67,14 @@ fn vamana_respects_its_degree_bound() {
 
 #[test]
 fn elpis_partitions_cover_the_dataset() {
-    let idx =
-        gass::graphs::ElpisIndex::build(deep(700, 6), gass::graphs::ElpisParams::small());
+    let idx = gass::graphs::ElpisIndex::build(deep(700, 6), gass::graphs::ElpisParams::small());
     assert!(idx.num_leaves() >= 2, "DC method must partition");
     assert_eq!(idx.num_vectors(), 700);
 }
 
 #[test]
 fn hcnng_is_a_merged_mst_union() {
-    let idx =
-        gass::graphs::HcnngIndex::build(deep(400, 7), gass::graphs::HcnngParams::small());
+    let idx = gass::graphs::HcnngIndex::build(deep(400, 7), gass::graphs::HcnngParams::small());
     let g = idx.graph();
     // Undirected (MST edges added both ways) and sparse (MST degree cap ×
     // number of clusterings bounds the degree).
