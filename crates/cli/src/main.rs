@@ -47,8 +47,15 @@ COMMANDS:
 
   query     --store <file> --graph <file> --queries <file>
             [--k <10>] [--beam <80>] [--seeds <16>]
+            [--layout <packed|aligned>] [--graph-layout <flat|csr>]
+            [--simd <on|off>] [--prefetch <on|off>]
             Answer k-NN queries from a saved graph; reports recall against
             exact ground truth and distance calculations per query.
+            The fast-path flags default to the serving configuration
+            (aligned store, CSR graph, SIMD kernels, software prefetch);
+            results are identical under every combination — only speed
+            changes. --simd/--prefetch left absent defer to the
+            GASS_NO_SIMD / GASS_NO_PREFETCH environment overrides.
 
   info      --file <file>
             Describe a saved store or graph.
@@ -256,6 +263,26 @@ fn run(args: Args) -> Result<(), String> {
             let k: usize = args.get_or("k", 10).map_err(|e| e.to_string())?;
             let beam: usize = args.get_or("beam", 80).map_err(|e| e.to_string())?;
             let seeds: usize = args.get_or("seeds", 16).map_err(|e| e.to_string())?;
+            let layout: String =
+                args.get_or("layout", "aligned".into()).map_err(|e| e.to_string())?;
+            let graph_layout: String =
+                args.get_or("graph-layout", "csr".into()).map_err(|e| e.to_string())?;
+            let simd: Option<String> = args.get_opt("simd").map_err(|e| e.to_string())?;
+            let prefetch: Option<String> =
+                args.get_opt("prefetch").map_err(|e| e.to_string())?;
+            let on_off = |key: &str, v: &str| match v {
+                "on" => Ok(true),
+                "off" => Ok(false),
+                other => Err(format!("--{key} must be `on` or `off`, got `{other}`")),
+            };
+            // Explicit flags win; absent flags leave the env-driven
+            // defaults (GASS_NO_SIMD / GASS_NO_PREFETCH) in charge.
+            if let Some(v) = &simd {
+                gass_core::set_simd_enabled(on_off("simd", v)?);
+            }
+            if let Some(v) = &prefetch {
+                gass_core::set_prefetch_enabled(on_off("prefetch", v)?);
+            }
             if queries.dim() != store.dim() {
                 return Err(format!(
                     "query dim {} != store dim {}",
@@ -265,8 +292,18 @@ fn run(args: Args) -> Result<(), String> {
             }
             let n = store.len();
             let truth = gass_data::ground_truth(&store, &queries, k);
-            let index =
+            let mut index =
                 PrebuiltIndex::new(store, graph, Box::new(RandomSeeds::new(n, 7)), "loaded");
+            match layout.as_str() {
+                "aligned" => index.align_store(),
+                "packed" => {}
+                other => return Err(format!("unknown --layout `{other}`")),
+            }
+            match graph_layout.as_str() {
+                "csr" => index.freeze(),
+                "flat" => {}
+                other => return Err(format!("unknown --graph-layout `{other}`")),
+            }
             let counter = DistCounter::new();
             let params = QueryParams::new(k, beam).with_seed_count(seeds);
             let t = std::time::Instant::now();
@@ -277,8 +314,14 @@ fn run(args: Args) -> Result<(), String> {
             }
             let nq = truth.len().max(1);
             println!(
-                "queries={} k={k} L={beam}  recall@{k}={:.4}  dists/query={}  ms/query={:.3}",
+                "queries={} k={k} L={beam}  kernel={} store={layout} graph={graph_layout} \
+                 prefetch={}",
                 nq,
+                gass_core::simd_backend(),
+                if gass_core::prefetch_enabled() { "on" } else { "off" },
+            );
+            println!(
+                "recall@{k}={:.4}  dists/query={}  ms/query={:.3}",
                 recall / nq as f64,
                 counter.get() / nq as u64,
                 t.elapsed().as_secs_f64() * 1e3 / nq as f64

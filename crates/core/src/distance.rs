@@ -11,70 +11,455 @@
 //! *squared* Euclidean distance internally (monotone in the true distance,
 //! one `sqrt` cheaper) and take square roots only at reporting boundaries
 //! (e.g. LID/LRC estimation).
+//!
+//! ## Kernel dispatch
+//!
+//! The hot kernels ([`l2_sq`], [`l2_sq_batch`], [`dot`]) are dispatched at
+//! runtime to an explicit SIMD implementation — AVX2 on x86-64, NEON on
+//! aarch64 — with the unrolled scalar code as the portable fallback.
+//! Detection runs once; `GASS_NO_SIMD=1` forces the scalar path for A/B
+//! runs, and [`set_simd_enabled`] toggles it in-process for ablation
+//! harnesses.
+//!
+//! **Every backend is bit-identical.** All implementations follow one
+//! canonical arithmetic: eight accumulator lanes (lane `j` receives the
+//! elements at positions `≡ j (mod 8)`), unfused multiply-then-add, and a
+//! fixed `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` reduction tree. Because
+//! IEEE-754 single-precision operations round identically whether executed
+//! in a vector register or one float at a time, switching kernels changes
+//! *only* wall-clock time: recall, traversal paths, and [`DistCounter`]
+//! totals are invariant — which is exactly what an evaluation framework
+//! built on machine-independent metrics needs.
 
 use crate::store::VectorStore;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
-/// Squared Euclidean distance between two equal-length slices.
-///
-/// Manually unrolled into four accumulator lanes; with `opt-level=3` the
-/// compiler vectorizes this into SIMD on x86-64 and aarch64. The unrolling
-/// matters: a single-accumulator loop is serialized on the FP add latency.
+/// Accumulator lanes in the canonical kernel arithmetic (one AVX2 vector;
+/// two NEON vectors). Also the element granularity of the padded store
+/// layout's stride rounding (`16` floats = one cache line; a multiple of
+/// this).
+pub const KERNEL_LANES: usize = 8;
+
+// --- runtime kernel dispatch -------------------------------------------
+
+const BACKEND_UNINIT: u8 = 0;
+const BACKEND_SCALAR: u8 = 1;
+const BACKEND_AVX2: u8 = 2;
+const BACKEND_NEON: u8 = 3;
+
+static BACKEND: AtomicU8 = AtomicU8::new(BACKEND_UNINIT);
+
+/// Best SIMD backend the host supports (ignoring overrides).
+fn native_backend() -> u8 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return BACKEND_AVX2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return BACKEND_NEON;
+        }
+    }
+    BACKEND_SCALAR
+}
+
+#[cold]
+fn init_backend() -> u8 {
+    let no_simd = std::env::var("GASS_NO_SIMD").is_ok_and(|v| !v.is_empty() && v != "0");
+    let b = if no_simd { BACKEND_SCALAR } else { native_backend() };
+    BACKEND.store(b, Ordering::Relaxed);
+    b
+}
+
+#[inline(always)]
+fn backend() -> u8 {
+    let b = BACKEND.load(Ordering::Relaxed);
+    if b == BACKEND_UNINIT {
+        init_backend()
+    } else {
+        b
+    }
+}
+
+/// Name of the active kernel backend: `"avx2"`, `"neon"`, or `"scalar"`.
+pub fn simd_backend() -> &'static str {
+    match backend() {
+        BACKEND_AVX2 => "avx2",
+        BACKEND_NEON => "neon",
+        _ => "scalar",
+    }
+}
+
+/// Enables or disables the SIMD kernels at runtime (ablation harnesses use
+/// this to A/B within one process). Disabling selects the scalar fallback;
+/// enabling re-detects the best backend. Because every backend is
+/// bit-identical, toggling mid-run changes wall-clock behavior only.
+pub fn set_simd_enabled(on: bool) {
+    let b = if on { native_backend() } else { BACKEND_SCALAR };
+    BACKEND.store(b, Ordering::Relaxed);
+}
+
+// Software prefetch is governed the same way: on by default, `GASS_NO_PREFETCH`
+// disables it for a whole run, `set_prefetch_enabled` toggles it in-process.
+// Tri-state so the env var is read once, lazily.
+static PREFETCH: AtomicU8 = AtomicU8::new(PF_UNINIT);
+const PF_UNINIT: u8 = 0;
+const PF_OFF: u8 = 1;
+const PF_ON: u8 = 2;
+
+#[cold]
+fn init_prefetch() -> u8 {
+    let off = std::env::var("GASS_NO_PREFETCH").is_ok_and(|v| !v.is_empty() && v != "0");
+    let p = if off { PF_OFF } else { PF_ON };
+    PREFETCH.store(p, Ordering::Relaxed);
+    p
+}
+
+/// `true` when query-time software prefetching is active.
+#[inline(always)]
+pub fn prefetch_enabled() -> bool {
+    let p = PREFETCH.load(Ordering::Relaxed);
+    if p == PF_UNINIT {
+        init_prefetch() == PF_ON
+    } else {
+        p == PF_ON
+    }
+}
+
+/// Enables or disables query-time software prefetching (ablation knob;
+/// prefetching has no semantic effect either way).
+pub fn set_prefetch_enabled(on: bool) {
+    PREFETCH.store(if on { PF_ON } else { PF_OFF }, Ordering::Relaxed);
+}
+
+// --- scalar reference kernels ------------------------------------------
+
+/// Reduces the eight canonical accumulator lanes in the fixed tree order
+/// shared by every backend.
+#[inline(always)]
+fn reduce8(acc: [f32; 8]) -> f32 {
+    let c = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
+    (c[0] + c[2]) + (c[1] + c[3])
+}
+
+/// Scalar reference for [`l2_sq`]: eight-lane unrolled squared Euclidean
+/// distance. The unrolling matters twice over — it breaks the FP-add
+/// latency chain, and it autovectorizes well where explicit SIMD is
+/// unavailable. Tail elements keep their lane (position `mod 8`), which is
+/// what makes the SIMD backends' zero-masked tail handling bit-identical.
 #[inline]
-pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+pub fn l2_sq_scalar(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
     for i in 0..chunks {
-        let base = i * 4;
-        for lane in 0..4 {
+        let base = i * 8;
+        for lane in 0..8 {
             let d = a[base + lane] - b[base + lane];
             acc[lane] += d * d;
         }
     }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        let d = a[i] - b[i];
-        sum += d * d;
+    let base = chunks * 8;
+    for lane in 0..a.len() - base {
+        let d = a[base + lane] - b[base + lane];
+        acc[lane] += d * d;
     }
-    sum
+    reduce8(acc)
 }
 
-/// Squared Euclidean distance from one query to **four** stored vectors at
-/// once — the beam-search neighbor loop's batched kernel.
-///
-/// Evaluating four candidates per call gives the compiler sixteen
-/// independent accumulation chains (vs. four in [`l2_sq`]) and reuses each
-/// loaded query chunk across all four vectors. Per vector the arithmetic —
-/// lane split, accumulation order, remainder handling — is exactly
-/// [`l2_sq`]'s, so results are bit-identical to four separate calls.
+/// Scalar reference for [`l2_sq_batch`]: four independent [`l2_sq_scalar`]
+/// accumulations sharing each loaded query chunk.
 #[inline]
-pub fn l2_sq_batch(query: &[f32], vs: [&[f32]; 4]) -> [f32; 4] {
+pub fn l2_sq_batch_scalar(query: &[f32], vs: [&[f32]; 4]) -> [f32; 4] {
     for v in vs {
         debug_assert_eq!(query.len(), v.len());
     }
-    let mut acc = [[0.0f32; 4]; 4];
-    let chunks = query.len() / 4;
+    let mut acc = [[0.0f32; 8]; 4];
+    let chunks = query.len() / 8;
     for i in 0..chunks {
-        let base = i * 4;
+        let base = i * 8;
         for (v, vec) in vs.iter().enumerate() {
-            for lane in 0..4 {
+            for lane in 0..8 {
                 let d = query[base + lane] - vec[base + lane];
                 acc[v][lane] += d * d;
             }
         }
     }
+    let base = chunks * 8;
     let mut out = [0.0f32; 4];
     for (v, vec) in vs.iter().enumerate() {
-        let mut sum = acc[v][0] + acc[v][1] + acc[v][2] + acc[v][3];
-        for i in chunks * 4..query.len() {
-            let d = query[i] - vec[i];
-            sum += d * d;
+        for lane in 0..query.len() - base {
+            let d = query[base + lane] - vec[base + lane];
+            acc[v][lane] += d * d;
         }
-        out[v] = sum;
+        out[v] = reduce8(acc[v]);
     }
     out
+}
+
+/// Scalar reference for [`dot`]: eight-lane unrolled inner product.
+#[inline]
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for i in 0..chunks {
+        let base = i * 8;
+        for lane in 0..8 {
+            acc[lane] += a[base + lane] * b[base + lane];
+        }
+    }
+    let base = chunks * 8;
+    for lane in 0..a.len() - base {
+        acc[lane] += a[base + lane] * b[base + lane];
+    }
+    reduce8(acc)
+}
+
+// --- AVX2 kernels -------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2 implementations of the canonical kernel arithmetic. No FMA
+    //! contraction: fusing the multiply-add would change rounding and break
+    //! bit-identity with the scalar reference (the ~cycle it would save is
+    //! dwarfed by the loads on this memory-bound kernel). Tails load
+    //! through `vmaskmov`, which reads only the enabled lanes and yields
+    //! zeros elsewhere — and a `(0-0)²` or `0·0` term leaves its
+    //! accumulator lane bit-unchanged.
+
+    use core::arch::x86_64::*;
+
+    /// Mask table for tail loads: `TAIL_MASK[8 - rem ..]` enables the
+    /// first `rem` lanes.
+    static TAIL_MASK: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
+
+    #[inline(always)]
+    unsafe fn tail_mask(rem: usize) -> __m256i {
+        debug_assert!((1..=7).contains(&rem));
+        _mm256_loadu_si256(TAIL_MASK.as_ptr().add(8 - rem) as *const __m256i)
+    }
+
+    /// Canonical `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` reduction.
+    #[inline(always)]
+    unsafe fn reduce8(acc: __m256) -> f32 {
+        let c = _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+        let d = _mm_add_ps(c, _mm_movehl_ps(c, c));
+        let e = _mm_add_ss(d, _mm_shuffle_ps(d, d, 0b01));
+        _mm_cvtss_f32(e)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        let chunks = n / 8;
+        for i in 0..chunks {
+            let d =
+                _mm256_sub_ps(_mm256_loadu_ps(pa.add(i * 8)), _mm256_loadu_ps(pb.add(i * 8)));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        }
+        let rem = n % 8;
+        if rem != 0 {
+            let m = tail_mask(rem);
+            let d = _mm256_sub_ps(
+                _mm256_maskload_ps(pa.add(chunks * 8), m),
+                _mm256_maskload_ps(pb.add(chunks * 8), m),
+            );
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        }
+        reduce8(acc)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn l2_sq_batch(query: &[f32], vs: [&[f32]; 4]) -> [f32; 4] {
+        for v in vs {
+            debug_assert_eq!(query.len(), v.len());
+        }
+        let n = query.len();
+        let pq = query.as_ptr();
+        let pv = [vs[0].as_ptr(), vs[1].as_ptr(), vs[2].as_ptr(), vs[3].as_ptr()];
+        let mut acc = [_mm256_setzero_ps(); 4];
+        let chunks = n / 8;
+        for i in 0..chunks {
+            let q = _mm256_loadu_ps(pq.add(i * 8));
+            for v in 0..4 {
+                let d = _mm256_sub_ps(q, _mm256_loadu_ps(pv[v].add(i * 8)));
+                acc[v] = _mm256_add_ps(acc[v], _mm256_mul_ps(d, d));
+            }
+        }
+        let rem = n % 8;
+        if rem != 0 {
+            let m = tail_mask(rem);
+            let q = _mm256_maskload_ps(pq.add(chunks * 8), m);
+            for v in 0..4 {
+                let d = _mm256_sub_ps(q, _mm256_maskload_ps(pv[v].add(chunks * 8), m));
+                acc[v] = _mm256_add_ps(acc[v], _mm256_mul_ps(d, d));
+            }
+        }
+        [reduce8(acc[0]), reduce8(acc[1]), reduce8(acc[2]), reduce8(acc[3])]
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        let chunks = n / 8;
+        for i in 0..chunks {
+            let p =
+                _mm256_mul_ps(_mm256_loadu_ps(pa.add(i * 8)), _mm256_loadu_ps(pb.add(i * 8)));
+            acc = _mm256_add_ps(acc, p);
+        }
+        let rem = n % 8;
+        if rem != 0 {
+            let m = tail_mask(rem);
+            let p = _mm256_mul_ps(
+                _mm256_maskload_ps(pa.add(chunks * 8), m),
+                _mm256_maskload_ps(pb.add(chunks * 8), m),
+            );
+            acc = _mm256_add_ps(acc, p);
+        }
+        reduce8(acc)
+    }
+}
+
+// --- NEON kernels -------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! NEON implementations of the canonical kernel arithmetic: two
+    //! `float32x4` accumulators model the eight lanes (low half = lanes
+    //! 0–3, high half = lanes 4–7), so the cross-half `lo + hi` add is the
+    //! canonical reduction's first level. Tails go through a zero-filled
+    //! stack buffer; zero terms leave their accumulator lane bit-unchanged.
+
+    use core::arch::aarch64::*;
+
+    #[inline(always)]
+    unsafe fn reduce8(lo: float32x4_t, hi: float32x4_t) -> f32 {
+        let c = vaddq_f32(lo, hi);
+        let (c0, c1, c2, c3) = (
+            vgetq_lane_f32(c, 0),
+            vgetq_lane_f32(c, 1),
+            vgetq_lane_f32(c, 2),
+            vgetq_lane_f32(c, 3),
+        );
+        (c0 + c2) + (c1 + c3)
+    }
+
+    /// Copies the `rem`-element tail starting at `p` into a zero-padded
+    /// 8-float buffer.
+    #[inline(always)]
+    unsafe fn tail(p: *const f32, rem: usize) -> [f32; 8] {
+        let mut buf = [0.0f32; 8];
+        core::ptr::copy_nonoverlapping(p, buf.as_mut_ptr(), rem);
+        buf
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut lo = vdupq_n_f32(0.0);
+        let mut hi = vdupq_n_f32(0.0);
+        let chunks = n / 8;
+        for i in 0..chunks {
+            let d0 = vsubq_f32(vld1q_f32(pa.add(i * 8)), vld1q_f32(pb.add(i * 8)));
+            let d1 = vsubq_f32(vld1q_f32(pa.add(i * 8 + 4)), vld1q_f32(pb.add(i * 8 + 4)));
+            lo = vaddq_f32(lo, vmulq_f32(d0, d0));
+            hi = vaddq_f32(hi, vmulq_f32(d1, d1));
+        }
+        let rem = n % 8;
+        if rem != 0 {
+            let ta = tail(pa.add(chunks * 8), rem);
+            let tb = tail(pb.add(chunks * 8), rem);
+            let d0 = vsubq_f32(vld1q_f32(ta.as_ptr()), vld1q_f32(tb.as_ptr()));
+            let d1 = vsubq_f32(vld1q_f32(ta.as_ptr().add(4)), vld1q_f32(tb.as_ptr().add(4)));
+            lo = vaddq_f32(lo, vmulq_f32(d0, d0));
+            hi = vaddq_f32(hi, vmulq_f32(d1, d1));
+        }
+        reduce8(lo, hi)
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn l2_sq_batch(query: &[f32], vs: [&[f32]; 4]) -> [f32; 4] {
+        let mut out = [0.0f32; 4];
+        for (o, v) in out.iter_mut().zip(vs) {
+            *o = l2_sq(query, v);
+        }
+        out
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut lo = vdupq_n_f32(0.0);
+        let mut hi = vdupq_n_f32(0.0);
+        let chunks = n / 8;
+        for i in 0..chunks {
+            lo = vaddq_f32(lo, vmulq_f32(vld1q_f32(pa.add(i * 8)), vld1q_f32(pb.add(i * 8))));
+            hi = vaddq_f32(
+                hi,
+                vmulq_f32(vld1q_f32(pa.add(i * 8 + 4)), vld1q_f32(pb.add(i * 8 + 4))),
+            );
+        }
+        let rem = n % 8;
+        if rem != 0 {
+            let ta = tail(pa.add(chunks * 8), rem);
+            let tb = tail(pb.add(chunks * 8), rem);
+            lo = vaddq_f32(lo, vmulq_f32(vld1q_f32(ta.as_ptr()), vld1q_f32(tb.as_ptr())));
+            hi = vaddq_f32(
+                hi,
+                vmulq_f32(vld1q_f32(ta.as_ptr().add(4)), vld1q_f32(tb.as_ptr().add(4))),
+            );
+        }
+        reduce8(lo, hi)
+    }
+}
+
+// --- dispatched public kernels -----------------------------------------
+
+/// Squared Euclidean distance between two equal-length slices, dispatched
+/// to the best available kernel (see the module docs: all backends are
+/// bit-identical).
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        BACKEND_AVX2 => unsafe { avx2::l2_sq(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        BACKEND_NEON => unsafe { neon::l2_sq(a, b) },
+        _ => l2_sq_scalar(a, b),
+    }
+}
+
+/// Squared Euclidean distance from one query to **four** stored vectors at
+/// once — the beam-search neighbor loop's batched kernel.
+///
+/// Evaluating four candidates per call reuses each loaded query chunk
+/// across all four vectors and gives the hardware four independent
+/// accumulation chains. Per vector the arithmetic is exactly [`l2_sq`]'s,
+/// so results are bit-identical to four separate calls.
+#[inline]
+pub fn l2_sq_batch(query: &[f32], vs: [&[f32]; 4]) -> [f32; 4] {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        BACKEND_AVX2 => unsafe { avx2::l2_sq_batch(query, vs) },
+        #[cfg(target_arch = "aarch64")]
+        BACKEND_NEON => unsafe { neon::l2_sq_batch(query, vs) },
+        _ => l2_sq_batch_scalar(query, vs),
+    }
 }
 
 /// Euclidean distance (`sqrt` of [`l2_sq`]).
@@ -83,23 +468,16 @@ pub fn l2(a: &[f32], b: &[f32]) -> f32 {
     l2_sq(a, b).sqrt()
 }
 
-/// Inner product of two equal-length slices (four-lane unrolled).
+/// Inner product of two equal-length slices, dispatched like [`l2_sq`].
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        for lane in 0..4 {
-            acc[lane] += a[base + lane] * b[base + lane];
-        }
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        BACKEND_AVX2 => unsafe { avx2::dot(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        BACKEND_NEON => unsafe { neon::dot(a, b) },
+        _ => dot_scalar(a, b),
     }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
 }
 
 /// Squared L2 norm.
@@ -235,6 +613,17 @@ impl<'a> Space<'a> {
             ],
         )
     }
+
+    /// Hints the CPU to pull stored vector `i` into cache (see
+    /// [`VectorStore::prefetch`]). Free of semantic effect; a no-op when
+    /// prefetching is disabled via `GASS_NO_PREFETCH` /
+    /// [`set_prefetch_enabled`].
+    #[inline]
+    pub fn prefetch(&self, i: u32) {
+        if prefetch_enabled() {
+            self.store.prefetch(i);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -255,14 +644,50 @@ mod tests {
         assert_eq!(l2_sq(&a, &a), 0.0);
     }
 
+    fn ramp(dim: usize, phase: usize) -> Vec<f32> {
+        (0..dim).map(|i| ((i + phase * 31) as f32 * 0.3).cos()).collect()
+    }
+
+    #[test]
+    fn dispatched_kernels_are_bit_identical_to_scalar() {
+        // Exercises every tail length (dims 1..=40 cover all `mod 8`
+        // classes several times) plus the paper's dataset dims.
+        for dim in (1usize..=40).chain([96, 100, 128, 200, 960]) {
+            let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.7).sin()).collect();
+            let b = ramp(dim, 1);
+            assert_eq!(
+                l2_sq(&a, &b).to_bits(),
+                l2_sq_scalar(&a, &b).to_bits(),
+                "l2_sq dim={dim} backend={}",
+                simd_backend()
+            );
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                dot_scalar(&a, &b).to_bits(),
+                "dot dim={dim} backend={}",
+                simd_backend()
+            );
+            let vs: Vec<Vec<f32>> = (0..4).map(|v| ramp(dim, v + 2)).collect();
+            let refs = [&vs[0][..], &vs[1][..], &vs[2][..], &vs[3][..]];
+            let batch = l2_sq_batch(&a, refs);
+            let batch_ref = l2_sq_batch_scalar(&a, refs);
+            for v in 0..4 {
+                assert_eq!(
+                    batch[v].to_bits(),
+                    batch_ref[v].to_bits(),
+                    "batch dim={dim} v={v} backend={}",
+                    simd_backend()
+                );
+            }
+        }
+    }
+
     #[test]
     fn l2_sq_batch_is_bit_identical_to_l2_sq() {
-        // Awkward dimension (13) exercises the remainder path too.
-        for dim in [1usize, 4, 13, 96] {
+        // Awkward dimensions exercise the remainder path too.
+        for dim in [1usize, 4, 8, 13, 96, 100] {
             let q: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.7).sin()).collect();
-            let vs: Vec<Vec<f32>> = (0..4)
-                .map(|v| (0..dim).map(|i| ((i + v * 31) as f32 * 0.3).cos()).collect())
-                .collect();
+            let vs: Vec<Vec<f32>> = (0..4).map(|v| ramp(dim, v)).collect();
             let batch = l2_sq_batch(&q, [&vs[0], &vs[1], &vs[2], &vs[3]]);
             for v in 0..4 {
                 assert_eq!(
@@ -272,6 +697,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn simd_toggle_round_trips() {
+        // Scalar and SIMD are bit-identical, so flipping the global toggle
+        // is observable only through the backend name. (Safe against
+        // concurrent tests for the same reason.)
+        let before = simd_backend();
+        set_simd_enabled(false);
+        assert_eq!(simd_backend(), "scalar");
+        set_simd_enabled(true);
+        let native = simd_backend();
+        assert!(["avx2", "neon", "scalar"].contains(&native));
+        set_simd_enabled(before != "scalar");
     }
 
     #[test]
@@ -334,6 +773,8 @@ mod tests {
         let space = Space::new(&store, &counter);
         assert!((space.dist(0, 1) - 25.0).abs() < 1e-6);
         assert!((space.dist_to(&[0.0, 0.0], 1) - 25.0).abs() < 1e-6);
+        assert_eq!(counter.get(), 2);
+        space.prefetch(1); // semantic no-op, must not affect the counter
         assert_eq!(counter.get(), 2);
     }
 }

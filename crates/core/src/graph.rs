@@ -10,9 +10,15 @@
 //!   count, HNSW-style. Cache-friendly at query time, but reserves
 //!   `max_degree` slots per node, which is exactly the quadratic-ish memory
 //!   growth the paper attributes to hnswlib's layout.
+//! * [`CsrGraph`] — compressed sparse row: one `offsets` array and one
+//!   densely packed `neighbors` array, no per-node slack at all. The
+//!   read-only serving layout every finished method freezes into
+//!   (`AnnIndex::freeze`): contiguous like [`FlatGraph`] but without its
+//!   slot rounding, so it is both the smallest and the most
+//!   prefetch-friendly representation.
 //!
 //! Search code is generic over [`GraphView`], so every method can be queried
-//! through either layout.
+//! through any layout.
 
 use serde::{Deserialize, Serialize};
 
@@ -225,6 +231,68 @@ impl GraphView for FlatGraph {
     }
 }
 
+/// Compressed-sparse-row graph: node `v`'s neighbors live at
+/// `neighbors[offsets[v] .. offsets[v + 1]]`. Exactly `num_edges` entries
+/// plus `n + 1` offsets — no per-node slack — and fully contiguous, which
+/// is what makes it the preferred *serving* layout (see
+/// [`crate::index::AnnIndex::freeze`]): adjacent lists share cache lines,
+/// and a single offsets lookup replaces the per-`Vec` pointer chase of
+/// [`AdjacencyGraph`].
+///
+/// The layout is immutable by construction; build code keeps using the
+/// mutable layouts and freezes once at the end.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Freezes any [`GraphView`] into CSR form, preserving neighbor order.
+    ///
+    /// # Panics
+    /// Panics if the graph holds more than `u32::MAX` edges (offsets are
+    /// `u32` to halve their footprint; the paper's largest per-graph edge
+    /// counts are well below that).
+    pub fn from_view<G: GraphView + ?Sized>(g: &G) -> Self {
+        let n = g.num_nodes();
+        let total = g.num_edges();
+        assert!(total <= u32::MAX as usize, "edge count exceeds u32 offset space");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(total);
+        offsets.push(0);
+        for v in 0..n as u32 {
+            neighbors.extend_from_slice(g.neighbors(v));
+            offsets.push(neighbors.len() as u32);
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Heap bytes used by the CSR arrays.
+    pub fn heap_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.neighbors.capacity()) * std::mem::size_of::<u32>()
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    #[inline]
+    fn neighbors(&self, node: u32) -> &[u32] {
+        let lo = self.offsets[node as usize] as usize;
+        let hi = self.offsets[node as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +358,32 @@ mod tests {
         g.set_neighbors(0, vec![1, 2, 3]);
         let f = FlatGraph::from_adjacency(&g, Some(2));
         assert_eq!(f.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn csr_graph_preserves_neighbors_and_order() {
+        let g = diamond();
+        let c = CsrGraph::from_view(&g);
+        assert_eq!(c.num_nodes(), g.num_nodes());
+        assert_eq!(c.num_edges(), g.num_edges());
+        for v in 0..4 {
+            assert_eq!(c.neighbors(v), g.neighbors(v));
+        }
+        // Also freezes from the flat layout (slot slack dropped).
+        let f = FlatGraph::from_adjacency(&g, Some(5));
+        let c2 = CsrGraph::from_view(&f);
+        for v in 0..4 {
+            assert_eq!(c2.neighbors(v), g.neighbors(v));
+        }
+        assert!(c2.heap_bytes() < f.heap_bytes());
+    }
+
+    #[test]
+    fn csr_of_empty_graph() {
+        let g = AdjacencyGraph::new(0);
+        let c = CsrGraph::from_view(&g);
+        assert_eq!(c.num_nodes(), 0);
+        assert_eq!(c.num_edges(), 0);
     }
 
     #[test]

@@ -85,6 +85,20 @@ pub trait AnnIndex: Send + Sync {
         let s = self.stats();
         s.graph_bytes + s.aux_bytes
     }
+
+    /// Freezes the index for serving: converts its traversal graph(s) into
+    /// the contiguous CSR layout ([`crate::graph::CsrGraph`]) so queries
+    /// stop chasing per-node `Vec` pointers. Idempotent, and a no-op for
+    /// indexes with nothing to freeze (e.g. the serial scan). Search
+    /// results are identical before and after — only memory layout (and
+    /// hence speed) changes.
+    fn freeze(&mut self) {}
+
+    /// `true` once [`Self::freeze`] has taken effect (always `false` for
+    /// indexes with nothing to freeze).
+    fn is_frozen(&self) -> bool {
+        false
+    }
 }
 
 /// Lock-sharded pool of [`SearchScratch`] buffers so concurrent searches
@@ -174,6 +188,7 @@ impl AnnIndex for SerialScanIndex {
 pub struct PrebuiltIndex {
     store: crate::store::VectorStore,
     graph: crate::graph::FlatGraph,
+    csr: Option<crate::graph::CsrGraph>,
     seeds: Box<dyn crate::seed::SeedProvider>,
     label: String,
     scratch: ScratchPool,
@@ -196,12 +211,27 @@ impl PrebuiltIndex {
             graph.num_nodes(),
             "store and graph must cover the same vectors"
         );
-        Self { store, graph, seeds, label: label.into(), scratch: ScratchPool::new() }
+        Self {
+            store,
+            graph,
+            csr: None,
+            seeds,
+            label: label.into(),
+            scratch: ScratchPool::new(),
+        }
     }
 
     /// The wrapped store.
     pub fn store(&self) -> &crate::store::VectorStore {
         &self.store
+    }
+
+    /// Re-lays the wrapped store out cache-line aligned (see
+    /// [`crate::store::VectorStore::to_aligned`]).
+    pub fn align_store(&mut self) {
+        if !self.store.is_aligned() {
+            self.store = self.store.to_aligned();
+        }
     }
 
     /// The wrapped graph.
@@ -233,16 +263,39 @@ impl AnnIndex for PrebuiltIndex {
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            crate::search::beam_search(
-                &self.graph,
-                space,
-                query,
-                &seeds,
-                params.k,
-                params.beam_width,
-                scratch,
-            )
+            // Match on the frozen layout outside the traversal so both
+            // arms monomorphize (no virtual dispatch per neighbor list).
+            match &self.csr {
+                Some(csr) => crate::search::beam_search(
+                    csr,
+                    space,
+                    query,
+                    &seeds,
+                    params.k,
+                    params.beam_width,
+                    scratch,
+                ),
+                None => crate::search::beam_search(
+                    &self.graph,
+                    space,
+                    query,
+                    &seeds,
+                    params.k,
+                    params.beam_width,
+                    scratch,
+                ),
+            }
         })
+    }
+
+    fn freeze(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(crate::graph::CsrGraph::from_view(&self.graph));
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.csr.is_some()
     }
 
     fn stats(&self) -> IndexStats {
@@ -252,7 +305,8 @@ impl AnnIndex for PrebuiltIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes(),
+            graph_bytes: self.graph.heap_bytes()
+                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
             aux_bytes: 0,
         }
     }

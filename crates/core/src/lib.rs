@@ -38,8 +38,11 @@ pub mod seed;
 pub mod store;
 pub mod visited;
 
-pub use distance::{l2, l2_sq, l2_sq_batch, DistCounter, Space};
-pub use graph::{AdjacencyGraph, FlatGraph, GraphView};
+pub use distance::{
+    dot, l2, l2_sq, l2_sq_batch, prefetch_enabled, set_prefetch_enabled, set_simd_enabled,
+    simd_backend, DistCounter, Space,
+};
+pub use graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 pub use index::{
     AnnIndex, IndexStats, PrebuiltIndex, QueryParams, ScratchPool, SerialScanIndex,
 };
@@ -51,8 +54,8 @@ pub use par::{
 };
 pub use persist::{load_flat_graph, load_store, save_flat_graph, save_store, PersistError};
 pub use search::{
-    beam_search, beam_search_with_sink, greedy_search, serial_scan, SearchResult,
-    SearchScratch, SearchStats,
+    beam_search, beam_search_frozen, beam_search_with_sink, greedy_search, greedy_search_with,
+    serial_scan, SearchResult, SearchScratch, SearchStats,
 };
 pub use seed::{FixedSeed, MedoidSeed, RandomSeeds, SeedProvider, StaticSeeds};
 pub use store::VectorStore;

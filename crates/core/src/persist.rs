@@ -97,14 +97,18 @@ fn check_header(buf: &mut Bytes, expected_kind: u8) -> Result<(), PersistError> 
     Ok(())
 }
 
-/// Encodes a vector store.
+/// Encodes a vector store. Rows are written packed (padding stripped), so
+/// both layouts of the same vectors produce identical bytes; decoding
+/// always yields the packed layout (re-align with
+/// [`VectorStore::to_aligned`] if desired).
 pub fn encode_store(store: &VectorStore) -> Bytes {
-    let flat = store.as_flat();
-    let mut buf = header(KIND_STORE, 16 + flat.len() * 4);
+    let mut buf = header(KIND_STORE, 16 + store.len() * store.dim() * 4);
     buf.put_u64_le(store.dim() as u64);
     buf.put_u64_le(store.len() as u64);
-    for &x in flat {
-        buf.put_f32_le(x);
+    for (_, row) in store.iter() {
+        for &x in row {
+            buf.put_f32_le(x);
+        }
     }
     buf.freeze()
 }

@@ -129,10 +129,16 @@ pub fn beam_search_with_sink<G: GraphView + ?Sized>(
         // batched kernel (`l2_sq_batch`, bit-identical per vector), with a
         // scalar tail. Evaluation order — and hence sink order, counter
         // total, and buffer content — matches the one-at-a-time loop.
+        //
+        // Each accepted candidate's vector is software-prefetched as soon
+        // as it enters the pending batch: the remaining visited-filter work
+        // for the rest of the neighbor list overlaps the memory latency of
+        // the rows the batched kernel is about to touch.
         let mut pending = [0u32; 4];
         let mut fill = 0usize;
         for &nb in graph.neighbors(current.id) {
             if scratch.visited.insert(nb) {
+                space.prefetch(nb);
                 pending[fill] = nb;
                 fill += 1;
                 if fill == 4 {
@@ -161,26 +167,92 @@ pub fn beam_search_with_sink<G: GraphView + ?Sized>(
     SearchResult { neighbors: scratch.buffer.top_k(k), stats }
 }
 
+/// [`beam_search`] over an index that may have been frozen into CSR form:
+/// traverses `csr` when present, `graph` otherwise. Both arms are
+/// statically dispatched — this is the one `match` every method's `search`
+/// does, hoisted out of the traversal so the hot loop never pays virtual
+/// dispatch per neighbor list.
+#[allow(clippy::too_many_arguments)]
+pub fn beam_search_frozen<G: GraphView + ?Sized>(
+    graph: &G,
+    csr: Option<&crate::graph::CsrGraph>,
+    space: Space<'_>,
+    query: &[f32],
+    seeds: &[u32],
+    k: usize,
+    beam_width: usize,
+    scratch: &mut SearchScratch,
+) -> SearchResult {
+    match csr {
+        Some(c) => beam_search(c, space, query, seeds, k, beam_width, scratch),
+        None => beam_search(graph, space, query, seeds, k, beam_width, scratch),
+    }
+}
+
 /// Greedy 1-NN descent from `entry`: repeatedly move to the closest
 /// neighbor until no neighbor improves. This is the per-layer routine of
 /// HNSW's hierarchical seed selection (SN) and of ELPIS's leaf routing.
+///
+/// Allocates a fresh [`VisitedSet`]; hot paths that descend repeatedly
+/// should reuse one via [`greedy_search_with`].
 pub fn greedy_search<G: GraphView + ?Sized>(
     graph: &G,
     space: Space<'_>,
     query: &[f32],
     entry: u32,
 ) -> (Neighbor, SearchStats) {
+    let mut visited = VisitedSet::new(graph.num_nodes());
+    greedy_search_with(graph, space, query, entry, &mut visited)
+}
+
+/// [`greedy_search`] with caller-provided scratch. Every node is evaluated
+/// at most once: on undirected graphs the naive descent re-scores the node
+/// it just came from (and other mutual neighbors) on every hop, and the
+/// visited filter removes exactly those redundant evaluations — safe
+/// because the running best distance is the minimum over everything
+/// already evaluated, so a revisit can never improve it. Neighbor
+/// evaluations go through the 4-wide batched kernel like [`beam_search`].
+pub fn greedy_search_with<G: GraphView + ?Sized>(
+    graph: &G,
+    space: Space<'_>,
+    query: &[f32],
+    entry: u32,
+    visited: &mut VisitedSet,
+) -> (Neighbor, SearchStats) {
     let mut stats = SearchStats::default();
+    visited.resize(graph.num_nodes());
+    visited.clear();
+    visited.insert(entry);
     let mut best = Neighbor::new(entry, space.dist_to(query, entry));
     stats.evaluated += 1;
     loop {
         stats.hops += 1;
         let mut improved = false;
+        let mut pending = [0u32; 4];
+        let mut fill = 0usize;
         for &nb in graph.neighbors(best.id) {
-            let d = space.dist_to(query, nb);
+            if visited.insert(nb) {
+                space.prefetch(nb);
+                pending[fill] = nb;
+                fill += 1;
+                if fill == 4 {
+                    let ds = space.dist_to_batch(query, pending);
+                    stats.evaluated += 4;
+                    for (&id, &d) in pending.iter().zip(ds.iter()) {
+                        if d < best.dist {
+                            best = Neighbor::new(id, d);
+                            improved = true;
+                        }
+                    }
+                    fill = 0;
+                }
+            }
+        }
+        for &id in &pending[..fill] {
+            let d = space.dist_to(query, id);
             stats.evaluated += 1;
             if d < best.dist {
-                best = Neighbor::new(nb, d);
+                best = Neighbor::new(id, d);
                 improved = true;
             }
         }
@@ -192,11 +264,24 @@ pub fn greedy_search<G: GraphView + ?Sized>(
 
 /// Exhaustive scan: evaluates the query against *every* vector and returns
 /// the exact `k` nearest. The paper's serial-scan baseline (Figure 1) and
-/// the reference answer for recall.
+/// the reference answer for recall. Runs four vectors at a time through the
+/// batched kernel (bit-identical to one-at-a-time evaluation) with a scalar
+/// tail, so the exact baseline benefits from the SIMD kernels too.
 pub fn serial_scan(space: Space<'_>, query: &[f32], k: usize) -> Vec<Neighbor> {
     let mut heap = crate::neighbor::BoundedMaxHeap::new(k.max(1));
-    for id in 0..space.len() as u32 {
+    let n = space.len() as u32;
+    let mut id = 0u32;
+    while id + 4 <= n {
+        let ids = [id, id + 1, id + 2, id + 3];
+        let ds = space.dist_to_batch(query, ids);
+        for (&i, &d) in ids.iter().zip(ds.iter()) {
+            heap.push(Neighbor::new(i, d));
+        }
+        id += 4;
+    }
+    while id < n {
         heap.push(Neighbor::new(id, space.dist_to(query, id)));
+        id += 1;
     }
     heap.into_sorted()
 }
@@ -285,6 +370,24 @@ mod tests {
         let (best, stats) = greedy_search(&g, space, &[6.1], 0);
         assert_eq!(best.id, 6);
         assert!(stats.hops >= 6);
+        // The visited filter caps evaluations at one per node: walking
+        // 0->6 on the chain touches nodes 0..=7 exactly once each.
+        assert_eq!(stats.evaluated, 8);
+        assert_eq!(counter.get(), stats.evaluated as u64);
+    }
+
+    #[test]
+    fn greedy_with_reused_scratch_matches_fresh() {
+        let (store, g) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut visited = crate::visited::VisitedSet::new(10);
+        for q in [0.4f32, 8.7, 3.2] {
+            let fresh = greedy_search(&g, space, &[q], 0);
+            let reused = greedy_search_with(&g, space, &[q], 0, &mut visited);
+            assert_eq!(fresh.0, reused.0);
+            assert_eq!(fresh.1.evaluated, reused.1.evaluated);
+        }
     }
 
     #[test]

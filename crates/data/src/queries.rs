@@ -51,9 +51,8 @@ pub fn noisy_queries(store: &VectorStore, count: usize, sigma2: f32, seed: u64) 
     let dim = store.dim();
     // Per-dataset scale: RMS of coordinates, so σ is relative to data
     // magnitude (the paper's datasets are normalized; analogs are not all).
-    let flat = store.as_flat();
-    let rms =
-        (flat.iter().map(|x| (x * x) as f64).sum::<f64>() / flat.len() as f64).sqrt() as f32;
+    let sum_sq: f64 = store.iter().flat_map(|(_, row)| row).map(|x| (x * x) as f64).sum();
+    let rms = (sum_sq / (store.len() * dim) as f64).sqrt() as f32;
     let sigma = sigma2.sqrt() * rms.max(1e-6);
     let mut queries = VectorStore::with_capacity(dim, count);
     let mut q = vec![0.0f32; dim];

@@ -11,11 +11,11 @@
 
 use crate::common::{add_reverse_edges, add_reverse_edges_concurrent, BuildReport};
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::par::ConcurrentAdjacency;
-use gass_core::search::{beam_search, SearchResult, SearchScratch};
+use gass_core::search::{beam_search, beam_search_frozen, SearchResult, SearchScratch};
 use gass_core::seed::{RandomSeeds, SeedProvider, StaticSeeds};
 use gass_core::store::VectorStore;
 
@@ -79,6 +79,7 @@ fn insertion_seeds(
 pub struct IiGraph {
     store: VectorStore,
     graph: FlatGraph,
+    csr: Option<CsrGraph>,
     params: IiParams,
     default_seeds: Box<dyn SeedProvider>,
     scratch: ScratchPool,
@@ -220,6 +221,7 @@ impl IiGraph {
             graph: flat,
             params,
             default_seeds,
+            csr: None,
             scratch: ScratchPool::new(),
             build,
             label,
@@ -245,7 +247,16 @@ impl IiGraph {
         let mut seeds = Vec::new();
         provider.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            beam_search(&self.graph, space, query, &seeds, params.k, params.beam_width, scratch)
+            beam_search_frozen(
+                &self.graph,
+                self.csr.as_ref(),
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            )
         })
     }
 
@@ -297,13 +308,24 @@ impl AnnIndex for IiGraph {
         self.search_with(self.default_seeds.as_ref(), query, params, counter)
     }
 
+    fn freeze(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrGraph::from_view(&self.graph));
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.csr.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes(),
+            graph_bytes: self.graph.heap_bytes()
+                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
             aux_bytes: 0,
         }
     }

@@ -223,6 +223,18 @@ impl AnnIndex for ElpisIndex {
         SearchResult { neighbors: merged, stats }
     }
 
+    fn freeze(&mut self) {
+        // ELPIS has no monolithic graph; freezing delegates to every
+        // per-leaf HNSW so all partition traversals run over CSR.
+        for leaf in &mut self.leaves {
+            leaf.index.freeze();
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.leaves.iter().all(|l| l.index.is_frozen())
+    }
+
     fn stats(&self) -> IndexStats {
         let mut s = IndexStats { nodes: self.n, ..Default::default() };
         for leaf in &self.leaves {

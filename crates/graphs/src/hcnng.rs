@@ -7,9 +7,9 @@
 
 use crate::common::BuildReport;
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, CsrGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
-use gass_core::search::{beam_search, SearchResult};
+use gass_core::search::{beam_search_frozen, SearchResult};
 use gass_core::seed::SeedProvider;
 use gass_core::store::VectorStore;
 use gass_trees::kdtree::KdForest;
@@ -94,6 +94,7 @@ fn random_divide(
 pub struct HcnngIndex {
     store: VectorStore,
     graph: AdjacencyGraph,
+    csr: Option<CsrGraph>,
     forest: KdForest,
     scratch: ScratchPool,
     build: BuildReport,
@@ -136,7 +137,7 @@ impl HcnngIndex {
         let forest = KdForest::build(&store, params.num_seed_trees, 16, params.seed ^ 0x4d);
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
-        Self { store, graph, forest, scratch: ScratchPool::new(), build }
+        Self { store, graph, forest, csr: None, scratch: ScratchPool::new(), build }
     }
 
     /// Construction cost report.
@@ -173,8 +174,27 @@ impl AnnIndex for HcnngIndex {
         let mut seeds = Vec::new();
         self.forest.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            beam_search(&self.graph, space, query, &seeds, params.k, params.beam_width, scratch)
+            beam_search_frozen(
+                &self.graph,
+                self.csr.as_ref(),
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            )
         })
+    }
+
+    fn freeze(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrGraph::from_view(&self.graph));
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.csr.is_some()
     }
 
     fn stats(&self) -> IndexStats {
@@ -183,7 +203,8 @@ impl AnnIndex for HcnngIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes(),
+            graph_bytes: self.graph.heap_bytes()
+                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
             aux_bytes: self.forest.heap_bytes(),
         }
     }

@@ -12,11 +12,11 @@
 use crate::common::{add_reverse_edges, add_reverse_edges_concurrent, BuildReport};
 use crate::hierarchy::{draw_level, Hierarchy};
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::par::ConcurrentAdjacency;
-use gass_core::search::{beam_search, SearchResult, SearchScratch};
+use gass_core::search::{beam_search, beam_search_frozen, SearchResult, SearchScratch};
 use gass_core::store::VectorStore;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -54,6 +54,7 @@ impl HnswParams {
 pub struct HnswIndex {
     store: VectorStore,
     base: FlatGraph,
+    csr: Option<CsrGraph>,
     hierarchy: Hierarchy,
     params: HnswParams,
     scratch: ScratchPool,
@@ -130,7 +131,7 @@ impl HnswIndex {
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let base = FlatGraph::from_adjacency(&base, Some(m0));
-        Self { store, base, hierarchy, params, scratch: ScratchPool::new(), build }
+        Self { store, base, csr: None, hierarchy, params, scratch: ScratchPool::new(), build }
     }
 
     fn build_serial(
@@ -236,6 +237,12 @@ impl HnswIndex {
         &self.base
     }
 
+    /// The frozen CSR form of the base layer, once
+    /// [`AnnIndex::freeze`] has run.
+    pub fn csr(&self) -> Option<&CsrGraph> {
+        self.csr.as_ref()
+    }
+
     /// The seed-selection hierarchy.
     pub fn hierarchy(&self) -> &Hierarchy {
         &self.hierarchy
@@ -249,6 +256,15 @@ impl HnswIndex {
     /// The vector store.
     pub fn store(&self) -> &VectorStore {
         &self.store
+    }
+
+    /// Converts the vector store to the cache-aligned, padded layout
+    /// (idempotent; search results are unaffected — only memory layout
+    /// changes).
+    pub fn align_store(&mut self) {
+        if !self.store.is_aligned() {
+            self.store = self.store.to_aligned();
+        }
     }
 }
 
@@ -274,8 +290,9 @@ impl AnnIndex for HnswIndex {
         let space = Space::new(&self.store, counter);
         let entry = self.hierarchy.descend(space, query).unwrap_or(0);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            beam_search(
+            beam_search_frozen(
                 &self.base,
+                self.csr.as_ref(),
                 space,
                 query,
                 &[entry],
@@ -286,13 +303,24 @@ impl AnnIndex for HnswIndex {
         })
     }
 
+    fn freeze(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrGraph::from_view(&self.base));
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.csr.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.base.num_nodes(),
             edges: self.base.num_edges(),
             avg_degree: self.base.avg_degree(),
             max_degree: self.base.max_degree(),
-            graph_bytes: self.base.heap_bytes(),
+            graph_bytes: self.base.heap_bytes()
+                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
             aux_bytes: self.hierarchy.heap_bytes(),
         }
     }

@@ -19,11 +19,11 @@
 
 use crate::common::BuildReport;
 use gass_core::distance::{l2_sq, DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::search::SearchResult;
-use gass_core::search::{beam_search, SearchScratch};
+use gass_core::search::{beam_search, beam_search_frozen, SearchScratch};
 use gass_core::seed::SeedProvider;
 use gass_core::store::VectorStore;
 use gass_trees::kmeans::kmeans;
@@ -163,6 +163,7 @@ impl SeedProvider for VoronoiPyramid {
 pub struct HvsIndex {
     store: VectorStore,
     base: FlatGraph,
+    csr: Option<CsrGraph>,
     pyramid: VoronoiPyramid,
     scratch: ScratchPool,
     build: BuildReport,
@@ -217,7 +218,7 @@ impl HvsIndex {
         };
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
-        Self { store, base, pyramid, scratch: ScratchPool::new(), build }
+        Self { store, base, csr: None, pyramid, scratch: ScratchPool::new(), build }
     }
 
     /// Construction cost report.
@@ -257,8 +258,27 @@ impl AnnIndex for HvsIndex {
             seeds.push(0);
         }
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            beam_search(&self.base, space, query, &seeds, params.k, params.beam_width, scratch)
+            beam_search_frozen(
+                &self.base,
+                self.csr.as_ref(),
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            )
         })
+    }
+
+    fn freeze(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrGraph::from_view(&self.base));
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.csr.is_some()
     }
 
     fn stats(&self) -> IndexStats {
@@ -267,7 +287,8 @@ impl AnnIndex for HvsIndex {
             edges: self.base.num_edges(),
             avg_degree: self.base.avg_degree(),
             max_degree: self.base.max_degree(),
-            graph_bytes: self.base.heap_bytes(),
+            graph_bytes: self.base.heap_bytes()
+                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
             aux_bytes: self.pyramid.heap_bytes(),
         }
     }

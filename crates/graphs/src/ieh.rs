@@ -14,9 +14,9 @@
 use crate::common::BuildReport;
 use crate::nndescent::KnnGraphState;
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
-use gass_core::search::{beam_search, SearchResult};
+use gass_core::search::{beam_search_frozen, SearchResult};
 use gass_core::seed::SeedProvider;
 use gass_core::store::VectorStore;
 use gass_hash::{LshIndex, LshSeeds};
@@ -61,6 +61,7 @@ impl IehParams {
 pub struct IehIndex {
     store: VectorStore,
     graph: FlatGraph,
+    csr: Option<CsrGraph>,
     seeds: LshSeeds,
     scratch: ScratchPool,
     build: BuildReport,
@@ -98,7 +99,7 @@ impl IehIndex {
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let seeds = LshSeeds::new(lsh, 0);
-        Self { store, graph, seeds, scratch: ScratchPool::new(), build }
+        Self { store, graph, seeds, csr: None, scratch: ScratchPool::new(), build }
     }
 
     /// Construction cost report.
@@ -135,8 +136,27 @@ impl AnnIndex for IehIndex {
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            beam_search(&self.graph, space, query, &seeds, params.k, params.beam_width, scratch)
+            beam_search_frozen(
+                &self.graph,
+                self.csr.as_ref(),
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            )
         })
+    }
+
+    fn freeze(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrGraph::from_view(&self.graph));
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.csr.is_some()
     }
 
     fn stats(&self) -> IndexStats {
@@ -145,7 +165,8 @@ impl AnnIndex for IehIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes(),
+            graph_bytes: self.graph.heap_bytes()
+                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
             aux_bytes: self.seeds.heap_bytes(),
         }
     }

@@ -83,6 +83,55 @@ impl LshapgIndex {
     pub fn lsh(&self) -> &LshIndex {
         self.lsh.index()
     }
+
+    /// The probabilistic-routing traversal, generic over the base graph's
+    /// layout so the frozen CSR form dispatches statically.
+    fn routed_traversal<G: GraphView + ?Sized>(
+        &self,
+        graph: &G,
+        space: Space<'_>,
+        query: &[f32],
+        seeds: &[u32],
+        params: &QueryParams,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let sketch = self.lsh.index().query_sketch(query);
+        let gamma = self.gamma;
+        self.scratch.with(space.len(), params.beam_width, |scratch| {
+            for &s in seeds {
+                if scratch.visited.insert(s) {
+                    let d = space.dist_to(query, s);
+                    stats.evaluated += 1;
+                    scratch.buffer.insert(Neighbor::new(s, d));
+                }
+            }
+            while let Some(cur) = scratch.buffer.next_unexpanded() {
+                stats.hops += 1;
+                let bound = scratch.buffer.bound();
+                for &nb in graph.neighbors(cur.id) {
+                    if !scratch.visited.insert(nb) {
+                        continue;
+                    }
+                    // Start pulling the vector while the sketch estimate is
+                    // computed; if routing prunes the neighbor the prefetch
+                    // is wasted bandwidth, otherwise it hides the load.
+                    space.prefetch(nb);
+                    // Probabilistic routing: sketch estimate gates the
+                    // exact evaluation.
+                    if bound.is_finite() {
+                        let est = self.lsh.index().projected_dist_sq(&sketch, nb);
+                        if est > gamma * bound {
+                            continue;
+                        }
+                    }
+                    let d = space.dist_to(query, nb);
+                    stats.evaluated += 1;
+                    scratch.buffer.insert(Neighbor::new(nb, d));
+                }
+            }
+            scratch.buffer.top_k(params.k)
+        })
+    }
 }
 
 impl AnnIndex for LshapgIndex {
@@ -106,44 +155,29 @@ impl AnnIndex for LshapgIndex {
     ) -> SearchResult {
         let store = self.base.store();
         let space = Space::new(store, counter);
-        let graph = self.base.base_graph();
         let mut seeds = Vec::new();
         self.lsh.seeds(space, query, params.seed_count.max(4), &mut seeds);
-        let sketch = self.lsh.index().query_sketch(query);
-        let gamma = self.gamma;
         let mut stats = SearchStats::default();
-
-        let neighbors = self.scratch.with(store.len(), params.beam_width, |scratch| {
-            for &s in &seeds {
-                if scratch.visited.insert(s) {
-                    let d = space.dist_to(query, s);
-                    stats.evaluated += 1;
-                    scratch.buffer.insert(Neighbor::new(s, d));
-                }
-            }
-            while let Some(cur) = scratch.buffer.next_unexpanded() {
-                stats.hops += 1;
-                let bound = scratch.buffer.bound();
-                for &nb in graph.neighbors(cur.id) {
-                    if !scratch.visited.insert(nb) {
-                        continue;
-                    }
-                    // Probabilistic routing: sketch estimate gates the
-                    // exact evaluation.
-                    if bound.is_finite() {
-                        let est = self.lsh.index().projected_dist_sq(&sketch, nb);
-                        if est > gamma * bound {
-                            continue;
-                        }
-                    }
-                    let d = space.dist_to(query, nb);
-                    stats.evaluated += 1;
-                    scratch.buffer.insert(Neighbor::new(nb, d));
-                }
-            }
-            scratch.buffer.top_k(params.k)
-        });
+        let neighbors = match self.base.csr() {
+            Some(csr) => self.routed_traversal(csr, space, query, &seeds, params, &mut stats),
+            None => self.routed_traversal(
+                self.base.base_graph(),
+                space,
+                query,
+                &seeds,
+                params,
+                &mut stats,
+            ),
+        };
         SearchResult { neighbors, stats }
+    }
+
+    fn freeze(&mut self) {
+        self.base.freeze();
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.base.is_frozen()
     }
 
     fn stats(&self) -> IndexStats {

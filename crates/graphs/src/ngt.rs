@@ -6,11 +6,11 @@
 use crate::common::BuildReport;
 use crate::nndescent::KnnGraphState;
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, CsrGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::neighbor::Neighbor;
-use gass_core::search::{beam_search, SearchResult};
+use gass_core::search::{beam_search_frozen, SearchResult};
 use gass_core::seed::SeedProvider;
 use gass_core::store::VectorStore;
 use gass_trees::vptree::VpSeeds;
@@ -41,6 +41,7 @@ impl NgtParams {
 pub struct NgtIndex {
     store: VectorStore,
     graph: AdjacencyGraph,
+    csr: Option<CsrGraph>,
     vp: VpSeeds,
     scratch: ScratchPool,
     build: BuildReport,
@@ -79,7 +80,7 @@ impl NgtIndex {
         };
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
-        Self { store, graph, vp, scratch: ScratchPool::new(), build }
+        Self { store, graph, vp, csr: None, scratch: ScratchPool::new(), build }
     }
 
     /// Construction cost report.
@@ -116,8 +117,27 @@ impl AnnIndex for NgtIndex {
         let mut seeds = Vec::new();
         self.vp.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            beam_search(&self.graph, space, query, &seeds, params.k, params.beam_width, scratch)
+            beam_search_frozen(
+                &self.graph,
+                self.csr.as_ref(),
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            )
         })
+    }
+
+    fn freeze(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrGraph::from_view(&self.graph));
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.csr.is_some()
     }
 
     fn stats(&self) -> IndexStats {
@@ -126,7 +146,8 @@ impl AnnIndex for NgtIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes(),
+            graph_bytes: self.graph.heap_bytes()
+                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
             aux_bytes: self.vp.heap_bytes(),
         }
     }

@@ -8,11 +8,13 @@
 use crate::common::{add_reverse_edges, repair_connectivity, BuildReport};
 use crate::efanna::{EfannaIndex, EfannaParams};
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::neighbor::Neighbor;
-use gass_core::search::{beam_search, beam_search_with_sink, SearchResult, SearchScratch};
+use gass_core::search::{
+    beam_search_frozen, beam_search_with_sink, SearchResult, SearchScratch,
+};
 use gass_core::seed::{RandomSeeds, SeedProvider};
 use gass_core::store::VectorStore;
 
@@ -46,6 +48,7 @@ impl NsgParams {
 pub struct NsgIndex {
     store: VectorStore,
     graph: FlatGraph,
+    csr: Option<CsrGraph>,
     seeds: RandomSeeds,
     medoid: u32,
     scratch: ScratchPool,
@@ -129,6 +132,7 @@ impl NsgIndex {
             graph: flat,
             seeds,
             medoid,
+            csr: None,
             scratch: ScratchPool::new(),
             build,
             base_build,
@@ -179,8 +183,27 @@ impl AnnIndex for NsgIndex {
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            beam_search(&self.graph, space, query, &seeds, params.k, params.beam_width, scratch)
+            beam_search_frozen(
+                &self.graph,
+                self.csr.as_ref(),
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            )
         })
+    }
+
+    fn freeze(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrGraph::from_view(&self.graph));
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.csr.is_some()
     }
 
     fn stats(&self) -> IndexStats {
@@ -189,7 +212,8 @@ impl AnnIndex for NsgIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes(),
+            graph_bytes: self.graph.heap_bytes()
+                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
             aux_bytes: 0,
         }
     }

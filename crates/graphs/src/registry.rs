@@ -114,6 +114,15 @@ pub struct BuiltMethod {
     pub build: BuildReport,
 }
 
+impl BuiltMethod {
+    /// Freezes the index's traversal graph(s) into the contiguous CSR
+    /// serving layout (see [`AnnIndex::freeze`]). Results are identical
+    /// before and after; only the memory layout changes.
+    pub fn freeze(&mut self) {
+        self.index.freeze();
+    }
+}
+
 /// Builds `kind` on `store` with parameter presets scaled by `n`
 /// (degree/beam grow mildly with the tier, mirroring how the paper tunes
 /// per dataset size). Uses each method's default construction threading.
@@ -361,6 +370,41 @@ mod tests {
                 res.neighbors[0].id,
                 11,
                 "{} failed to find the exact member",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_method_freezes_with_identical_results() {
+        // Acceptance-level invariant: freezing into CSR changes the memory
+        // layout only — same neighbors, same distances, same number of
+        // distance evaluations, for every registry method.
+        // Stochastic seed providers (KS) advance an RNG per query, so the
+        // fair comparison is two identically built indexes — one frozen —
+        // queried in lockstep: identical RNG streams, identical everything
+        // except the graph layout.
+        let base = deep_like(300, 2);
+        let queries = deep_like(6, 9);
+        let params = QueryParams::new(5, 32).with_seed_count(8);
+        for kind in MethodKind::all_sota() {
+            let plain = build_method(kind, base.clone(), 7);
+            let mut frozen = build_method(kind, base.clone(), 7);
+            assert!(!frozen.index.is_frozen(), "{} born frozen", kind.name());
+            frozen.freeze();
+            assert!(frozen.index.is_frozen(), "{} did not freeze", kind.name());
+            frozen.freeze(); // idempotent
+            let (cp, cf) = (DistCounter::new(), DistCounter::new());
+            for q in 0..queries.len() as u32 {
+                let rp = plain.index.search(queries.get(q), &params, &cp);
+                let rf = frozen.index.search(queries.get(q), &params, &cf);
+                assert_eq!(rp.neighbors, rf.neighbors, "{} q{}", kind.name(), q);
+                assert_eq!(rp.stats, rf.stats, "{} q{}", kind.name(), q);
+            }
+            assert_eq!(
+                cp.get(),
+                cf.get(),
+                "{} dist-call totals differ between layouts",
                 kind.name()
             );
         }

@@ -7,11 +7,11 @@
 
 use crate::common::{exact_knn_subset, BuildReport};
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::neighbor::Neighbor;
-use gass_core::search::{beam_search, SearchResult};
+use gass_core::search::{beam_search_frozen, SearchResult};
 use gass_core::seed::SeedProvider;
 use gass_core::store::VectorStore;
 use gass_trees::bkt::BktSeeds;
@@ -81,6 +81,7 @@ impl Seeder {
 pub struct SptagIndex {
     store: VectorStore,
     graph: FlatGraph,
+    csr: Option<CsrGraph>,
     seeder: Seeder,
     variant: SptagVariant,
     scratch: ScratchPool,
@@ -144,6 +145,7 @@ impl SptagIndex {
             graph: flat,
             seeder,
             variant: params.variant,
+            csr: None,
             scratch: ScratchPool::new(),
             build,
         }
@@ -186,8 +188,27 @@ impl AnnIndex for SptagIndex {
         let mut seeds = Vec::new();
         self.seeder.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            beam_search(&self.graph, space, query, &seeds, params.k, params.beam_width, scratch)
+            beam_search_frozen(
+                &self.graph,
+                self.csr.as_ref(),
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            )
         })
+    }
+
+    fn freeze(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrGraph::from_view(&self.graph));
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.csr.is_some()
     }
 
     fn stats(&self) -> IndexStats {
@@ -196,7 +217,8 @@ impl AnnIndex for SptagIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes(),
+            graph_bytes: self.graph.heap_bytes()
+                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
             aux_bytes: self.seeder.heap_bytes(),
         }
     }

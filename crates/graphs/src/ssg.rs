@@ -8,11 +8,11 @@
 use crate::common::{add_reverse_edges, repair_connectivity, BuildReport};
 use crate::efanna::{EfannaIndex, EfannaParams};
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::neighbor::Neighbor;
-use gass_core::search::{beam_search, SearchResult};
+use gass_core::search::{beam_search_frozen, SearchResult};
 use gass_core::seed::{RandomSeeds, SeedProvider};
 use gass_core::store::VectorStore;
 use rand::rngs::SmallRng;
@@ -60,6 +60,7 @@ impl SsgParams {
 pub struct SsgIndex {
     store: VectorStore,
     graph: FlatGraph,
+    csr: Option<CsrGraph>,
     seeds: RandomSeeds,
     scratch: ScratchPool,
     build: BuildReport,
@@ -138,7 +139,7 @@ impl SsgIndex {
         };
         let flat = FlatGraph::from_adjacency(&graph, None);
         let seeds = RandomSeeds::new(n, params.seed ^ 0x5eed);
-        Self { store, graph: flat, seeds, scratch: ScratchPool::new(), build }
+        Self { store, graph: flat, seeds, csr: None, scratch: ScratchPool::new(), build }
     }
 
     /// Total construction cost (base + refinement).
@@ -175,8 +176,27 @@ impl AnnIndex for SsgIndex {
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            beam_search(&self.graph, space, query, &seeds, params.k, params.beam_width, scratch)
+            beam_search_frozen(
+                &self.graph,
+                self.csr.as_ref(),
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            )
         })
+    }
+
+    fn freeze(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrGraph::from_view(&self.graph));
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.csr.is_some()
     }
 
     fn stats(&self) -> IndexStats {
@@ -185,7 +205,8 @@ impl AnnIndex for SsgIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes(),
+            graph_bytes: self.graph.heap_bytes()
+                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
             aux_bytes: 0,
         }
     }

@@ -8,12 +8,14 @@
 
 use crate::common::{add_reverse_edges, add_reverse_edges_concurrent, BuildReport};
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::neighbor::Neighbor;
 use gass_core::par::ConcurrentAdjacency;
-use gass_core::search::{beam_search, beam_search_with_sink, SearchResult, SearchScratch};
+use gass_core::search::{
+    beam_search_frozen, beam_search_with_sink, SearchResult, SearchScratch,
+};
 use gass_core::seed::{RandomSeeds, SeedProvider};
 use gass_core::store::VectorStore;
 use rand::rngs::SmallRng;
@@ -55,6 +57,7 @@ impl VamanaParams {
 pub struct VamanaIndex {
     store: VectorStore,
     graph: FlatGraph,
+    csr: Option<CsrGraph>,
     seeds: RandomSeeds,
     medoid: u32,
     scratch: ScratchPool,
@@ -184,7 +187,15 @@ impl VamanaIndex {
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let flat = FlatGraph::from_adjacency(&graph, Some(params.max_degree));
         let seeds = RandomSeeds::with_anchor(n, medoid, params.seed ^ 0x5eed);
-        Self { store, graph: flat, seeds, medoid, scratch: ScratchPool::new(), build }
+        Self {
+            store,
+            graph: flat,
+            seeds,
+            medoid,
+            csr: None,
+            scratch: ScratchPool::new(),
+            build,
+        }
     }
 
     /// Construction cost report.
@@ -226,8 +237,27 @@ impl AnnIndex for VamanaIndex {
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            beam_search(&self.graph, space, query, &seeds, params.k, params.beam_width, scratch)
+            beam_search_frozen(
+                &self.graph,
+                self.csr.as_ref(),
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            )
         })
+    }
+
+    fn freeze(&mut self) {
+        if self.csr.is_none() {
+            self.csr = Some(CsrGraph::from_view(&self.graph));
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.csr.is_some()
     }
 
     fn stats(&self) -> IndexStats {
@@ -236,7 +266,8 @@ impl AnnIndex for VamanaIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes(),
+            graph_bytes: self.graph.heap_bytes()
+                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
             aux_bytes: 0,
         }
     }
