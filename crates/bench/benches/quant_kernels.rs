@@ -1,0 +1,62 @@
+//! Scalar vs SIMD SQ8 asymmetric-distance micro-benchmarks at the paper's
+//! dataset dimensionalities (Glove 25/100, Deep 96, Sift 128, Gist 960),
+//! mirroring `simd_kernels` for the f32 path. The dispatched kernels
+//! (`l2_sq_u8`, `l2_sq_u8_batch`) pick AVX2/NEON at runtime; the
+//! `*_scalar` rows pin the 8-lane reference the dispatcher falls back to
+//! under `GASS_NO_SIMD`.
+//!
+//! Inputs come from a real `QuantizedStore` so the code rows carry the
+//! cache-line-padded stride the serving path sees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gass_core::quant::{l2_sq_u8, l2_sq_u8_batch, l2_sq_u8_batch_scalar, l2_sq_u8_scalar};
+use gass_core::{PreparedQuery, QuantizedStore, VectorStore};
+use std::hint::black_box;
+
+fn quantized(dim: usize) -> (QuantizedStore, PreparedQuery) {
+    let gen = |phase: f32| (0..dim).map(move |i| (i as f32 * 0.37 + phase).sin());
+    let flat: Vec<f32> = (0..5).flat_map(|v| gen(1.0 + v as f32)).collect();
+    let store = QuantizedStore::from_store(&VectorStore::from_flat(dim, flat));
+    let query: Vec<f32> = gen(0.0).collect();
+    let mut pq = PreparedQuery::default();
+    store.prepare_into(&query, &mut pq);
+    (store, pq)
+}
+
+fn bench_quant_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quant_kernels");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for dim in [25usize, 96, 100, 128, 960] {
+        let (store, pq) = quantized(dim);
+        let (u, s) = (pq.u(), pq.s());
+        let row = store.code_row(0);
+        let rows = [store.code_row(1), store.code_row(2), store.code_row(3), store.code_row(4)];
+        group.bench_with_input(BenchmarkId::new("l2_sq_u8/simd", dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq_u8(black_box(u), black_box(s), black_box(row)))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_sq_u8/scalar", dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq_u8_scalar(black_box(u), black_box(s), black_box(row)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("l2_sq_u8_batch/simd", dim),
+            &dim,
+            |bench, _| {
+                bench.iter(|| l2_sq_u8_batch(black_box(u), black_box(s), black_box(rows)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("l2_sq_u8_batch/scalar", dim),
+            &dim,
+            |bench, _| {
+                bench
+                    .iter(|| l2_sq_u8_batch_scalar(black_box(u), black_box(s), black_box(rows)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quant_kernels);
+criterion_main!(benches);

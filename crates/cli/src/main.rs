@@ -49,6 +49,7 @@ COMMANDS:
             [--k <10>] [--beam <80>] [--seeds <16>]
             [--layout <packed|aligned>] [--graph-layout <flat|csr>]
             [--simd <on|off>] [--prefetch <on|off>]
+            [--quant <sq8|none>] [--rerank-factor <4>]
             Answer k-NN queries from a saved graph; reports recall against
             exact ground truth and distance calculations per query.
             The fast-path flags default to the serving configuration
@@ -56,6 +57,10 @@ COMMANDS:
             results are identical under every combination — only speed
             changes. --simd/--prefetch left absent defer to the
             GASS_NO_SIMD / GASS_NO_PREFETCH environment overrides.
+            --quant sq8 traverses on 8-bit scalar-quantized codes and
+            re-scores a rerank-factor*k candidate pool at full precision
+            (approximate: recall can dip slightly; raise --rerank-factor
+            to recover it). --quant none (the default) is exact serving.
 
   info      --file <file>
             Describe a saved store or graph.
@@ -267,6 +272,9 @@ fn run(args: Args) -> Result<(), String> {
                 args.get_or("layout", "aligned".into()).map_err(|e| e.to_string())?;
             let graph_layout: String =
                 args.get_or("graph-layout", "csr".into()).map_err(|e| e.to_string())?;
+            let quant: String =
+                args.get_or("quant", "none".into()).map_err(|e| e.to_string())?;
+            let rerank: usize = args.get_or("rerank-factor", 4).map_err(|e| e.to_string())?;
             let simd: Option<String> = args.get_opt("simd").map_err(|e| e.to_string())?;
             let prefetch: Option<String> =
                 args.get_opt("prefetch").map_err(|e| e.to_string())?;
@@ -304,8 +312,14 @@ fn run(args: Args) -> Result<(), String> {
                 "flat" => {}
                 other => return Err(format!("unknown --graph-layout `{other}`")),
             }
+            match quant.as_str() {
+                "sq8" => index.quantize(),
+                "none" => {}
+                other => return Err(format!("unknown --quant `{other}`")),
+            }
             let counter = DistCounter::new();
-            let params = QueryParams::new(k, beam).with_seed_count(seeds);
+            let params =
+                QueryParams::new(k, beam).with_seed_count(seeds).with_rerank_factor(rerank);
             let t = std::time::Instant::now();
             let mut recall = 0.0;
             for (qi, row) in truth.iter().enumerate() {
@@ -315,15 +329,17 @@ fn run(args: Args) -> Result<(), String> {
             let nq = truth.len().max(1);
             println!(
                 "queries={} k={k} L={beam}  kernel={} store={layout} graph={graph_layout} \
-                 prefetch={}",
+                 prefetch={} quant={quant}",
                 nq,
                 gass_core::simd_backend(),
                 if gass_core::prefetch_enabled() { "on" } else { "off" },
             );
             println!(
-                "recall@{k}={:.4}  dists/query={}  ms/query={:.3}",
+                "recall@{k}={:.4}  dists/query={} (u8={} f32={})  ms/query={:.3}",
                 recall / nq as f64,
                 counter.get() / nq as u64,
+                counter.get_u8() / nq as u64,
+                counter.get_f32() / nq as u64,
                 t.elapsed().as_secs_f64() * 1e3 / nq as f64
             );
             Ok(())

@@ -45,8 +45,8 @@ pub const KERNEL_LANES: usize = 8;
 
 const BACKEND_UNINIT: u8 = 0;
 const BACKEND_SCALAR: u8 = 1;
-const BACKEND_AVX2: u8 = 2;
-const BACKEND_NEON: u8 = 3;
+pub(crate) const BACKEND_AVX2: u8 = 2;
+pub(crate) const BACKEND_NEON: u8 = 3;
 
 static BACKEND: AtomicU8 = AtomicU8::new(BACKEND_UNINIT);
 
@@ -83,6 +83,14 @@ fn backend() -> u8 {
     } else {
         b
     }
+}
+
+/// The active backend id, for sibling modules (`quant`) that dispatch
+/// their own kernels under the same detection, env override and in-process
+/// toggle.
+#[inline(always)]
+pub(crate) fn active_backend() -> u8 {
+    backend()
 }
 
 /// Name of the active kernel backend: `"avx2"`, `"neon"`, or `"scalar"`.
@@ -498,13 +506,24 @@ pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
     1.0 - dot(a, b) / (na * nb)
 }
 
-/// Shared, thread-safe counter of distance evaluations.
+/// Shared, thread-safe counter of distance evaluations, split by
+/// precision: full-precision `f32` evaluations and quantized `u8`
+/// evaluations are tracked separately so harnesses can prove where the
+/// work went under SQ8 serving ([`get_f32`](Self::get_f32) /
+/// [`get_u8`](Self::get_u8)); [`get`](Self::get) stays the combined total,
+/// so all pre-quantization accounting is unchanged.
 ///
 /// Cloning is cheap (an `Arc` bump); clones observe the same count, which is
 /// what parallel index construction needs. Counting uses relaxed atomics —
 /// the total is read only after the workload quiesces.
 #[derive(Clone, Debug, Default)]
-pub struct DistCounter(Arc<AtomicU64>);
+pub struct DistCounter(Arc<DistCounts>);
+
+#[derive(Debug, Default)]
+struct DistCounts {
+    full: AtomicU64,
+    quant: AtomicU64,
+}
 
 impl DistCounter {
     /// A fresh counter at zero.
@@ -512,26 +531,80 @@ impl DistCounter {
         Self::default()
     }
 
-    /// Records `n` distance evaluations.
+    /// Records `n` full-precision (`f32`) distance evaluations.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.full.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Records a single distance evaluation.
+    /// Records a single full-precision distance evaluation.
     #[inline]
     pub fn bump(&self) {
         self.add(1);
     }
 
-    /// Current total.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+    /// Records `n` quantized (`u8` code-space) distance evaluations.
+    #[inline]
+    pub fn add_u8(&self, n: u64) {
+        self.0.quant.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Resets the total to zero (between experiment phases).
+    /// Records a single quantized distance evaluation.
+    #[inline]
+    pub fn bump_u8(&self) {
+        self.add_u8(1);
+    }
+
+    /// Current total across both precisions (the paper's machine-
+    /// independent work metric).
+    pub fn get(&self) -> u64 {
+        self.get_f32() + self.get_u8()
+    }
+
+    /// Full-precision (`f32`) evaluations only.
+    pub fn get_f32(&self) -> u64 {
+        self.0.full.load(Ordering::Relaxed)
+    }
+
+    /// Quantized (`u8`) evaluations only.
+    pub fn get_u8(&self) -> u64 {
+        self.0.quant.load(Ordering::Relaxed)
+    }
+
+    /// Resets both precisions to zero (between experiment phases).
     pub fn reset(&self) {
-        self.0.store(0, Ordering::Relaxed);
+        self.0.full.store(0, Ordering::Relaxed);
+        self.0.quant.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A view of a [`QuantizedStore`](crate::quant::QuantizedStore) plus the
+/// serving-time rerank policy, attached to a [`Space`] to route traversal
+/// through quantized distances.
+#[derive(Clone, Copy)]
+pub struct QuantView<'a> {
+    store: &'a crate::quant::QuantizedStore,
+    rerank_factor: usize,
+}
+
+impl<'a> QuantView<'a> {
+    /// Pairs quantized codes with a rerank pool multiplier (a
+    /// `rerank_factor * k` candidate pool is re-scored exactly before
+    /// results are returned; values below 1 behave as 1).
+    pub fn new(store: &'a crate::quant::QuantizedStore, rerank_factor: usize) -> Self {
+        Self { store, rerank_factor: rerank_factor.max(1) }
+    }
+
+    /// The quantized codes.
+    #[inline]
+    pub fn store(&self) -> &'a crate::quant::QuantizedStore {
+        self.store
+    }
+
+    /// Exact re-scoring pool multiplier (≥ 1).
+    #[inline]
+    pub fn rerank_factor(&self) -> usize {
+        self.rerank_factor
     }
 }
 
@@ -545,12 +618,27 @@ impl DistCounter {
 pub struct Space<'a> {
     store: &'a VectorStore,
     counter: &'a DistCounter,
+    quant: Option<QuantView<'a>>,
 }
 
 impl<'a> Space<'a> {
-    /// Wraps a store and counter.
+    /// Wraps a store and counter (full-precision space; no quantization).
     pub fn new(store: &'a VectorStore, counter: &'a DistCounter) -> Self {
-        Self { store, counter }
+        Self { store, counter, quant: None }
+    }
+
+    /// Attaches (or detaches) a quantized view. With a view present, the
+    /// shared searches traverse on `u8` code-space distances and re-score
+    /// a `rerank_factor * k` pool exactly before returning.
+    pub fn with_quant(mut self, quant: Option<QuantView<'a>>) -> Self {
+        self.quant = quant;
+        self
+    }
+
+    /// The attached quantized view, if any.
+    #[inline]
+    pub fn quant(&self) -> Option<QuantView<'a>> {
+        self.quant
     }
 
     /// The underlying store.
@@ -622,6 +710,42 @@ impl<'a> Space<'a> {
     pub fn prefetch(&self, i: u32) {
         if prefetch_enabled() {
             self.store.prefetch(i);
+        }
+    }
+
+    /// Counted quantized distance from a prepared query to vector `i`.
+    /// Only meaningful when a quant view is attached.
+    ///
+    /// # Panics
+    /// Panics if no quant view is attached.
+    #[inline]
+    pub fn qdist_to(&self, pq: &crate::quant::PreparedQuery, i: u32) -> f32 {
+        self.counter.bump_u8();
+        self.quant.expect("qdist_to without a quant view").store().dist_prepared(pq, i)
+    }
+
+    /// Counted quantized distances from a prepared query to four vectors
+    /// at once. Counts four `u8` evaluations.
+    ///
+    /// # Panics
+    /// Panics if no quant view is attached.
+    #[inline]
+    pub fn qdist_to_batch(&self, pq: &crate::quant::PreparedQuery, ids: [u32; 4]) -> [f32; 4] {
+        self.counter.add_u8(4);
+        self.quant
+            .expect("qdist_to_batch without a quant view")
+            .store()
+            .dist_prepared_batch(pq, ids)
+    }
+
+    /// Prefetch analog of [`Self::prefetch`] for the quantized code row of
+    /// vector `i`. No-op without a quant view or with prefetch disabled.
+    #[inline]
+    pub fn qprefetch(&self, i: u32) {
+        if prefetch_enabled() {
+            if let Some(q) = self.quant {
+                q.store().prefetch(i);
+            }
         }
     }
 }
@@ -764,6 +888,19 @@ mod tests {
         assert_eq!(c.get(), 4);
         c.reset();
         assert_eq!(c2.get(), 0);
+    }
+
+    #[test]
+    fn counter_splits_precisions_and_totals_them() {
+        let c = DistCounter::new();
+        c.add(3);
+        c.add_u8(5);
+        c.bump_u8();
+        assert_eq!(c.get_f32(), 3);
+        assert_eq!(c.get_u8(), 6);
+        assert_eq!(c.get(), 9, "get() stays the combined total");
+        c.reset();
+        assert_eq!((c.get_f32(), c.get_u8()), (0, 0));
     }
 
     #[test]

@@ -20,17 +20,27 @@ pub struct QueryParams {
     /// Number of seeds to request from the seed-selection strategy
     /// (meaningful for KS/KD/KM/LSH; structure-determined for SN/MD/SF).
     pub seed_count: usize,
+    /// When the index is quantized ([`AnnIndex::quantize`]), the exact
+    /// rerank pool is `rerank_factor * k` candidates (values below 1
+    /// behave as 1). Ignored on full-precision indexes.
+    pub rerank_factor: usize,
 }
 
 impl QueryParams {
-    /// `k`-NN with beam width `l` and `k` seeds.
+    /// `k`-NN with beam width `l`, `k` seeds and a 4× rerank pool.
     pub fn new(k: usize, l: usize) -> Self {
-        Self { k, beam_width: l.max(k), seed_count: k }
+        Self { k, beam_width: l.max(k), seed_count: k, rerank_factor: 4 }
     }
 
     /// Overrides the seed count.
     pub fn with_seed_count(mut self, seeds: usize) -> Self {
         self.seed_count = seeds;
+        self
+    }
+
+    /// Overrides the quantized-serving rerank pool multiplier.
+    pub fn with_rerank_factor(mut self, rerank_factor: usize) -> Self {
+        self.rerank_factor = rerank_factor;
         self
     }
 }
@@ -99,13 +109,58 @@ pub trait AnnIndex: Send + Sync {
     fn is_frozen(&self) -> bool {
         false
     }
+
+    /// Builds an SQ8 [`crate::quant::QuantizedStore`] over the index's
+    /// vectors and routes subsequent traversals through quantized
+    /// distances with an exact `rerank_factor * k` re-scoring pool (see
+    /// [`QueryParams::rerank_factor`]). Idempotent, and a no-op for
+    /// indexes without a quantizable traversal (e.g. the serial scan).
+    /// Returned distances stay exact either way.
+    fn quantize(&mut self) {}
+
+    /// `true` once [`Self::quantize`] has taken effect (always `false`
+    /// for indexes with nothing to quantize).
+    fn is_quantized(&self) -> bool {
+        false
+    }
 }
 
-/// Lock-sharded pool of [`SearchScratch`] buffers so concurrent searches
-/// do not allocate an `O(n)` visited set per query.
-#[derive(Debug, Default)]
+/// Shards in a [`ScratchPool`]. Enough that a typical serving thread
+/// count maps threads to distinct home shards with high probability;
+/// small enough that idle shards cost nothing.
+const SCRATCH_SHARDS: usize = 8;
+
+/// Lock-striped pool of [`SearchScratch`] buffers so concurrent searches
+/// do not allocate an `O(n)` visited set per query — and do not serialize
+/// on a single lock while borrowing one.
+///
+/// Each thread hashes its id to a *home shard* and borrows/returns there,
+/// so under the parallel serving mode ([`search_batch_parallel`]) distinct
+/// threads almost always touch distinct mutexes. Borrowing falls back to
+/// scanning the other shards (`try_lock`, never blocking) before
+/// allocating fresh scratch.
+#[derive(Debug)]
 pub struct ScratchPool {
-    pool: Mutex<Vec<SearchScratch>>,
+    shards: [Mutex<Vec<SearchScratch>>; SCRATCH_SHARDS],
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        Self { shards: std::array::from_fn(|_| Mutex::new(Vec::new())) }
+    }
+}
+
+/// The calling thread's home shard (its id hashed once, cached).
+fn home_shard() -> usize {
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static HOME: usize = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            h.finish() as usize % SCRATCH_SHARDS
+        };
+    }
+    HOME.with(|&s| s)
 }
 
 impl ScratchPool {
@@ -114,14 +169,29 @@ impl ScratchPool {
         Self::default()
     }
 
-    /// Borrows a scratch (allocating one if the pool is empty), prepared for
-    /// `n` nodes and beam width `l`, runs `f`, and returns the scratch.
+    /// Borrows a scratch (allocating one only when every shard is busy or
+    /// empty), prepared for `n` nodes and beam width `l`, runs `f`, and
+    /// returns the scratch to the calling thread's home shard.
     pub fn with<R>(&self, n: usize, l: usize, f: impl FnOnce(&mut SearchScratch) -> R) -> R {
-        let mut scratch =
-            self.pool.lock().unwrap().pop().unwrap_or_else(|| SearchScratch::new(n, l));
+        let home = home_shard();
+        let mut scratch = None;
+        for off in 0..SCRATCH_SHARDS {
+            if let Ok(mut shard) = self.shards[(home + off) % SCRATCH_SHARDS].try_lock() {
+                if let Some(s) = shard.pop() {
+                    scratch = Some(s);
+                    break;
+                }
+            }
+        }
+        let mut scratch = scratch.unwrap_or_else(|| SearchScratch::new(n, l));
         scratch.prepare(n, l);
         let out = f(&mut scratch);
-        self.pool.lock().unwrap().push(scratch);
+        // Return to the home shard; the critical sections are a push/pop,
+        // so blocking here (only if try_lock loses a race) is momentary.
+        match self.shards[home].try_lock() {
+            Ok(mut shard) => shard.push(scratch),
+            Err(_) => self.shards[home].lock().unwrap().push(scratch),
+        }
         out
     }
 }
@@ -137,6 +207,28 @@ pub fn search_batch<I: AnnIndex + ?Sized>(
     counter: &DistCounter,
 ) -> Vec<SearchResult> {
     (0..queries.len() as u32).map(|q| index.search(queries.get(q), params, counter)).collect()
+}
+
+/// Parallel serving mode: answers the whole query set across `threads`
+/// worker threads (`0` = all cores), returning results in query order.
+///
+/// This is an explicit opt-in for throughput-oriented serving — the
+/// paper's evaluation methodology stays the sequential [`search_batch`].
+/// Per-query results and the final [`DistCounter`] totals are identical to
+/// the sequential batch (searches are read-only and independent); only
+/// interleaving differs. Worker threads share the index's [`ScratchPool`],
+/// whose lock striping keeps the borrow/return traffic off a single
+/// mutex.
+pub fn search_batch_parallel<I: AnnIndex + ?Sized>(
+    index: &I,
+    queries: &crate::store::VectorStore,
+    params: &QueryParams,
+    counter: &DistCounter,
+    threads: usize,
+) -> Vec<SearchResult> {
+    crate::par::par_map(threads, queries.len(), |q| {
+        index.search(queries.get(q as u32), params, counter)
+    })
 }
 
 /// A trivial exact index: serial scan. Implements [`AnnIndex`] so the
@@ -189,6 +281,7 @@ pub struct PrebuiltIndex {
     store: crate::store::VectorStore,
     graph: crate::graph::FlatGraph,
     csr: Option<crate::graph::CsrGraph>,
+    quant: Option<crate::quant::QuantizedStore>,
     seeds: Box<dyn crate::seed::SeedProvider>,
     label: String,
     scratch: ScratchPool,
@@ -215,10 +308,28 @@ impl PrebuiltIndex {
             store,
             graph,
             csr: None,
+            quant: None,
             seeds,
             label: label.into(),
             scratch: ScratchPool::new(),
         }
+    }
+
+    /// Installs a previously loaded quantized store (the persisted form),
+    /// replacing any present one.
+    ///
+    /// # Panics
+    /// Panics if it does not match the wrapped store's shape.
+    pub fn set_quantized(&mut self, quant: crate::quant::QuantizedStore) {
+        assert_eq!(quant.len(), self.store.len(), "quantized store length mismatch");
+        assert_eq!(quant.dim(), self.store.dim(), "quantized store dimension mismatch");
+        self.quant = Some(quant);
+    }
+
+    /// The quantized store, once [`AnnIndex::quantize`] (or
+    /// [`Self::set_quantized`]) has run.
+    pub fn quantized(&self) -> Option<&crate::quant::QuantizedStore> {
+        self.quant.as_ref()
     }
 
     /// The wrapped store.
@@ -259,7 +370,11 @@ impl AnnIndex for PrebuiltIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter).with_quant(
+            self.quant
+                .as_ref()
+                .map(|q| crate::distance::QuantView::new(q, params.rerank_factor)),
+        );
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -298,6 +413,16 @@ impl AnnIndex for PrebuiltIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        if self.quant.is_none() {
+            self.quant = Some(crate::quant::QuantizedStore::from_store(&self.store));
+        }
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         use crate::graph::GraphView;
         IndexStats {
@@ -307,7 +432,7 @@ impl AnnIndex for PrebuiltIndex {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: 0,
+            aux_bytes: self.quant.as_ref().map_or(0, |q| q.heap_bytes()),
         }
     }
 }
@@ -399,5 +524,68 @@ mod tests {
         assert_eq!(res.len(), 2);
         assert_eq!(res[0].neighbors[0].id, 0);
         assert_eq!(res[1].neighbors[0].id, 2);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let store = VectorStore::from_flat(1, (0..50).map(|i| i as f32).collect());
+        let idx = SerialScanIndex::new(store);
+        let queries =
+            VectorStore::from_flat(1, (0..17).map(|i| i as f32 * 2.9 + 0.3).collect());
+        let params = QueryParams::new(3, 3);
+        let counter_seq = DistCounter::new();
+        let seq = search_batch(&idx, &queries, &params, &counter_seq);
+        let counter_par = DistCounter::new();
+        let par = search_batch_parallel(&idx, &queries, &params, &counter_par, 4);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.neighbors, p.neighbors);
+        }
+        assert_eq!(counter_seq.get(), counter_par.get());
+    }
+
+    #[test]
+    fn scratch_pool_striping_survives_concurrent_borrows() {
+        let pool = ScratchPool::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for i in 0..100u32 {
+                        pool.with(64, 8, |s| {
+                            assert!(s.visited.insert(i % 64));
+                            assert!(!s.visited.insert(i % 64));
+                        });
+                    }
+                });
+            }
+        });
+        // Everything was returned: a fresh borrow sees cleared scratch.
+        pool.with(64, 8, |s| assert!(!s.visited.contains(0)));
+    }
+
+    #[test]
+    fn prebuilt_index_quantized_serving_stays_exact_distance() {
+        let store = VectorStore::from_flat(1, (0..20).map(|i| i as f32).collect());
+        let mut adj = crate::graph::AdjacencyGraph::new(20);
+        for i in 0..19u32 {
+            adj.add_undirected(i, i + 1);
+        }
+        let graph = crate::graph::FlatGraph::from_adjacency(&adj, None);
+        let mut idx = PrebuiltIndex::new(
+            store,
+            graph,
+            Box::new(crate::seed::StaticSeeds::new(vec![0])),
+            "chain",
+        );
+        assert!(!idx.is_quantized());
+        idx.quantize();
+        idx.quantize(); // idempotent
+        assert!(idx.is_quantized());
+        let counter = DistCounter::new();
+        let res = idx.search(&[13.4], &QueryParams::new(2, 20), &counter);
+        assert_eq!(res.neighbors[0].id, 13);
+        assert!((res.neighbors[0].dist - 0.16).abs() < 1e-4, "{}", res.neighbors[0].dist);
+        assert!(counter.get_u8() > counter.get_f32(), "traversal work must be quantized");
+        assert!(idx.stats().aux_bytes > 0, "codes must be accounted in the footprint");
     }
 }

@@ -33,6 +33,7 @@ pub mod nd;
 pub mod neighbor;
 pub mod par;
 pub mod persist;
+pub mod quant;
 pub mod search;
 pub mod seed;
 pub mod store;
@@ -40,11 +41,12 @@ pub mod visited;
 
 pub use distance::{
     dot, l2, l2_sq, l2_sq_batch, prefetch_enabled, set_prefetch_enabled, set_simd_enabled,
-    simd_backend, DistCounter, Space,
+    simd_backend, DistCounter, QuantView, Space,
 };
 pub use graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 pub use index::{
-    AnnIndex, IndexStats, PrebuiltIndex, QueryParams, ScratchPool, SerialScanIndex,
+    search_batch_parallel, AnnIndex, IndexStats, PrebuiltIndex, QueryParams, ScratchPool,
+    SerialScanIndex,
 };
 pub use nd::NdStrategy;
 pub use neighbor::{BoundedMaxHeap, Neighbor, SortedBuffer};
@@ -52,7 +54,11 @@ pub use par::{
     bounded_prefix_batches, effective_threads, par_for, par_map, par_map_with, par_workers,
     prefix_doubling_batches, ConcurrentAdjacency,
 };
-pub use persist::{load_flat_graph, load_store, save_flat_graph, save_store, PersistError};
+pub use persist::{
+    load_flat_graph, load_quantized, load_store, save_flat_graph, save_quantized, save_store,
+    PersistError,
+};
+pub use quant::{l2_sq_u8, l2_sq_u8_batch, quant_forced, PreparedQuery, QuantizedStore};
 pub use search::{
     beam_search, beam_search_frozen, beam_search_with_sink, greedy_search, greedy_search_with,
     serial_scan, SearchResult, SearchScratch, SearchStats,

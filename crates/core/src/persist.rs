@@ -13,8 +13,12 @@
 //! Payloads:
 //! * store — `dim:u64 | len:u64 | f32 data`
 //! * flat graph — `slots:u64 | nodes:u64 | counts:u32[] | edges:u32[]`
+//! * quantized store — `dim:u64 | len:u64 | mins:f32[dim] | deltas:f32[dim]
+//!   | codes:u8[len*dim]` (rows packed, cache-line padding stripped; the
+//!   aligned layout is rebuilt on load)
 
 use crate::graph::FlatGraph;
+use crate::quant::QuantizedStore;
 use crate::store::VectorStore;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -26,6 +30,7 @@ const MAGIC: &[u8; 4] = b"GASS";
 const VERSION: u8 = 1;
 const KIND_STORE: u8 = 1;
 const KIND_FLAT_GRAPH: u8 = 2;
+const KIND_QUANT: u8 = 3;
 
 /// Errors arising while decoding a persisted structure.
 #[derive(Debug)]
@@ -188,6 +193,57 @@ pub fn decode_flat_graph(mut buf: Bytes) -> Result<FlatGraph, PersistError> {
     Ok(FlatGraph::from_adjacency(&adj, Some(slots.max(1))))
 }
 
+/// Encodes a quantized store (codes packed, padding stripped — see the
+/// module docs). Quantization is deterministic, so an equal alternative to
+/// persisting this section is re-encoding from the saved `f32` store on
+/// load; persisting skips the extra pass and keeps the codes usable even
+/// where the raw vectors are not shipped.
+pub fn encode_quantized(quant: &QuantizedStore) -> Bytes {
+    let dim = quant.dim();
+    let mut buf = header(KIND_QUANT, 16 + dim * 8 + quant.len() * dim);
+    buf.put_u64_le(dim as u64);
+    buf.put_u64_le(quant.len() as u64);
+    for &m in quant.mins() {
+        buf.put_f32_le(m);
+    }
+    for &d in quant.deltas() {
+        buf.put_f32_le(d);
+    }
+    buf.put_slice(&quant.to_packed_codes());
+    buf.freeze()
+}
+
+/// Decodes a quantized store (rebuilding the cache-line-padded layout).
+pub fn decode_quantized(mut buf: Bytes) -> Result<QuantizedStore, PersistError> {
+    check_header(&mut buf, KIND_QUANT)?;
+    if buf.remaining() < 16 {
+        return Err(PersistError::Truncated);
+    }
+    let dim = buf.get_u64_le() as usize;
+    let len = buf.get_u64_le() as usize;
+    if dim == 0 {
+        return Err(PersistError::Truncated);
+    }
+    if buf.remaining() < dim * 8 {
+        return Err(PersistError::Truncated);
+    }
+    let mut mins = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        mins.push(buf.get_f32_le());
+    }
+    let mut deltas = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        deltas.push(buf.get_f32_le());
+    }
+    let want = dim.checked_mul(len).ok_or(PersistError::Truncated)?;
+    if buf.remaining() < want {
+        return Err(PersistError::Truncated);
+    }
+    let mut packed = vec![0u8; want];
+    buf.copy_to_slice(&mut packed);
+    Ok(QuantizedStore::from_parts(dim, mins, deltas, packed))
+}
+
 /// Writes a store to `path`.
 pub fn save_store(store: &VectorStore, path: &Path) -> Result<(), PersistError> {
     fs::write(path, encode_store(store))?;
@@ -208,6 +264,17 @@ pub fn save_flat_graph(graph: &FlatGraph, path: &Path) -> Result<(), PersistErro
 /// Reads a flat graph from `path`.
 pub fn load_flat_graph(path: &Path) -> Result<FlatGraph, PersistError> {
     decode_flat_graph(Bytes::from(fs::read(path)?))
+}
+
+/// Writes a quantized store to `path`.
+pub fn save_quantized(quant: &QuantizedStore, path: &Path) -> Result<(), PersistError> {
+    fs::write(path, encode_quantized(quant))?;
+    Ok(())
+}
+
+/// Reads a quantized store from `path`.
+pub fn load_quantized(path: &Path) -> Result<QuantizedStore, PersistError> {
+    decode_quantized(Bytes::from(fs::read(path)?))
 }
 
 #[cfg(test)]
@@ -255,6 +322,49 @@ mod tests {
         save_flat_graph(&sample_graph(), &graph_path).unwrap();
         assert_eq!(load_store(&store_path).unwrap().len(), 2);
         assert_eq!(load_flat_graph(&graph_path).unwrap().num_edges(), 6);
+    }
+
+    #[test]
+    fn quantized_roundtrip_preserves_codes_and_distances() {
+        let store = VectorStore::from_flat(
+            5,
+            (0..65).map(|i| ((i * 17) as f32 * 0.23).sin() * 4.0).collect(),
+        );
+        let quant = QuantizedStore::from_store(&store);
+        let decoded = decode_quantized(encode_quantized(&quant)).unwrap();
+        assert_eq!(decoded.len(), quant.len());
+        assert_eq!(decoded.dim(), quant.dim());
+        assert_eq!(decoded.mins(), quant.mins());
+        assert_eq!(decoded.deltas(), quant.deltas());
+        let query = [0.5f32, -1.0, 2.0, 0.0, 1.25];
+        let mut pq_a = crate::quant::PreparedQuery::default();
+        let mut pq_b = crate::quant::PreparedQuery::default();
+        quant.prepare_into(&query, &mut pq_a);
+        decoded.prepare_into(&query, &mut pq_b);
+        for id in 0..quant.len() as u32 {
+            assert_eq!(decoded.code_row(id), quant.code_row(id), "row {id}");
+            assert_eq!(
+                decoded.dist_prepared(&pq_b, id).to_bits(),
+                quant.dist_prepared(&pq_a, id).to_bits(),
+                "distance {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_file_roundtrip_and_truncation() {
+        let store = sample_store();
+        let quant = QuantizedStore::from_store(&store);
+        let dir = std::env::temp_dir().join("gass_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quant.gass");
+        save_quantized(&quant, &path).unwrap();
+        assert_eq!(load_quantized(&path).unwrap().len(), 2);
+        let bytes = encode_quantized(&quant);
+        let cut = bytes.slice(0..bytes.len() - 1);
+        assert!(matches!(decode_quantized(cut).unwrap_err(), PersistError::Truncated));
+        let err = decode_quantized(encode_store(&store)).unwrap_err();
+        assert!(matches!(err, PersistError::WrongKind { .. }));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::distance::Space;
 use crate::graph::GraphView;
 use crate::neighbor::{Neighbor, SortedBuffer};
+use crate::quant::PreparedQuery;
 use crate::visited::VisitedSet;
 
 /// Counters describing one beam-search invocation.
@@ -39,12 +40,19 @@ pub struct SearchScratch {
     pub visited: VisitedSet,
     /// Sorted linear candidate buffer.
     pub buffer: SortedBuffer,
+    /// Query mapped into quantized code space (reused across queries so
+    /// the quantized path allocates nothing per search after warmup).
+    pub prepared: PreparedQuery,
 }
 
 impl SearchScratch {
     /// Scratch sized for a graph of `n` nodes and beam width `l`.
     pub fn new(n: usize, l: usize) -> Self {
-        Self { visited: VisitedSet::new(n), buffer: SortedBuffer::new(l.max(1)) }
+        Self {
+            visited: VisitedSet::new(n),
+            buffer: SortedBuffer::new(l.max(1)),
+            prepared: PreparedQuery::default(),
+        }
     }
 
     /// Readies the scratch for a search over `n` nodes with beam width `l`.
@@ -88,12 +96,108 @@ pub fn beam_search<G: GraphView + ?Sized>(
     beam_width: usize,
     scratch: &mut SearchScratch,
 ) -> SearchResult {
+    if space.quant().is_some() {
+        return beam_search_quantized(graph, space, query, seeds, k, beam_width, scratch);
+    }
     beam_search_with_sink(graph, space, query, seeds, k, beam_width, scratch, None)
+}
+
+/// Two-phase quantized beam search: the traversal is the exact shape of
+/// [`beam_search_with_sink`] but every candidate is scored with the `u8`
+/// asymmetric-distance kernel over the attached
+/// [`QuantizedStore`](crate::quant::QuantizedStore); the candidate buffer
+/// is widened to hold at least `rerank_factor * k` entries, and the
+/// leading `rerank_factor * k` candidates are re-scored with exact `f32`
+/// distances before the final top-`k` cut. Returned distances are
+/// therefore always exact; only the traversal ranking is approximate.
+///
+/// `stats.evaluated` (and the [`DistCounter`](crate::distance::DistCounter)
+/// total) counts both phases — the `u8`/`f32` split is on the counter.
+fn beam_search_quantized<G: GraphView + ?Sized>(
+    graph: &G,
+    space: Space<'_>,
+    query: &[f32],
+    seeds: &[u32],
+    k: usize,
+    beam_width: usize,
+    scratch: &mut SearchScratch,
+) -> SearchResult {
+    let qv = space.quant().expect("quantized beam search without a quant view");
+    let n = graph.num_nodes();
+    let mut stats = SearchStats::default();
+    if n == 0 || seeds.is_empty() {
+        return SearchResult { neighbors: Vec::new(), stats };
+    }
+    let rerank = qv.rerank_factor();
+    let pool = beam_width.max(k.saturating_mul(rerank));
+    scratch.prepare(n, pool);
+    qv.store().prepare_into(query, &mut scratch.prepared);
+
+    for &s in seeds {
+        if (s as usize) < n && scratch.visited.insert(s) {
+            let d = space.qdist_to(&scratch.prepared, s);
+            stats.evaluated += 1;
+            scratch.buffer.insert(Neighbor::new(s, d));
+        }
+    }
+
+    while let Some(current) = scratch.buffer.next_unexpanded() {
+        stats.hops += 1;
+        let mut pending = [0u32; 4];
+        let mut fill = 0usize;
+        for &nb in graph.neighbors(current.id) {
+            if scratch.visited.insert(nb) {
+                space.qprefetch(nb);
+                pending[fill] = nb;
+                fill += 1;
+                if fill == 4 {
+                    let ds = space.qdist_to_batch(&scratch.prepared, pending);
+                    stats.evaluated += 4;
+                    for (&id, &d) in pending.iter().zip(ds.iter()) {
+                        scratch.buffer.insert(Neighbor::new(id, d));
+                    }
+                    fill = 0;
+                }
+            }
+        }
+        for &id in &pending[..fill] {
+            let d = space.qdist_to(&scratch.prepared, id);
+            stats.evaluated += 1;
+            scratch.buffer.insert(Neighbor::new(id, d));
+        }
+    }
+
+    // Phase 2: exact rerank. Re-score the `rerank_factor * k` best
+    // quantized candidates with full-precision distances (4-wide batched)
+    // and return the exact top `k` of that pool.
+    let cands = scratch.buffer.top_k(k.saturating_mul(rerank));
+    let take = cands.len();
+    let mut exact = Vec::with_capacity(take);
+    let mut i = 0usize;
+    while i + 4 <= take {
+        let ids = [cands[i].id, cands[i + 1].id, cands[i + 2].id, cands[i + 3].id];
+        let ds = space.dist_to_batch(query, ids);
+        for (&id, &d) in ids.iter().zip(ds.iter()) {
+            exact.push(Neighbor::new(id, d));
+        }
+        i += 4;
+    }
+    while i < take {
+        exact.push(Neighbor::new(cands[i].id, space.dist_to(query, cands[i].id)));
+        i += 1;
+    }
+    stats.evaluated += take;
+    exact.sort_unstable();
+    exact.truncate(k);
+    SearchResult { neighbors: exact, stats }
 }
 
 /// [`beam_search`] variant that can also record **every** evaluated node in
 /// `sink` (in evaluation order). Construction algorithms that select edges
 /// from the *visited list* of a search (NSG, Vamana) need this.
+///
+/// Always runs at full precision: construction quality must not depend on
+/// quantization, so any quant view on `space` is ignored here.
 #[allow(clippy::too_many_arguments)]
 pub fn beam_search_with_sink<G: GraphView + ?Sized>(
     graph: &G,
@@ -212,6 +316,10 @@ pub fn greedy_search<G: GraphView + ?Sized>(
 /// because the running best distance is the minimum over everything
 /// already evaluated, so a revisit can never improve it. Neighbor
 /// evaluations go through the 4-wide batched kernel like [`beam_search`].
+///
+/// With a quant view attached to `space`, the descent runs on quantized
+/// distances and the final best is re-scored exactly (one `f32`
+/// evaluation), so the returned distance is always exact.
 pub fn greedy_search_with<G: GraphView + ?Sized>(
     graph: &G,
     space: Space<'_>,
@@ -219,6 +327,9 @@ pub fn greedy_search_with<G: GraphView + ?Sized>(
     entry: u32,
     visited: &mut VisitedSet,
 ) -> (Neighbor, SearchStats) {
+    if space.quant().is_some() {
+        return greedy_search_quantized(graph, space, query, entry, visited);
+    }
     let mut stats = SearchStats::default();
     visited.resize(graph.num_nodes());
     visited.clear();
@@ -258,6 +369,63 @@ pub fn greedy_search_with<G: GraphView + ?Sized>(
         }
         if !improved {
             return (best, stats);
+        }
+    }
+}
+
+/// Quantized greedy descent (see [`greedy_search_with`]): same hill-climb,
+/// `u8` distances, exact re-score of the final best.
+fn greedy_search_quantized<G: GraphView + ?Sized>(
+    graph: &G,
+    space: Space<'_>,
+    query: &[f32],
+    entry: u32,
+    visited: &mut VisitedSet,
+) -> (Neighbor, SearchStats) {
+    let qv = space.quant().expect("quantized greedy search without a quant view");
+    let mut stats = SearchStats::default();
+    visited.resize(graph.num_nodes());
+    visited.clear();
+    visited.insert(entry);
+    let mut pq = PreparedQuery::default();
+    qv.store().prepare_into(query, &mut pq);
+    let mut best = Neighbor::new(entry, space.qdist_to(&pq, entry));
+    stats.evaluated += 1;
+    loop {
+        stats.hops += 1;
+        let mut improved = false;
+        let mut pending = [0u32; 4];
+        let mut fill = 0usize;
+        for &nb in graph.neighbors(best.id) {
+            if visited.insert(nb) {
+                space.qprefetch(nb);
+                pending[fill] = nb;
+                fill += 1;
+                if fill == 4 {
+                    let ds = space.qdist_to_batch(&pq, pending);
+                    stats.evaluated += 4;
+                    for (&id, &d) in pending.iter().zip(ds.iter()) {
+                        if d < best.dist {
+                            best = Neighbor::new(id, d);
+                            improved = true;
+                        }
+                    }
+                    fill = 0;
+                }
+            }
+        }
+        for &id in &pending[..fill] {
+            let d = space.qdist_to(&pq, id);
+            stats.evaluated += 1;
+            if d < best.dist {
+                best = Neighbor::new(id, d);
+                improved = true;
+            }
+        }
+        if !improved {
+            let exact = space.dist_to(query, best.id);
+            stats.evaluated += 1;
+            return (Neighbor::new(best.id, exact), stats);
         }
     }
 }
@@ -412,6 +580,52 @@ mod tests {
         // Seed 5 evaluated exactly once despite triplication.
         let evaluated_seed_phase = 1;
         assert!(res.stats.evaluated >= evaluated_seed_phase);
+    }
+
+    #[test]
+    fn quantized_beam_search_matches_exact_on_line() {
+        let (store, g) = line_world();
+        let qs = crate::quant::QuantizedStore::from_store(&store);
+        let counter = DistCounter::new();
+        let space =
+            Space::new(&store, &counter).with_quant(Some(crate::QuantView::new(&qs, 2)));
+        let mut scratch = SearchScratch::new(10, 4);
+        let res = beam_search(&g, space, &[7.2], &[0], 3, 4, &mut scratch);
+        assert_eq!(res.neighbors[0].id, 7);
+        // Rerank restores exact distances: |7 - 7.2|^2.
+        assert!((res.neighbors[0].dist - 0.04).abs() < 1e-5, "{}", res.neighbors[0].dist);
+        // Both phases counted, total still matches the stats.
+        assert_eq!(counter.get(), res.stats.evaluated as u64);
+        assert!(counter.get_u8() > 0, "traversal must run on u8 distances");
+        assert!(counter.get_f32() > 0, "rerank must run on f32 distances");
+    }
+
+    #[test]
+    fn quantized_buffer_holds_the_rerank_pool() {
+        let (store, g) = line_world();
+        let qs = crate::quant::QuantizedStore::from_store(&store);
+        let counter = DistCounter::new();
+        let space =
+            Space::new(&store, &counter).with_quant(Some(crate::QuantView::new(&qs, 3)));
+        let mut scratch = SearchScratch::new(10, 2);
+        // beam_width 2 < rerank_factor * k = 6: the pool must widen.
+        let res = beam_search(&g, space, &[9.0], &[0], 2, 2, &mut scratch);
+        assert_eq!(res.neighbors.len(), 2);
+        assert_eq!(res.neighbors[0].id, 9);
+    }
+
+    #[test]
+    fn quantized_greedy_returns_exact_distance() {
+        let (store, g) = line_world();
+        let qs = crate::quant::QuantizedStore::from_store(&store);
+        let counter = DistCounter::new();
+        let space =
+            Space::new(&store, &counter).with_quant(Some(crate::QuantView::new(&qs, 2)));
+        let (best, stats) = greedy_search(&g, space, &[6.1], 0);
+        assert_eq!(best.id, 6);
+        assert!((best.dist - 0.01).abs() < 1e-4, "{}", best.dist);
+        assert_eq!(counter.get(), stats.evaluated as u64);
+        assert_eq!(counter.get_f32(), 1, "exactly one exact re-score");
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub struct IiGraph {
     store: VectorStore,
     graph: FlatGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     params: IiParams,
     default_seeds: Box<dyn SeedProvider>,
     scratch: ScratchPool,
@@ -222,6 +223,7 @@ impl IiGraph {
             params,
             default_seeds,
             csr: None,
+            quant: None,
             scratch: ScratchPool::new(),
             build,
             label,
@@ -243,7 +245,8 @@ impl IiGraph {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         provider.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -318,6 +321,14 @@ impl AnnIndex for IiGraph {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
@@ -326,7 +337,7 @@ impl AnnIndex for IiGraph {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: 0,
+            aux_bytes: crate::common::quant_bytes(&self.quant),
         }
     }
 }

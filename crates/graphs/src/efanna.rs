@@ -59,6 +59,7 @@ pub struct EfannaIndex {
     store: VectorStore,
     graph: FlatGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     forest: KdForest,
     scratch: ScratchPool,
     build: BuildReport,
@@ -96,7 +97,15 @@ impl EfannaIndex {
         };
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
-        Self { store, graph, forest, csr: None, scratch: ScratchPool::new(), build }
+        Self {
+            store,
+            graph,
+            forest,
+            csr: None,
+            quant: None,
+            scratch: ScratchPool::new(),
+            build,
+        }
     }
 
     /// Construction cost report.
@@ -140,7 +149,8 @@ impl AnnIndex for EfannaIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         self.forest.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -167,6 +177,14 @@ impl AnnIndex for EfannaIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
@@ -175,7 +193,7 @@ impl AnnIndex for EfannaIndex {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.forest.heap_bytes(),
+            aux_bytes: self.forest.heap_bytes() + crate::common::quant_bytes(&self.quant),
         }
     }
 }

@@ -235,6 +235,18 @@ impl AnnIndex for ElpisIndex {
         self.leaves.iter().all(|l| l.index.is_frozen())
     }
 
+    fn quantize(&mut self) {
+        // No monolithic store either: quantization delegates to every
+        // per-leaf HNSW, which encodes its leaf-local vector copy.
+        for leaf in &mut self.leaves {
+            leaf.index.quantize();
+        }
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.leaves.iter().all(|l| l.index.is_quantized())
+    }
+
     fn stats(&self) -> IndexStats {
         let mut s = IndexStats { nodes: self.n, ..Default::default() };
         for leaf in &self.leaves {

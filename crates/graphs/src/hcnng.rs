@@ -95,6 +95,7 @@ pub struct HcnngIndex {
     store: VectorStore,
     graph: AdjacencyGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     forest: KdForest,
     scratch: ScratchPool,
     build: BuildReport,
@@ -137,7 +138,15 @@ impl HcnngIndex {
         let forest = KdForest::build(&store, params.num_seed_trees, 16, params.seed ^ 0x4d);
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
-        Self { store, graph, forest, csr: None, scratch: ScratchPool::new(), build }
+        Self {
+            store,
+            graph,
+            forest,
+            csr: None,
+            quant: None,
+            scratch: ScratchPool::new(),
+            build,
+        }
     }
 
     /// Construction cost report.
@@ -170,7 +179,8 @@ impl AnnIndex for HcnngIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         self.forest.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -197,6 +207,14 @@ impl AnnIndex for HcnngIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
@@ -205,7 +223,7 @@ impl AnnIndex for HcnngIndex {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.forest.heap_bytes(),
+            aux_bytes: self.forest.heap_bytes() + crate::common::quant_bytes(&self.quant),
         }
     }
 }

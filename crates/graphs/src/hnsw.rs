@@ -55,6 +55,7 @@ pub struct HnswIndex {
     store: VectorStore,
     base: FlatGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     hierarchy: Hierarchy,
     params: HnswParams,
     scratch: ScratchPool,
@@ -131,7 +132,16 @@ impl HnswIndex {
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let base = FlatGraph::from_adjacency(&base, Some(m0));
-        Self { store, base, csr: None, hierarchy, params, scratch: ScratchPool::new(), build }
+        Self {
+            store,
+            base,
+            csr: None,
+            quant: None,
+            hierarchy,
+            params,
+            scratch: ScratchPool::new(),
+            build,
+        }
     }
 
     fn build_serial(
@@ -243,6 +253,12 @@ impl HnswIndex {
         self.csr.as_ref()
     }
 
+    /// The SQ8 codes, once [`AnnIndex::quantize`] has run (LSHAPG routes
+    /// its probabilistic traversal through these directly).
+    pub fn quantized(&self) -> Option<&gass_core::QuantizedStore> {
+        self.quant.as_ref()
+    }
+
     /// The seed-selection hierarchy.
     pub fn hierarchy(&self) -> &Hierarchy {
         &self.hierarchy
@@ -287,7 +303,10 @@ impl AnnIndex for HnswIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
+        // The SN descent stays at full precision (upper layers are a few
+        // dozen nodes; quantizing them saves nothing and costs accuracy).
         let entry = self.hierarchy.descend(space, query).unwrap_or(0);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
             beam_search_frozen(
@@ -313,6 +332,14 @@ impl AnnIndex for HnswIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.base.num_nodes(),
@@ -321,7 +348,7 @@ impl AnnIndex for HnswIndex {
             max_degree: self.base.max_degree(),
             graph_bytes: self.base.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.hierarchy.heap_bytes(),
+            aux_bytes: self.hierarchy.heap_bytes() + crate::common::quant_bytes(&self.quant),
         }
     }
 }

@@ -164,6 +164,7 @@ pub struct HvsIndex {
     store: VectorStore,
     base: FlatGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     pyramid: VoronoiPyramid,
     scratch: ScratchPool,
     build: BuildReport,
@@ -218,7 +219,15 @@ impl HvsIndex {
         };
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
-        Self { store, base, csr: None, pyramid, scratch: ScratchPool::new(), build }
+        Self {
+            store,
+            base,
+            csr: None,
+            quant: None,
+            pyramid,
+            scratch: ScratchPool::new(),
+            build,
+        }
     }
 
     /// Construction cost report.
@@ -251,7 +260,8 @@ impl AnnIndex for HvsIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         self.pyramid.seeds(space, query, params.seed_count, &mut seeds);
         if seeds.is_empty() {
@@ -281,6 +291,14 @@ impl AnnIndex for HvsIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.base.num_nodes(),
@@ -289,7 +307,7 @@ impl AnnIndex for HvsIndex {
             max_degree: self.base.max_degree(),
             graph_bytes: self.base.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.pyramid.heap_bytes(),
+            aux_bytes: self.pyramid.heap_bytes() + crate::common::quant_bytes(&self.quant),
         }
     }
 }

@@ -62,6 +62,7 @@ pub struct IehIndex {
     store: VectorStore,
     graph: FlatGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     seeds: LshSeeds,
     scratch: ScratchPool,
     build: BuildReport,
@@ -99,7 +100,7 @@ impl IehIndex {
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let seeds = LshSeeds::new(lsh, 0);
-        Self { store, graph, seeds, csr: None, scratch: ScratchPool::new(), build }
+        Self { store, graph, seeds, csr: None, quant: None, scratch: ScratchPool::new(), build }
     }
 
     /// Construction cost report.
@@ -132,7 +133,8 @@ impl AnnIndex for IehIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -159,6 +161,14 @@ impl AnnIndex for IehIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
@@ -167,7 +177,7 @@ impl AnnIndex for IehIndex {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.seeds.heap_bytes(),
+            aux_bytes: self.seeds.heap_bytes() + crate::common::quant_bytes(&self.quant),
         }
     }
 }

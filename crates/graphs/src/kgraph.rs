@@ -43,6 +43,7 @@ pub struct KGraphIndex {
     store: VectorStore,
     graph: FlatGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     seeds: RandomSeeds,
     scratch: ScratchPool,
     build: BuildReport,
@@ -75,7 +76,7 @@ impl KGraphIndex {
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let seeds = RandomSeeds::new(store.len(), params.seed ^ 0x5eed);
-        Self { store, graph, seeds, csr: None, scratch: ScratchPool::new(), build }
+        Self { store, graph, seeds, csr: None, quant: None, scratch: ScratchPool::new(), build }
     }
 
     /// Construction cost report.
@@ -108,7 +109,8 @@ impl AnnIndex for KGraphIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -135,6 +137,14 @@ impl AnnIndex for KGraphIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
@@ -143,7 +153,7 @@ impl AnnIndex for KGraphIndex {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: 0,
+            aux_bytes: crate::common::quant_bytes(&self.quant),
         }
     }
 }

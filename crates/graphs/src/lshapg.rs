@@ -16,7 +16,7 @@ use gass_core::distance::{DistCounter, Space};
 use gass_core::graph::GraphView;
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::neighbor::Neighbor;
-use gass_core::search::{SearchResult, SearchStats};
+use gass_core::search::{SearchResult, SearchScratch, SearchStats};
 use gass_core::seed::SeedProvider;
 use gass_hash::{LshIndex, LshSeeds};
 
@@ -97,39 +97,79 @@ impl LshapgIndex {
     ) -> Vec<Neighbor> {
         let sketch = self.lsh.index().query_sketch(query);
         let gamma = self.gamma;
-        self.scratch.with(space.len(), params.beam_width, |scratch| {
+        // Quantized serving routes the gated evaluations through the SQ8
+        // codes (the "CSR path" carries a quant view on its `Space`); the
+        // sketch still decides *whether* a neighbor is scored at all, the
+        // codes decide *how cheaply*. The candidate pool is widened to
+        // `rerank_factor * k` so the exact phase-2 re-score below can
+        // recover from quantization error.
+        let quant = space.quant();
+        let pool = match quant {
+            Some(q) => params.beam_width.max(params.k.saturating_mul(q.rerank_factor())),
+            None => params.beam_width,
+        };
+        self.scratch.with(space.len(), pool, |scratch| {
+            if let Some(q) = quant {
+                q.store().prepare_into(query, &mut scratch.prepared);
+            }
+            let SearchScratch { visited, buffer, prepared } = scratch;
             for &s in seeds {
-                if scratch.visited.insert(s) {
-                    let d = space.dist_to(query, s);
+                if visited.insert(s) {
+                    let d = match quant {
+                        Some(_) => space.qdist_to(prepared, s),
+                        None => space.dist_to(query, s),
+                    };
                     stats.evaluated += 1;
-                    scratch.buffer.insert(Neighbor::new(s, d));
+                    buffer.insert(Neighbor::new(s, d));
                 }
             }
-            while let Some(cur) = scratch.buffer.next_unexpanded() {
+            while let Some(cur) = buffer.next_unexpanded() {
                 stats.hops += 1;
-                let bound = scratch.buffer.bound();
+                let bound = buffer.bound();
                 for &nb in graph.neighbors(cur.id) {
-                    if !scratch.visited.insert(nb) {
+                    if !visited.insert(nb) {
                         continue;
                     }
-                    // Start pulling the vector while the sketch estimate is
-                    // computed; if routing prunes the neighbor the prefetch
-                    // is wasted bandwidth, otherwise it hides the load.
-                    space.prefetch(nb);
+                    // Start pulling the vector (or its code line) while the
+                    // sketch estimate is computed; if routing prunes the
+                    // neighbor the prefetch is wasted bandwidth, otherwise
+                    // it hides the load.
+                    if quant.is_some() {
+                        space.qprefetch(nb);
+                    } else {
+                        space.prefetch(nb);
+                    }
                     // Probabilistic routing: sketch estimate gates the
-                    // exact evaluation.
+                    // (quantized or exact) evaluation.
                     if bound.is_finite() {
                         let est = self.lsh.index().projected_dist_sq(&sketch, nb);
                         if est > gamma * bound {
                             continue;
                         }
                     }
-                    let d = space.dist_to(query, nb);
+                    let d = match quant {
+                        Some(_) => space.qdist_to(prepared, nb),
+                        None => space.dist_to(query, nb),
+                    };
                     stats.evaluated += 1;
-                    scratch.buffer.insert(Neighbor::new(nb, d));
+                    buffer.insert(Neighbor::new(nb, d));
                 }
             }
-            scratch.buffer.top_k(params.k)
+            match quant {
+                Some(q) => {
+                    // Phase 2: exact re-score of the widened pool, then
+                    // keep the true top k.
+                    let mut cands = buffer.top_k(params.k.saturating_mul(q.rerank_factor()));
+                    for n in &mut cands {
+                        n.dist = space.dist_to(query, n.id);
+                    }
+                    stats.evaluated += cands.len();
+                    cands.sort_unstable();
+                    cands.truncate(params.k);
+                    cands
+                }
+                None => buffer.top_k(params.k),
+            }
         })
     }
 }
@@ -154,7 +194,9 @@ impl AnnIndex for LshapgIndex {
         counter: &DistCounter,
     ) -> SearchResult {
         let store = self.base.store();
-        let space = Space::new(store, counter);
+        let space = Space::new(store, counter).with_quant(
+            self.base.quantized().map(|q| gass_core::QuantView::new(q, params.rerank_factor)),
+        );
         let mut seeds = Vec::new();
         self.lsh.seeds(space, query, params.seed_count.max(4), &mut seeds);
         let mut stats = SearchStats::default();
@@ -178,6 +220,16 @@ impl AnnIndex for LshapgIndex {
 
     fn is_frozen(&self) -> bool {
         self.base.is_frozen()
+    }
+
+    fn quantize(&mut self) {
+        // The base HNSW owns the store; its codes serve the routed
+        // traversal too.
+        self.base.quantize();
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.base.is_quantized()
     }
 
     fn stats(&self) -> IndexStats {

@@ -42,6 +42,7 @@ pub struct NgtIndex {
     store: VectorStore,
     graph: AdjacencyGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     vp: VpSeeds,
     scratch: ScratchPool,
     build: BuildReport,
@@ -80,7 +81,7 @@ impl NgtIndex {
         };
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
-        Self { store, graph, vp, csr: None, scratch: ScratchPool::new(), build }
+        Self { store, graph, vp, csr: None, quant: None, scratch: ScratchPool::new(), build }
     }
 
     /// Construction cost report.
@@ -113,7 +114,8 @@ impl AnnIndex for NgtIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         self.vp.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -140,6 +142,14 @@ impl AnnIndex for NgtIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
@@ -148,7 +158,7 @@ impl AnnIndex for NgtIndex {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.vp.heap_bytes(),
+            aux_bytes: self.vp.heap_bytes() + crate::common::quant_bytes(&self.quant),
         }
     }
 }

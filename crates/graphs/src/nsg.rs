@@ -49,6 +49,7 @@ pub struct NsgIndex {
     store: VectorStore,
     graph: FlatGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     seeds: RandomSeeds,
     medoid: u32,
     scratch: ScratchPool,
@@ -133,6 +134,7 @@ impl NsgIndex {
             seeds,
             medoid,
             csr: None,
+            quant: None,
             scratch: ScratchPool::new(),
             build,
             base_build,
@@ -179,7 +181,8 @@ impl AnnIndex for NsgIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -206,6 +209,14 @@ impl AnnIndex for NsgIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
@@ -214,7 +225,7 @@ impl AnnIndex for NsgIndex {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: 0,
+            aux_bytes: crate::common::quant_bytes(&self.quant),
         }
     }
 }

@@ -39,6 +39,7 @@ pub struct NswIndex {
     store: VectorStore,
     graph: AdjacencyGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     seeds: RandomSeeds,
     scratch: ScratchPool,
     build: BuildReport,
@@ -81,7 +82,7 @@ impl NswIndex {
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let seeds = RandomSeeds::new(n, params.seed ^ 0xbeef);
-        Self { store, graph, seeds, csr: None, scratch: ScratchPool::new(), build }
+        Self { store, graph, seeds, csr: None, quant: None, scratch: ScratchPool::new(), build }
     }
 
     /// Construction cost report.
@@ -114,7 +115,8 @@ impl AnnIndex for NswIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -141,6 +143,14 @@ impl AnnIndex for NswIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
@@ -149,7 +159,7 @@ impl AnnIndex for NswIndex {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: 0,
+            aux_bytes: crate::common::quant_bytes(&self.quant),
         }
     }
 }

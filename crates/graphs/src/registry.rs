@@ -121,6 +121,13 @@ impl BuiltMethod {
     pub fn freeze(&mut self) {
         self.index.freeze();
     }
+
+    /// Builds the SQ8 codes for quantized serving (see
+    /// [`AnnIndex::quantize`]). Idempotent; searches afterwards traverse
+    /// on `u8` codes and re-score a `rerank_factor * k` pool exactly.
+    pub fn quantize(&mut self) {
+        self.index.quantize();
+    }
 }
 
 /// Builds `kind` on `store` with parameter presets scaled by `n`
@@ -156,7 +163,7 @@ pub fn build_method_with_threads(
         32
     };
     let build_l = (degree * 4).max(64);
-    match kind {
+    let mut built = match kind {
         MethodKind::Hnsw => {
             let idx = HnswIndex::build(
                 store,
@@ -339,7 +346,15 @@ pub fn build_method_with_threads(
             let build = idx.build_report();
             BuiltMethod { index: Box::new(idx), build }
         }
+    };
+    // `GASS_QUANT=sq8` force-quantizes every registry-built index so the
+    // whole suite (CI leg) exercises the quantized serving path. Encoding
+    // is deterministic, so plain and frozen builds still answer in
+    // lockstep.
+    if gass_core::quant_forced() {
+        built.quantize();
     }
+    built
 }
 
 #[cfg(test)]
@@ -407,6 +422,34 @@ mod tests {
                 "{} dist-call totals differ between layouts",
                 kind.name()
             );
+        }
+    }
+
+    #[test]
+    fn every_method_quantizes_and_still_answers() {
+        // Quantized serving contract, for all 13 methods: `quantize()` is
+        // idempotent, flips `is_quantized`, routes traversal through `u8`
+        // codes (visible in the counter split), and — with the default
+        // rerank factor — still pins the exact dataset member at rank 0
+        // with its exact (re-scored) distance of 0.
+        let base = deep_like(400, 4);
+        for kind in MethodKind::all_sota() {
+            let mut built = build_method(kind, base.clone(), 7);
+            if !built.index.is_quantized() {
+                built.quantize();
+            }
+            assert!(built.index.is_quantized(), "{}", kind.name());
+            built.quantize(); // idempotent
+            let counter = DistCounter::new();
+            let res = built.index.search(
+                base.get(23),
+                &QueryParams::new(5, 48).with_seed_count(8),
+                &counter,
+            );
+            assert_eq!(res.neighbors[0].id, 23, "{} lost the exact member", kind.name());
+            assert_eq!(res.neighbors[0].dist, 0.0, "{} inexact top-1", kind.name());
+            assert!(counter.get_u8() > 0, "{} never used the codes", kind.name());
+            assert!(counter.get_f32() > 0, "{} never re-scored exactly", kind.name());
         }
     }
 

@@ -82,6 +82,7 @@ pub struct SptagIndex {
     store: VectorStore,
     graph: FlatGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     seeder: Seeder,
     variant: SptagVariant,
     scratch: ScratchPool,
@@ -146,6 +147,7 @@ impl SptagIndex {
             seeder,
             variant: params.variant,
             csr: None,
+            quant: None,
             scratch: ScratchPool::new(),
             build,
         }
@@ -184,7 +186,8 @@ impl AnnIndex for SptagIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         self.seeder.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -211,6 +214,14 @@ impl AnnIndex for SptagIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
@@ -219,7 +230,7 @@ impl AnnIndex for SptagIndex {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.seeder.heap_bytes(),
+            aux_bytes: self.seeder.heap_bytes() + crate::common::quant_bytes(&self.quant),
         }
     }
 }

@@ -61,6 +61,7 @@ pub struct SsgIndex {
     store: VectorStore,
     graph: FlatGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     seeds: RandomSeeds,
     scratch: ScratchPool,
     build: BuildReport,
@@ -139,7 +140,15 @@ impl SsgIndex {
         };
         let flat = FlatGraph::from_adjacency(&graph, None);
         let seeds = RandomSeeds::new(n, params.seed ^ 0x5eed);
-        Self { store, graph: flat, seeds, csr: None, scratch: ScratchPool::new(), build }
+        Self {
+            store,
+            graph: flat,
+            seeds,
+            csr: None,
+            quant: None,
+            scratch: ScratchPool::new(),
+            build,
+        }
     }
 
     /// Total construction cost (base + refinement).
@@ -172,7 +181,8 @@ impl AnnIndex for SsgIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -199,6 +209,14 @@ impl AnnIndex for SsgIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
@@ -207,7 +225,7 @@ impl AnnIndex for SsgIndex {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: 0,
+            aux_bytes: crate::common::quant_bytes(&self.quant),
         }
     }
 }

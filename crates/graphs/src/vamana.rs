@@ -58,6 +58,7 @@ pub struct VamanaIndex {
     store: VectorStore,
     graph: FlatGraph,
     csr: Option<CsrGraph>,
+    quant: Option<gass_core::QuantizedStore>,
     seeds: RandomSeeds,
     medoid: u32,
     scratch: ScratchPool,
@@ -193,6 +194,7 @@ impl VamanaIndex {
             seeds,
             medoid,
             csr: None,
+            quant: None,
             scratch: ScratchPool::new(),
             build,
         }
@@ -233,7 +235,8 @@ impl AnnIndex for VamanaIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter);
+        let space = Space::new(&self.store, counter)
+            .with_quant(crate::common::quant_view(&self.quant, params));
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
         self.scratch.with(self.store.len(), params.beam_width, |scratch| {
@@ -260,6 +263,14 @@ impl AnnIndex for VamanaIndex {
         self.csr.is_some()
     }
 
+    fn quantize(&mut self) {
+        crate::common::ensure_quantized(&mut self.quant, &self.store);
+    }
+
+    fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
     fn stats(&self) -> IndexStats {
         IndexStats {
             nodes: self.graph.num_nodes(),
@@ -268,7 +279,7 @@ impl AnnIndex for VamanaIndex {
             max_degree: self.graph.max_degree(),
             graph_bytes: self.graph.heap_bytes()
                 + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: 0,
+            aux_bytes: crate::common::quant_bytes(&self.quant),
         }
     }
 }
