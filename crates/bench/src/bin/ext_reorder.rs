@@ -1,0 +1,283 @@
+//! Extension experiment: cache-locality graph reordering — relabeling the
+//! frozen CSR, the aligned vectors, and (when present) the SQ8 codes with
+//! one locality-preserving permutation at freeze time.
+//!
+//! Per dataset, one HNSW base graph is built once; each strategy then
+//! serves it through a fresh `PrebuiltIndex` (store clone + graph clone +
+//! KS seeds) in the PR 3 serving configuration (SIMD + prefetch + frozen
+//! CSR + aligned store), reordered with that strategy. Because reordering
+//! is an isomorphism of the traversal, every strategy must return
+//! *identical* results — same recall@10 and same `DistCounter` totals as
+//! the unreordered baseline — so wall-clock QPS is the entire story.
+//!
+//! Alongside QPS the harness reports the cache-miss proxy the relabeling
+//! optimizes: the mean absolute id-distance over all CSR edges
+//! (`mean_edge_span`). A traversal hop from `u` to a neighbor `v`
+//! touches rows `u` and `v` of the vector store; the smaller the typical
+//! |u - v|, the closer those rows sit in memory and the likelier the
+//! next hop hits cache or an already-open TLB page.
+//!
+//! Acceptance shape: at recall@10 of at least 0.97 the best strategy
+//! reaches at least 1.15x the unreordered single-thread QPS, with
+//! bit-identical recall and distance totals across all strategies. The
+//! gain tracks how far the serving state overflows the last-level
+//! cache: on hosts whose LLC swallows the 100K Deep analog outright
+//! (~51 MB), the headline shows up on the tiers that do overflow it —
+//! the Gist analog and the 10x `deep-xl` tier.
+//!
+//! ```sh
+//! cargo run --release -p gass-bench --bin ext_reorder
+//! ```
+//!
+//! `GASS_SCALE` scales the dataset, `GASS_QUERIES` the query count.
+//! Output: `results/ext_reorder.json`.
+
+use gass_bench::{num_queries, results_dir, scale};
+use gass_core::distance::DistCounter;
+use gass_core::index::{AnnIndex, PrebuiltIndex, QueryParams};
+use gass_core::seed::RandomSeeds;
+use gass_core::{mean_edge_span, ReorderStrategy};
+use gass_eval::{measure_throughput, recall_at_k, write_json, Table};
+use gass_graphs::{HnswIndex, HnswParams};
+use serde::Serialize;
+
+const K: usize = 10;
+const ROUNDS: usize = 15;
+/// Throughput repetitions per strategy; the best run is the measurement.
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct StrategyRecord {
+    strategy: String,
+    recall_at_10: f64,
+    dist_total: u64,
+    mean_edge_span: f64,
+    qps_1t: f64,
+    p50_us_1t: f64,
+    p99_us_1t: f64,
+    speedup_vs_none: f64,
+}
+
+#[derive(Serialize)]
+struct DatasetRecord {
+    dataset: &'static str,
+    n: usize,
+    dim: usize,
+    beam_width: usize,
+    /// Every strategy returned the baseline's exact recall and distance
+    /// totals (reordering is results-invariant).
+    identical_results: bool,
+    best_strategy: String,
+    best_speedup_1t: f64,
+    strategies: Vec<StrategyRecord>,
+}
+
+#[derive(Serialize)]
+struct Record {
+    experiment: &'static str,
+    num_queries: usize,
+    k: usize,
+    rounds: usize,
+    host_cores: usize,
+    simd_backend: &'static str,
+    datasets: Vec<DatasetRecord>,
+}
+
+/// One deterministic, single-threaded pass over the queries in order.
+/// Each strategy runs it on a *fresh* index whose KS seeder starts from
+/// the same RNG state, so identical labelings of the same graph must
+/// produce identical `(recall, dist_total)` pairs.
+fn deterministic_pass(
+    index: &PrebuiltIndex,
+    queries: &gass_core::VectorStore,
+    truth: &[Vec<gass_core::Neighbor>],
+    params: &QueryParams,
+) -> (f64, u64) {
+    let counter = DistCounter::new();
+    let mut recall = 0.0;
+    for (qi, row) in truth.iter().enumerate() {
+        let res = index.search(queries.get(qi as u32), params, &counter);
+        recall += recall_at_k(row, &res.neighbors, K);
+    }
+    (recall / truth.len() as f64, counter.get())
+}
+
+/// A fresh serving instance over the shared base graph: KS seeds, aligned
+/// store, frozen CSR, relabeled with `strategy`.
+fn serve(
+    store: &gass_core::VectorStore,
+    graph: &gass_core::FlatGraph,
+    strategy: ReorderStrategy,
+) -> PrebuiltIndex {
+    let n = store.len();
+    let mut index = PrebuiltIndex::new(
+        store.clone(),
+        graph.clone(),
+        Box::new(RandomSeeds::new(n, 7)),
+        strategy.as_str(),
+    );
+    index.align_store();
+    index.freeze();
+    index.reorder(strategy);
+    index
+}
+
+fn main() {
+    let n = 100_000 * scale();
+    let host_cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    gass_core::set_simd_enabled(true);
+    gass_core::set_prefetch_enabled(true);
+    println!("Extension: cache-locality graph reordering, n={n}, k={K}\n");
+
+    let mut datasets: Vec<DatasetRecord> = Vec::new();
+    let mut table = Table::new(vec![
+        "dataset",
+        "strategy",
+        "recall@10",
+        "dists/query",
+        "edge_span",
+        "qps(1t)",
+        "p50_us",
+        "p99_us",
+        "speedup",
+    ]);
+
+    // Three tiers spanning the LLC boundary: the 100K Deep analog
+    // (~51 MB serving state) fits small-server LLCs outright, the Gist
+    // analog (~440 MB) overflows via wide rows, and the 10x `deep-xl`
+    // tier (~512 MB) overflows via node count — the latency-bound case
+    // reordering targets most directly.
+    type Synth = fn(usize, u64) -> gass_core::VectorStore;
+    let tiers: [(&str, usize, Synth); 3] = [
+        ("deep", n, gass_data::synth::deep_like),
+        ("gist", n, gass_data::synth::gist_like),
+        ("deep-xl", 10 * n, gass_data::synth::deep_like),
+    ];
+    for (name, dn, synth) in tiers {
+        let all = synth(dn + num_queries(), 333);
+        // In-distribution holdout, as in `ext_quantized`: a fresh draw in
+        // high dimensions lands between the base clusters and the recall
+        // operating point becomes unreachable.
+        let (base, queries) = gass_data::holdout_split(&all, num_queries(), 333);
+        drop(all);
+        let dim = base.dim();
+        let truth = gass_data::ground_truth(&base, &queries, K);
+
+        eprintln!("{name}: building HNSW ({host_cores} threads)...");
+        let built = HnswIndex::build(
+            base,
+            HnswParams { m: 16, ef_construction: 128, seed: 333, threads: host_cores },
+        );
+        let store = built.store().clone();
+        let graph = built.base_graph().clone();
+        drop(built);
+
+        // Smallest swept beam width whose baseline recall clears the 0.97
+        // operating point (KS seeding needs a little more beam than the
+        // hierarchy descent at equal recall).
+        let mut beam_width = 0;
+        let baseline_pass = {
+            let mut pass = (0.0, 0u64);
+            for l in [80usize, 128, 192, 256, 384] {
+                let index = serve(&store, &graph, ReorderStrategy::None);
+                let params = QueryParams::new(K, l).with_seed_count(16);
+                pass = deterministic_pass(&index, &queries, &truth, &params);
+                beam_width = l;
+                if pass.0 >= 0.97 {
+                    break;
+                }
+                eprintln!("{name}: L={l} recall {:.4} < 0.97, widening", pass.0);
+            }
+            pass
+        };
+        let params = QueryParams::new(K, beam_width).with_seed_count(16);
+
+        let mut identical = true;
+        let mut strategies: Vec<StrategyRecord> = Vec::new();
+        for strategy in ReorderStrategy::ALL {
+            let index = serve(&store, &graph, strategy);
+            let span = mean_edge_span(index.serving().csr().expect("frozen serving state"));
+            let (recall, dists) = deterministic_pass(&index, &queries, &truth, &params);
+            if (recall, dists) != baseline_pass {
+                identical = false;
+                eprintln!(
+                    "{name}: {strategy} diverged: recall {recall:.4} vs {:.4}, \
+                     dists {dists} vs {}",
+                    baseline_pass.0, baseline_pass.1
+                );
+            }
+            let t1 = (0..REPS)
+                .map(|_| measure_throughput(&index, &queries, &params, 1, ROUNDS))
+                .max_by(|a, b| a.qps.total_cmp(&b.qps))
+                .unwrap();
+            eprintln!("done: {name} {strategy}");
+            strategies.push(StrategyRecord {
+                strategy: strategy.to_string(),
+                recall_at_10: recall,
+                dist_total: dists,
+                mean_edge_span: span,
+                qps_1t: t1.qps,
+                p50_us_1t: t1.p50_us,
+                p99_us_1t: t1.p99_us,
+                speedup_vs_none: 0.0, // filled below
+            });
+        }
+        let none_qps = strategies[0].qps_1t.max(1e-12);
+        for s in &mut strategies {
+            s.speedup_vs_none = s.qps_1t / none_qps;
+        }
+        for s in &strategies {
+            table.row(vec![
+                name.to_string(),
+                s.strategy.clone(),
+                format!("{:.4}", s.recall_at_10),
+                (s.dist_total / truth.len() as u64).to_string(),
+                format!("{:.0}", s.mean_edge_span),
+                format!("{:.0}", s.qps_1t),
+                format!("{:.1}", s.p50_us_1t),
+                format!("{:.1}", s.p99_us_1t),
+                format!("{:.2}x", s.speedup_vs_none),
+            ]);
+        }
+        assert!(
+            identical,
+            "{name}: reordering must be results-invariant (see divergence above)"
+        );
+        let best = strategies[1..]
+            .iter()
+            .max_by(|a, b| a.qps_1t.total_cmp(&b.qps_1t))
+            .expect("non-empty strategy sweep");
+        datasets.push(DatasetRecord {
+            dataset: name,
+            n: dn,
+            dim,
+            beam_width,
+            identical_results: identical,
+            best_strategy: best.strategy.clone(),
+            best_speedup_1t: best.speedup_vs_none,
+            strategies,
+        });
+    }
+
+    let record = Record {
+        experiment: "ext_reorder",
+        num_queries: num_queries(),
+        k: K,
+        rounds: ROUNDS,
+        host_cores,
+        simd_backend: gass_core::simd_backend(),
+        datasets,
+    };
+
+    println!("{}", table.render());
+    for d in &record.datasets {
+        println!(
+            "{}: best strategy {} at {:.2}x single-thread QPS over the \
+             unreordered serving baseline (recall@10 and distance totals \
+             identical across all strategies: {})",
+            d.dataset, d.best_strategy, d.best_speedup_1t, d.identical_results
+        );
+    }
+    let path = write_json(&results_dir(), "ext_reorder", &record).expect("write results");
+    println!("wrote {}", path.display());
+}

@@ -8,7 +8,9 @@
 //!   choice) vs the original two-heap scheme;
 //! * distance kernel: runtime-dispatched SIMD vs the scalar reference;
 //! * vector layout: cache-line-aligned padded store vs packed;
-//! * software prefetch of pending candidates: on vs off.
+//! * software prefetch of pending candidates: on vs off;
+//! * graph reordering: RCM and hub-cluster relabelings of the CSR +
+//!   aligned store, translated back to original ids.
 //!
 //! The scalar/prefetch rows ablate one serving-path optimization each from
 //! the full `csr+aligned` configuration; recall and distance counts are
@@ -54,6 +56,21 @@ fn main() {
     }
     let csr = CsrGraph::from_view(flat);
     let aligned_store = index.store().to_aligned();
+    // Locality-preserving relabelings of the serving pair (CSR + aligned
+    // store), seeded from the hierarchy's entry point like the library
+    // path. Traversal runs in the new id space; results translate back.
+    let entry_seed: Vec<u32> = index.hierarchy().entry_node().into_iter().collect();
+    let reorderings: Vec<(&str, gass_core::IdRemap)> = [
+        ("rcm", gass_core::ReorderStrategy::Rcm),
+        ("hub", gass_core::ReorderStrategy::HubCluster),
+    ]
+    .into_iter()
+    .map(|(label, s)| (label, gass_core::compute_permutation(&csr, s, &entry_seed)))
+    .collect();
+    let reordered: Vec<(&str, CsrGraph, gass_core::VectorStore)> = reorderings
+        .iter()
+        .map(|(label, map)| (*label, csr.permute(map), aligned_store.permute(map)))
+        .collect();
     // SQ8 codes for the quantization ablation rows (built once; the
     // encode is deterministic).
     let qstore = gass_core::QuantizedStore::from_store(&aligned_store);
@@ -119,6 +136,21 @@ fn main() {
             beam_search(&csr, space_aligned, q, &[e], k, l, &mut scratch).neighbors
         });
         gass_core::set_prefetch_enabled(true);
+        // Reordering ablation: same traversal, relabeled layout. Results
+        // translate back to original ids, so recall and distance counts
+        // match the serving row exactly; only cache behavior changes.
+        for ((label, map), (_, rcsr, rstore)) in reorderings.iter().zip(&reordered) {
+            let space_r = Space::new(rstore, &counter);
+            run(&format!("serving, reorder={label}"), &mut |q, e| {
+                let mut found =
+                    beam_search(rcsr, space_r, q, &[map.to_new(e)], k, l, &mut scratch)
+                        .neighbors;
+                for nb in &mut found {
+                    nb.id = map.to_old(nb.id);
+                }
+                found
+            });
+        }
         // Quantization ablation: SQ8 traversal with exact rerank on top of
         // the serving configuration. Unlike every row above, these rows
         // are *approximate* — traversal runs on 8-bit codes, so recall and

@@ -50,6 +50,7 @@ COMMANDS:
             [--layout <packed|aligned>] [--graph-layout <flat|csr>]
             [--simd <on|off>] [--prefetch <on|off>]
             [--quant <sq8|none>] [--rerank-factor <4>]
+            [--reorder <none|degree|bfs|rcm|hub>]
             Answer k-NN queries from a saved graph; reports recall against
             exact ground truth and distance calculations per query.
             The fast-path flags default to the serving configuration
@@ -61,6 +62,11 @@ COMMANDS:
             re-scores a rerank-factor*k candidate pool at full precision
             (approximate: recall can dip slightly; raise --rerank-factor
             to recover it). --quant none (the default) is exact serving.
+            --reorder relabels the frozen CSR, vectors, and codes with a
+            locality-preserving permutation (implies --graph-layout csr);
+            results are identical under every strategy — only speed
+            changes. Absent defers to the GASS_REORDER environment
+            override.
 
   info      --file <file>
             Describe a saved store or graph.
@@ -274,6 +280,11 @@ fn run(args: Args) -> Result<(), String> {
                 args.get_or("graph-layout", "csr".into()).map_err(|e| e.to_string())?;
             let quant: String =
                 args.get_or("quant", "none".into()).map_err(|e| e.to_string())?;
+            let reorder: Option<gass_core::ReorderStrategy> =
+                match args.get_opt::<String>("reorder").map_err(|e| e.to_string())? {
+                    Some(v) => Some(v.parse().map_err(|e: String| format!("--reorder: {e}"))?),
+                    None => gass_core::reorder_forced(),
+                };
             let rerank: usize = args.get_or("rerank-factor", 4).map_err(|e| e.to_string())?;
             let simd: Option<String> = args.get_opt("simd").map_err(|e| e.to_string())?;
             let prefetch: Option<String> =
@@ -317,6 +328,9 @@ fn run(args: Args) -> Result<(), String> {
                 "none" => {}
                 other => return Err(format!("unknown --quant `{other}`")),
             }
+            if let Some(strategy) = reorder {
+                index.reorder(strategy);
+            }
             let counter = DistCounter::new();
             let params =
                 QueryParams::new(k, beam).with_seed_count(seeds).with_rerank_factor(rerank);
@@ -329,10 +343,11 @@ fn run(args: Args) -> Result<(), String> {
             let nq = truth.len().max(1);
             println!(
                 "queries={} k={k} L={beam}  kernel={} store={layout} graph={graph_layout} \
-                 prefetch={} quant={quant}",
+                 prefetch={} quant={quant} reorder={}",
                 nq,
                 gass_core::simd_backend(),
                 if gass_core::prefetch_enabled() { "on" } else { "off" },
+                reorder.unwrap_or_default(),
             );
             println!(
                 "recall@{k}={:.4}  dists/query={} (u8={} f32={})  ms/query={:.3}",

@@ -88,6 +88,39 @@ fn generate_build_query_roundtrip() {
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("no recall in output: {out}"));
     assert!(recall > 0.8, "CLI query recall too low: {recall} ({out})");
+
+    // Reordered serving answers in original ids, so recall and per-query
+    // distance counts must match the unreordered run exactly.
+    let baseline = out;
+    for strategy in ["degree", "bfs", "rcm", "hub"] {
+        let out = run_ok(gass().args([
+            "query",
+            "--store",
+            store.to_str().unwrap(),
+            "--graph",
+            graph.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "5",
+            "--beam",
+            "64",
+            "--reorder",
+            strategy,
+        ]));
+        assert!(out.contains(&format!("reorder={strategy}")), "{out}");
+        let stat_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("recall@"))
+                .map(|l| l.split("ms/query").next().unwrap().trim().to_string())
+                .unwrap_or_else(|| panic!("no recall line in: {s}"))
+        };
+        assert_eq!(
+            stat_line(&baseline),
+            stat_line(&out),
+            "--reorder {strategy} changed results"
+        );
+    }
 }
 
 #[test]

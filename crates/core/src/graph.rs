@@ -272,6 +272,24 @@ impl CsrGraph {
     pub fn heap_bytes(&self) -> usize {
         (self.offsets.capacity() + self.neighbors.capacity()) * std::mem::size_of::<u32>()
     }
+
+    /// Relabels the graph through `map`: the node now labeled `u` gets the
+    /// neighbor list of the node previously labeled `map.to_old(u)`, with
+    /// every neighbor id rewritten to its new label. Neighbor order within
+    /// each list is preserved, so a traversal from remapped seeds is
+    /// isomorphic to the original.
+    pub fn permute(&self, map: &crate::reorder::IdRemap) -> CsrGraph {
+        assert_eq!(map.len(), self.num_nodes(), "remap covers a different node count");
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        let mut neighbors = Vec::with_capacity(self.neighbors.len());
+        offsets.push(0);
+        for new in 0..self.num_nodes() as u32 {
+            let old = map.to_old(new);
+            neighbors.extend(self.neighbors(old).iter().map(|&v| map.to_new(v)));
+            offsets.push(neighbors.len() as u32);
+        }
+        Self { offsets, neighbors }
+    }
 }
 
 impl GraphView for CsrGraph {

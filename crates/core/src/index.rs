@@ -123,6 +123,26 @@ pub trait AnnIndex: Send + Sync {
     fn is_quantized(&self) -> bool {
         false
     }
+
+    /// Relabels the serving state with a locality-preserving permutation
+    /// (see [`crate::reorder`]): forces a [`Self::freeze`], permutes the
+    /// CSR graph, the vector rows, and the SQ8 codes together, and remaps
+    /// the method's seed structures. Search results keep reporting
+    /// *original* ids; with [`crate::reorder::ReorderStrategy::None`] the
+    /// call is a no-op and the index stays bit-identical. A no-op for
+    /// indexes with nothing to reorder (e.g. the serial scan).
+    fn reorder(&mut self, _strategy: crate::reorder::ReorderStrategy) {}
+
+    /// `true` once a non-`None` [`Self::reorder`] has taken effect.
+    fn is_reordered(&self) -> bool {
+        false
+    }
+
+    /// The strategy last applied through [`Self::reorder`]
+    /// ([`crate::reorder::ReorderStrategy::None`] if never reordered).
+    fn reorder_strategy(&self) -> crate::reorder::ReorderStrategy {
+        crate::reorder::ReorderStrategy::None
+    }
 }
 
 /// Shards in a [`ScratchPool`]. Enough that a typical serving thread
@@ -280,8 +300,7 @@ impl AnnIndex for SerialScanIndex {
 pub struct PrebuiltIndex {
     store: crate::store::VectorStore,
     graph: crate::graph::FlatGraph,
-    csr: Option<crate::graph::CsrGraph>,
-    quant: Option<crate::quant::QuantizedStore>,
+    serving: crate::reorder::ServingState,
     seeds: Box<dyn crate::seed::SeedProvider>,
     label: String,
     scratch: ScratchPool,
@@ -307,8 +326,7 @@ impl PrebuiltIndex {
         Self {
             store,
             graph,
-            csr: None,
-            quant: None,
+            serving: crate::reorder::ServingState::new(),
             seeds,
             label: label.into(),
             scratch: ScratchPool::new(),
@@ -323,13 +341,18 @@ impl PrebuiltIndex {
     pub fn set_quantized(&mut self, quant: crate::quant::QuantizedStore) {
         assert_eq!(quant.len(), self.store.len(), "quantized store length mismatch");
         assert_eq!(quant.dim(), self.store.dim(), "quantized store dimension mismatch");
-        self.quant = Some(quant);
+        self.serving.set_quant(quant);
     }
 
     /// The quantized store, once [`AnnIndex::quantize`] (or
     /// [`Self::set_quantized`]) has run.
     pub fn quantized(&self) -> Option<&crate::quant::QuantizedStore> {
-        self.quant.as_ref()
+        self.serving.quant()
+    }
+
+    /// The shared serving state (frozen CSR / SQ8 codes / id remap).
+    pub fn serving(&self) -> &crate::reorder::ServingState {
+        &self.serving
     }
 
     /// The wrapped store.
@@ -370,17 +393,14 @@ impl AnnIndex for PrebuiltIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter).with_quant(
-            self.quant
-                .as_ref()
-                .map(|q| crate::distance::QuantView::new(q, params.rerank_factor)),
-        );
+        let space =
+            Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
-        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+        let res = self.scratch.with(self.store.len(), params.beam_width, |scratch| {
             // Match on the frozen layout outside the traversal so both
             // arms monomorphize (no virtual dispatch per neighbor list).
-            match &self.csr {
+            match self.serving.csr() {
                 Some(csr) => crate::search::beam_search(
                     csr,
                     space,
@@ -400,27 +420,38 @@ impl AnnIndex for PrebuiltIndex {
                     scratch,
                 ),
             }
-        })
+        });
+        self.serving.finish(res)
     }
 
     fn freeze(&mut self) {
-        if self.csr.is_none() {
-            self.csr = Some(crate::graph::CsrGraph::from_view(&self.graph));
-        }
+        self.serving.freeze(&self.graph);
     }
 
     fn is_frozen(&self) -> bool {
-        self.csr.is_some()
+        self.serving.is_frozen()
     }
 
     fn quantize(&mut self) {
-        if self.quant.is_none() {
-            self.quant = Some(crate::quant::QuantizedStore::from_store(&self.store));
-        }
+        self.serving.quantize(&self.store);
     }
 
     fn is_quantized(&self) -> bool {
-        self.quant.is_some()
+        self.serving.is_quantized()
+    }
+
+    fn reorder(&mut self, strategy: crate::reorder::ReorderStrategy) {
+        if let Some(map) = self.serving.reorder(&self.graph, &mut self.store, strategy, &[]) {
+            self.seeds.reorder(&map);
+        }
+    }
+
+    fn is_reordered(&self) -> bool {
+        self.serving.is_reordered()
+    }
+
+    fn reorder_strategy(&self) -> crate::reorder::ReorderStrategy {
+        self.serving.strategy()
     }
 
     fn stats(&self) -> IndexStats {
@@ -430,9 +461,8 @@ impl AnnIndex for PrebuiltIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes()
-                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.quant.as_ref().map_or(0, |q| q.heap_bytes()),
+            graph_bytes: self.graph.heap_bytes() + self.serving.graph_bytes(),
+            aux_bytes: self.serving.aux_bytes(),
         }
     }
 }
@@ -561,6 +591,33 @@ mod tests {
         });
         // Everything was returned: a fresh borrow sees cleared scratch.
         pool.with(64, 8, |s| assert!(!s.visited.contains(0)));
+    }
+
+    #[test]
+    fn prebuilt_index_reorder_reports_original_ids() {
+        let store = VectorStore::from_flat(1, (0..20).map(|i| i as f32).collect());
+        let mut adj = crate::graph::AdjacencyGraph::new(20);
+        for i in 0..19u32 {
+            adj.add_undirected(i, i + 1);
+        }
+        let graph = crate::graph::FlatGraph::from_adjacency(&adj, None);
+        let mut idx = PrebuiltIndex::new(
+            store,
+            graph,
+            Box::new(crate::seed::StaticSeeds::new(vec![0])),
+            "chain",
+        );
+        let params = QueryParams::new(2, 20);
+        let counter = DistCounter::new();
+        let before = idx.search(&[13.4], &params, &counter);
+        for strategy in crate::reorder::ReorderStrategy::ALL {
+            idx.reorder(strategy);
+            let after = idx.search(&[13.4], &params, &counter);
+            assert_eq!(before.neighbors, after.neighbors, "{strategy}");
+        }
+        assert!(idx.is_reordered());
+        assert!(idx.is_frozen(), "reorder must force a freeze");
+        assert!(idx.stats().aux_bytes > 0, "remap tables must be accounted");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod neighbor;
 pub mod par;
 pub mod persist;
 pub mod quant;
+pub mod reorder;
 pub mod search;
 pub mod seed;
 pub mod store;
@@ -55,10 +56,13 @@ pub use par::{
     prefix_doubling_batches, ConcurrentAdjacency,
 };
 pub use persist::{
-    load_flat_graph, load_quantized, load_store, save_flat_graph, save_quantized, save_store,
-    PersistError,
+    load_flat_graph, load_permutation, load_quantized, load_store, save_flat_graph,
+    save_permutation, save_quantized, save_store, PersistError,
 };
 pub use quant::{l2_sq_u8, l2_sq_u8_batch, quant_forced, PreparedQuery, QuantizedStore};
+pub use reorder::{
+    compute_permutation, mean_edge_span, reorder_forced, IdRemap, ReorderStrategy, ServingState,
+};
 pub use search::{
     beam_search, beam_search_frozen, beam_search_with_sink, greedy_search, greedy_search_with,
     serial_scan, SearchResult, SearchScratch, SearchStats,

@@ -16,9 +16,13 @@
 //! * quantized store — `dim:u64 | len:u64 | mins:f32[dim] | deltas:f32[dim]
 //!   | codes:u8[len*dim]` (rows packed, cache-line padding stripped; the
 //!   aligned layout is rebuilt on load)
+//! * permutation — `n:u64 | new_to_old:u32[n]` (the reorder placement
+//!   order; the inverse table is rebuilt — and the bijection re-validated —
+//!   on load)
 
 use crate::graph::FlatGraph;
 use crate::quant::QuantizedStore;
+use crate::reorder::IdRemap;
 use crate::store::VectorStore;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -31,6 +35,7 @@ const VERSION: u8 = 1;
 const KIND_STORE: u8 = 1;
 const KIND_FLAT_GRAPH: u8 = 2;
 const KIND_QUANT: u8 = 3;
+const KIND_PERM: u8 = 4;
 
 /// Errors arising while decoding a persisted structure.
 #[derive(Debug)]
@@ -50,6 +55,8 @@ pub enum PersistError {
     },
     /// Payload shorter than its own header claims.
     Truncated,
+    /// A persisted permutation whose id table is not a bijection.
+    NotAPermutation(String),
 }
 
 impl fmt::Display for PersistError {
@@ -62,6 +69,9 @@ impl fmt::Display for PersistError {
                 write!(f, "wrong payload kind {found} (expected {expected})")
             }
             PersistError::Truncated => write!(f, "payload truncated"),
+            PersistError::NotAPermutation(why) => {
+                write!(f, "invalid permutation payload: {why}")
+            }
         }
     }
 }
@@ -244,6 +254,34 @@ pub fn decode_quantized(mut buf: Bytes) -> Result<QuantizedStore, PersistError> 
     Ok(QuantizedStore::from_parts(dim, mins, deltas, packed))
 }
 
+/// Encodes a reorder permutation (the `new → old` placement order; the
+/// inverse table is cheap to rebuild, so only one direction is stored).
+pub fn encode_permutation(map: &IdRemap) -> Bytes {
+    let mut buf = header(KIND_PERM, 8 + map.len() * 4);
+    buf.put_u64_le(map.len() as u64);
+    for &old in map.new_to_old() {
+        buf.put_u32_le(old);
+    }
+    buf.freeze()
+}
+
+/// Decodes a reorder permutation, re-validating that it is a bijection.
+pub fn decode_permutation(mut buf: Bytes) -> Result<IdRemap, PersistError> {
+    check_header(&mut buf, KIND_PERM)?;
+    if buf.remaining() < 8 {
+        return Err(PersistError::Truncated);
+    }
+    let n = buf.get_u64_le() as usize;
+    if buf.remaining() < n.checked_mul(4).ok_or(PersistError::Truncated)? {
+        return Err(PersistError::Truncated);
+    }
+    let mut new_to_old = Vec::with_capacity(n);
+    for _ in 0..n {
+        new_to_old.push(buf.get_u32_le());
+    }
+    IdRemap::from_new_to_old(new_to_old).map_err(PersistError::NotAPermutation)
+}
+
 /// Writes a store to `path`.
 pub fn save_store(store: &VectorStore, path: &Path) -> Result<(), PersistError> {
     fs::write(path, encode_store(store))?;
@@ -275,6 +313,17 @@ pub fn save_quantized(quant: &QuantizedStore, path: &Path) -> Result<(), Persist
 /// Reads a quantized store from `path`.
 pub fn load_quantized(path: &Path) -> Result<QuantizedStore, PersistError> {
     decode_quantized(Bytes::from(fs::read(path)?))
+}
+
+/// Writes a reorder permutation to `path`.
+pub fn save_permutation(map: &IdRemap, path: &Path) -> Result<(), PersistError> {
+    fs::write(path, encode_permutation(map))?;
+    Ok(())
+}
+
+/// Reads a reorder permutation from `path`.
+pub fn load_permutation(path: &Path) -> Result<IdRemap, PersistError> {
+    decode_permutation(Bytes::from(fs::read(path)?))
 }
 
 #[cfg(test)]
@@ -365,6 +414,42 @@ mod tests {
         assert!(matches!(decode_quantized(cut).unwrap_err(), PersistError::Truncated));
         let err = decode_quantized(encode_store(&store)).unwrap_err();
         assert!(matches!(err, PersistError::WrongKind { .. }));
+    }
+
+    #[test]
+    fn permutation_roundtrip_and_rejection() {
+        let map = IdRemap::from_new_to_old(vec![3, 0, 2, 1]).unwrap();
+        let decoded = decode_permutation(encode_permutation(&map)).unwrap();
+        assert_eq!(decoded, map);
+        for old in 0..4u32 {
+            assert_eq!(decoded.to_old(decoded.to_new(old)), old);
+        }
+        // File round-trip.
+        let dir = std::env::temp_dir().join("gass_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("perm.gass");
+        save_permutation(&map, &path).unwrap();
+        assert_eq!(load_permutation(&path).unwrap(), map);
+        // Truncation.
+        let bytes = encode_permutation(&map);
+        let cut = bytes.slice(0..bytes.len() - 1);
+        assert!(matches!(decode_permutation(cut).unwrap_err(), PersistError::Truncated));
+        // Kind mismatch both ways.
+        assert!(matches!(
+            decode_permutation(encode_store(&sample_store())).unwrap_err(),
+            PersistError::WrongKind { .. }
+        ));
+        assert!(matches!(
+            decode_store(encode_permutation(&map)).unwrap_err(),
+            PersistError::WrongKind { .. }
+        ));
+        // A tampered payload that is no longer a bijection is rejected.
+        let mut raw = encode_permutation(&map).to_vec();
+        raw[18] = 3; // second entry 0 -> 3: id 3 now appears twice
+        assert!(matches!(
+            decode_permutation(Bytes::from(raw)).unwrap_err(),
+            PersistError::NotAPermutation(_)
+        ));
     }
 
     #[test]

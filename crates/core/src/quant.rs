@@ -299,6 +299,29 @@ impl QuantizedStore {
         out
     }
 
+    /// Copies the store with code rows relabeled through `map`: row `u` of
+    /// the result is row `map.to_old(u)` of `self`. The affine parameters
+    /// are global per dimension, so permuted codes are bit-identical to
+    /// re-encoding the permuted vectors.
+    pub fn permute(&self, map: &crate::reorder::IdRemap) -> QuantizedStore {
+        assert_eq!(map.len(), self.len, "remap covers a different vector count");
+        let lines_per_row = self.stride / LINE_U8;
+        let mut codes = Vec::with_capacity(self.len * lines_per_row);
+        for new in 0..self.len as u32 {
+            let old = map.to_old(new) as usize;
+            codes
+                .extend_from_slice(&self.codes[old * lines_per_row..(old + 1) * lines_per_row]);
+        }
+        Self {
+            dim: self.dim,
+            stride: self.stride,
+            len: self.len,
+            mins: self.mins.clone(),
+            deltas: self.deltas.clone(),
+            codes,
+        }
+    }
+
     /// Reconstructs vector `id` from its codes (`min_d + c_d · Δ_d`). The
     /// asymmetric distance to a query equals the exact squared distance to
     /// this reconstruction.

@@ -20,6 +20,7 @@
 //! be queried under any strategy — the instrument behind Figure 6.
 
 use crate::distance::Space;
+use crate::reorder::IdRemap;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Mutex;
@@ -36,6 +37,16 @@ pub trait SeedProvider: Send + Sync {
 
     /// Short label used in experiment tables ("SN", "KS", ...).
     fn label(&self) -> &'static str;
+
+    /// Relabels every stored node id through `map` after the serving state
+    /// was permuted (see `gass_core::reorder`). Afterwards [`Self::seeds`]
+    /// must emit ids in the *new* space, selecting the same vectors it
+    /// would have selected before the permutation.
+    ///
+    /// Deliberately has no default implementation: a provider that holds
+    /// ids and silently skipped relabeling would seed the beam search with
+    /// the wrong vectors.
+    fn reorder(&mut self, map: &IdRemap);
 }
 
 /// **SF** — Single Fixed random entry point: one node chosen once, used for
@@ -73,6 +84,10 @@ impl SeedProvider for FixedSeed {
     fn label(&self) -> &'static str {
         "SF"
     }
+
+    fn reorder(&mut self, map: &IdRemap) {
+        self.entry = map.to_new(self.entry);
+    }
 }
 
 /// **MD** — the dataset medoid (approximated, as in NSG/Vamana, by the
@@ -107,6 +122,10 @@ impl SeedProvider for MedoidSeed {
     fn label(&self) -> &'static str {
         "MD"
     }
+
+    fn reorder(&mut self, map: &IdRemap) {
+        self.medoid = map.to_new(self.medoid);
+    }
 }
 
 /// **KS** — K-Sampled random seeds: fresh uniform sample per query, used by
@@ -116,6 +135,11 @@ impl SeedProvider for MedoidSeed {
 pub struct RandomSeeds {
     n: u32,
     anchor: Option<u32>,
+    /// After a reorder: `old → new` table applied to every draw, so the
+    /// RNG stream keeps selecting the *same vectors* (draws are
+    /// interpreted in the original id space) and traversal stays
+    /// isomorphic to the unreordered index.
+    translate: Option<Vec<u32>>,
     rng: Mutex<SmallRng>,
 }
 
@@ -123,7 +147,12 @@ impl RandomSeeds {
     /// Samples from `0..n`, deterministic under `rng_seed`.
     pub fn new(n: usize, rng_seed: u64) -> Self {
         assert!(n > 0, "cannot sample seeds from an empty dataset");
-        Self { n: n as u32, anchor: None, rng: Mutex::new(SmallRng::seed_from_u64(rng_seed)) }
+        Self {
+            n: n as u32,
+            anchor: None,
+            translate: None,
+            rng: Mutex::new(SmallRng::seed_from_u64(rng_seed)),
+        }
     }
 
     /// Additionally always includes `anchor` (NSG/Vamana style: medoid +
@@ -144,13 +173,36 @@ impl SeedProvider for RandomSeeds {
         let want = count.max(1);
         // Sampling with replacement is fine: beam search deduplicates, and
         // for n >> count collisions are negligible.
-        for _ in 0..want {
-            out.push(rng.random_range(0..self.n));
+        match &self.translate {
+            Some(t) => {
+                for _ in 0..want {
+                    out.push(t[rng.random_range(0..self.n) as usize]);
+                }
+            }
+            None => {
+                for _ in 0..want {
+                    out.push(rng.random_range(0..self.n));
+                }
+            }
         }
     }
 
     fn label(&self) -> &'static str {
         "KS"
+    }
+
+    fn reorder(&mut self, map: &IdRemap) {
+        if let Some(a) = &mut self.anchor {
+            *a = map.to_new(*a);
+        }
+        match &mut self.translate {
+            Some(t) => {
+                for slot in t.iter_mut() {
+                    *slot = map.to_new(*slot);
+                }
+            }
+            None => self.translate = Some(map.old_to_new().to_vec()),
+        }
     }
 }
 
@@ -174,6 +226,12 @@ impl SeedProvider for StaticSeeds {
 
     fn label(&self) -> &'static str {
         "STATIC"
+    }
+
+    fn reorder(&mut self, map: &IdRemap) {
+        for id in &mut self.ids {
+            *id = map.to_new(*id);
+        }
     }
 }
 
@@ -258,6 +316,26 @@ mod tests {
         let mut out = Vec::new();
         p.seeds(space, &[0.0], 99, &mut out);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reorder_translates_draws_not_the_stream() {
+        // Two providers with the same RNG seed, one reordered: the
+        // reordered one must emit the *relabeled* version of the exact
+        // same draw sequence, so both select identical vectors.
+        let (store, counter) = tiny_space();
+        let space = Space::new(&store, &counter);
+        let a = RandomSeeds::with_anchor(10, 4, 99);
+        let mut b = RandomSeeds::with_anchor(10, 4, 99);
+        let map = IdRemap::from_new_to_old((0..10u32).rev().collect()).unwrap();
+        b.reorder(&map);
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        for _ in 0..4 {
+            a.seeds(space, &[0.0], 6, &mut out_a);
+            b.seeds(space, &[0.0], 6, &mut out_b);
+        }
+        let translated: Vec<u32> = out_a.iter().map(|&id| map.to_new(id)).collect();
+        assert_eq!(out_b, translated);
     }
 
     #[test]

@@ -350,6 +350,22 @@ impl VectorStore {
         out
     }
 
+    /// Copies the store with rows relabeled through `map`: row `u` of the
+    /// result is row `map.to_old(u)` of `self`. The physical layout
+    /// (packed or aligned) is preserved.
+    pub fn permute(&self, map: &crate::reorder::IdRemap) -> VectorStore {
+        assert_eq!(map.len(), self.len, "remap covers a different vector count");
+        let mut out = if self.is_aligned() {
+            VectorStore::aligned_with_capacity(self.dim, self.len)
+        } else {
+            VectorStore::with_capacity(self.dim, self.len)
+        };
+        for new in 0..self.len as u32 {
+            out.push(self.get(map.to_old(new)));
+        }
+        out
+    }
+
     /// Computes the exact medoid: the vector minimizing the sum of squared
     /// Euclidean distances to the dataset centroid's nearest representative.
     ///

@@ -11,10 +11,11 @@
 
 use crate::common::{add_reverse_edges, add_reverse_edges_concurrent, BuildReport};
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::par::ConcurrentAdjacency;
+use gass_core::reorder::{ReorderStrategy, ServingState};
 use gass_core::search::{beam_search, beam_search_frozen, SearchResult, SearchScratch};
 use gass_core::seed::{RandomSeeds, SeedProvider, StaticSeeds};
 use gass_core::store::VectorStore;
@@ -79,8 +80,7 @@ fn insertion_seeds(
 pub struct IiGraph {
     store: VectorStore,
     graph: FlatGraph,
-    csr: Option<CsrGraph>,
-    quant: Option<gass_core::QuantizedStore>,
+    serving: ServingState,
     params: IiParams,
     default_seeds: Box<dyn SeedProvider>,
     scratch: ScratchPool,
@@ -222,8 +222,7 @@ impl IiGraph {
             graph: flat,
             params,
             default_seeds,
-            csr: None,
-            quant: None,
+            serving: ServingState::new(),
             scratch: ScratchPool::new(),
             build,
             label,
@@ -245,14 +244,14 @@ impl IiGraph {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter)
-            .with_quant(crate::common::quant_view(&self.quant, params));
+        let space =
+            Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
         let mut seeds = Vec::new();
         provider.seeds(space, query, params.seed_count, &mut seeds);
-        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+        let res = self.scratch.with(self.store.len(), params.beam_width, |scratch| {
             beam_search_frozen(
                 &self.graph,
-                self.csr.as_ref(),
+                self.serving.csr(),
                 space,
                 query,
                 &seeds,
@@ -260,7 +259,8 @@ impl IiGraph {
                 params.beam_width,
                 scratch,
             )
-        })
+        });
+        self.serving.finish(res)
     }
 
     /// Construction cost report.
@@ -312,21 +312,33 @@ impl AnnIndex for IiGraph {
     }
 
     fn freeze(&mut self) {
-        if self.csr.is_none() {
-            self.csr = Some(CsrGraph::from_view(&self.graph));
-        }
+        self.serving.freeze(&self.graph);
     }
 
     fn is_frozen(&self) -> bool {
-        self.csr.is_some()
+        self.serving.is_frozen()
     }
 
     fn quantize(&mut self) {
-        crate::common::ensure_quantized(&mut self.quant, &self.store);
+        self.serving.quantize(&self.store);
     }
 
     fn is_quantized(&self) -> bool {
-        self.quant.is_some()
+        self.serving.is_quantized()
+    }
+
+    fn reorder(&mut self, strategy: ReorderStrategy) {
+        if let Some(map) = self.serving.reorder(&self.graph, &mut self.store, strategy, &[]) {
+            self.default_seeds.reorder(&map);
+        }
+    }
+
+    fn is_reordered(&self) -> bool {
+        self.serving.is_reordered()
+    }
+
+    fn reorder_strategy(&self) -> ReorderStrategy {
+        self.serving.strategy()
     }
 
     fn stats(&self) -> IndexStats {
@@ -335,9 +347,8 @@ impl AnnIndex for IiGraph {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes()
-                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: crate::common::quant_bytes(&self.quant),
+            graph_bytes: self.graph.heap_bytes() + self.serving.graph_bytes(),
+            aux_bytes: self.serving.aux_bytes(),
         }
     }
 }

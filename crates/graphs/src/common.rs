@@ -2,14 +2,11 @@
 //! insertion with pruning, DFS connectivity repair, exact per-subset k-NN
 //! graphs, and the build report every method returns.
 
-use gass_core::distance::{QuantView, Space};
+use gass_core::distance::Space;
 use gass_core::graph::{AdjacencyGraph, GraphView};
-use gass_core::index::QueryParams;
 use gass_core::nd::NdStrategy;
 use gass_core::neighbor::{BoundedMaxHeap, Neighbor};
 use gass_core::par::ConcurrentAdjacency;
-use gass_core::quant::QuantizedStore;
-use gass_core::store::VectorStore;
 
 /// What a build cost: wall-clock seconds and counted distance calls
 /// (Figures 7–8 and Table 2 inputs).
@@ -19,29 +16,6 @@ pub struct BuildReport {
     pub seconds: f64,
     /// Distance evaluations performed during construction.
     pub dist_calcs: u64,
-}
-
-/// Idempotently builds the SQ8 codes for a method's store — the shared
-/// body of every [`gass_core::index::AnnIndex::quantize`] implementation.
-pub fn ensure_quantized(slot: &mut Option<QuantizedStore>, store: &VectorStore) {
-    if slot.is_none() {
-        *slot = Some(QuantizedStore::from_store(store));
-    }
-}
-
-/// The quant view a method attaches to its search [`Space`], honoring the
-/// per-query rerank factor. `None` while the index is unquantized.
-pub fn quant_view<'a>(
-    slot: &'a Option<QuantizedStore>,
-    params: &QueryParams,
-) -> Option<QuantView<'a>> {
-    slot.as_ref().map(|q| QuantView::new(q, params.rerank_factor))
-}
-
-/// Heap bytes of the SQ8 codes (0 while unquantized) — added to
-/// `aux_bytes` so footprint reports include the quantized serving cost.
-pub fn quant_bytes(slot: &Option<QuantizedStore>) -> usize {
-    slot.as_ref().map_or(0, |q| q.heap_bytes())
 }
 
 /// Adds the reverse edge `to -> from` for every selected neighbor; when a

@@ -11,6 +11,7 @@ use crate::hnsw::{HnswIndex, HnswParams};
 use gass_core::distance::DistCounter;
 use gass_core::index::{AnnIndex, IndexStats, QueryParams};
 use gass_core::neighbor::Neighbor;
+use gass_core::reorder::ReorderStrategy;
 use gass_core::search::{SearchResult, SearchStats};
 use gass_core::store::VectorStore;
 use gass_trees::eapca::HerculesTree;
@@ -245,6 +246,23 @@ impl AnnIndex for ElpisIndex {
 
     fn is_quantized(&self) -> bool {
         self.leaves.iter().all(|l| l.index.is_quantized())
+    }
+
+    fn reorder(&mut self, strategy: ReorderStrategy) {
+        // Each leaf HNSW is relabeled independently; leaf search results
+        // come back in leaf-local *original* ids, so the `leaf.ids`
+        // global translation stays valid untouched.
+        for leaf in &mut self.leaves {
+            leaf.index.reorder(strategy);
+        }
+    }
+
+    fn is_reordered(&self) -> bool {
+        self.leaves.iter().all(|l| l.index.is_reordered())
+    }
+
+    fn reorder_strategy(&self) -> ReorderStrategy {
+        self.leaves.first().map_or(ReorderStrategy::None, |l| l.index.reorder_strategy())
     }
 
     fn stats(&self) -> IndexStats {

@@ -7,8 +7,9 @@
 
 use crate::common::BuildReport;
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, CsrGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
+use gass_core::reorder::{ReorderStrategy, ServingState};
 use gass_core::search::{beam_search_frozen, SearchResult};
 use gass_core::seed::SeedProvider;
 use gass_core::store::VectorStore;
@@ -94,8 +95,7 @@ fn random_divide(
 pub struct HcnngIndex {
     store: VectorStore,
     graph: AdjacencyGraph,
-    csr: Option<CsrGraph>,
-    quant: Option<gass_core::QuantizedStore>,
+    serving: ServingState,
     forest: KdForest,
     scratch: ScratchPool,
     build: BuildReport,
@@ -142,8 +142,7 @@ impl HcnngIndex {
             store,
             graph,
             forest,
-            csr: None,
-            quant: None,
+            serving: ServingState::new(),
             scratch: ScratchPool::new(),
             build,
         }
@@ -179,14 +178,14 @@ impl AnnIndex for HcnngIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter)
-            .with_quant(crate::common::quant_view(&self.quant, params));
+        let space =
+            Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
         let mut seeds = Vec::new();
         self.forest.seeds(space, query, params.seed_count, &mut seeds);
-        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+        let res = self.scratch.with(self.store.len(), params.beam_width, |scratch| {
             beam_search_frozen(
                 &self.graph,
-                self.csr.as_ref(),
+                self.serving.csr(),
                 space,
                 query,
                 &seeds,
@@ -194,25 +193,38 @@ impl AnnIndex for HcnngIndex {
                 params.beam_width,
                 scratch,
             )
-        })
+        });
+        self.serving.finish(res)
     }
 
     fn freeze(&mut self) {
-        if self.csr.is_none() {
-            self.csr = Some(CsrGraph::from_view(&self.graph));
-        }
+        self.serving.freeze(&self.graph);
     }
 
     fn is_frozen(&self) -> bool {
-        self.csr.is_some()
+        self.serving.is_frozen()
     }
 
     fn quantize(&mut self) {
-        crate::common::ensure_quantized(&mut self.quant, &self.store);
+        self.serving.quantize(&self.store);
     }
 
     fn is_quantized(&self) -> bool {
-        self.quant.is_some()
+        self.serving.is_quantized()
+    }
+
+    fn reorder(&mut self, strategy: ReorderStrategy) {
+        if let Some(map) = self.serving.reorder(&self.graph, &mut self.store, strategy, &[]) {
+            self.forest.reorder(&map);
+        }
+    }
+
+    fn is_reordered(&self) -> bool {
+        self.serving.is_reordered()
+    }
+
+    fn reorder_strategy(&self) -> ReorderStrategy {
+        self.serving.strategy()
     }
 
     fn stats(&self) -> IndexStats {
@@ -221,9 +233,8 @@ impl AnnIndex for HcnngIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes()
-                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.forest.heap_bytes() + crate::common::quant_bytes(&self.quant),
+            graph_bytes: self.graph.heap_bytes() + self.serving.graph_bytes(),
+            aux_bytes: self.forest.heap_bytes() + self.serving.aux_bytes(),
         }
     }
 }

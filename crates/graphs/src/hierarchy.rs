@@ -16,6 +16,7 @@ use gass_core::distance::Space;
 use gass_core::graph::GraphView;
 use gass_core::nd::NdStrategy;
 use gass_core::neighbor::Neighbor;
+use gass_core::reorder::IdRemap;
 use gass_core::search::{beam_search, SearchScratch};
 use gass_core::seed::SeedProvider;
 use rand::rngs::SmallRng;
@@ -211,6 +212,12 @@ impl Hierarchy {
         self.layers.len()
     }
 
+    /// The global entry node (top of the descent), if any — the natural
+    /// BFS/RCM seed for graph reordering.
+    pub fn entry_node(&self) -> Option<u32> {
+        self.entry.map(|(e, _)| e)
+    }
+
     /// Nodes present at hierarchy layer `l` (1-based layer = index `l-1`).
     pub fn layer_len(&self, l: usize) -> usize {
         self.layers.get(l).map_or(0, SparseLayer::len)
@@ -219,6 +226,28 @@ impl Hierarchy {
     /// Approximate heap bytes.
     pub fn heap_bytes(&self) -> usize {
         self.layers.iter().map(SparseLayer::heap_bytes).sum()
+    }
+
+    /// Relabels every layer's adjacency (keys and neighbor lists) and the
+    /// entry point through `map` after the base store was permuted. The
+    /// greedy descent visits the same vectors in the same order, so its
+    /// counted distance evaluations are unchanged.
+    pub fn reorder(&mut self, map: &IdRemap) {
+        for layer in &mut self.layers {
+            let adj = std::mem::take(&mut layer.adj);
+            layer.adj = adj
+                .into_iter()
+                .map(|(node, mut nbrs)| {
+                    for v in nbrs.iter_mut() {
+                        *v = map.to_new(*v);
+                    }
+                    (map.to_new(node), nbrs)
+                })
+                .collect();
+        }
+        if let Some((e, _)) = self.entry.as_mut() {
+            *e = map.to_new(*e);
+        }
     }
 }
 
@@ -278,6 +307,10 @@ impl SeedProvider for SnSeeds {
 
     fn label(&self) -> &'static str {
         "SN"
+    }
+
+    fn reorder(&mut self, map: &IdRemap) {
+        self.hierarchy.reorder(map);
     }
 }
 

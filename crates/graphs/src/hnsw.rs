@@ -16,6 +16,7 @@ use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::par::ConcurrentAdjacency;
+use gass_core::reorder::{IdRemap, ReorderStrategy, ServingState};
 use gass_core::search::{beam_search, beam_search_frozen, SearchResult, SearchScratch};
 use gass_core::store::VectorStore;
 use rand::rngs::SmallRng;
@@ -54,8 +55,7 @@ impl HnswParams {
 pub struct HnswIndex {
     store: VectorStore,
     base: FlatGraph,
-    csr: Option<CsrGraph>,
-    quant: Option<gass_core::QuantizedStore>,
+    serving: ServingState,
     hierarchy: Hierarchy,
     params: HnswParams,
     scratch: ScratchPool,
@@ -135,8 +135,7 @@ impl HnswIndex {
         Self {
             store,
             base,
-            csr: None,
-            quant: None,
+            serving: ServingState::new(),
             hierarchy,
             params,
             scratch: ScratchPool::new(),
@@ -250,13 +249,29 @@ impl HnswIndex {
     /// The frozen CSR form of the base layer, once
     /// [`AnnIndex::freeze`] has run.
     pub fn csr(&self) -> Option<&CsrGraph> {
-        self.csr.as_ref()
+        self.serving.csr()
     }
 
     /// The SQ8 codes, once [`AnnIndex::quantize`] has run (LSHAPG routes
     /// its probabilistic traversal through these directly).
     pub fn quantized(&self) -> Option<&gass_core::QuantizedStore> {
-        self.quant.as_ref()
+        self.serving.quant()
+    }
+
+    /// The serving state (CSR + codes + reorder map).
+    pub fn serving(&self) -> &ServingState {
+        &self.serving
+    }
+
+    /// Applies a cache-locality reordering and returns the incremental
+    /// `old → new` permutation so wrappers (LSHAPG) can relabel their own
+    /// auxiliary structures through the same map. Freezes first; `None`
+    /// when `strategy` is [`ReorderStrategy::None`].
+    pub fn reorder_with(&mut self, strategy: ReorderStrategy) -> Option<IdRemap> {
+        let entries: Vec<u32> = self.hierarchy.entry_node().into_iter().collect();
+        let map = self.serving.reorder(&self.base, &mut self.store, strategy, &entries)?;
+        self.hierarchy.reorder(&map);
+        Some(map)
     }
 
     /// The seed-selection hierarchy.
@@ -303,15 +318,16 @@ impl AnnIndex for HnswIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter)
-            .with_quant(crate::common::quant_view(&self.quant, params));
+        let space =
+            Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
         // The SN descent stays at full precision (upper layers are a few
         // dozen nodes; quantizing them saves nothing and costs accuracy).
-        let entry = self.hierarchy.descend(space, query).unwrap_or(0);
-        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+        let entry =
+            self.hierarchy.descend(space, query).unwrap_or_else(|| self.serving.to_new(0));
+        let res = self.scratch.with(self.store.len(), params.beam_width, |scratch| {
             beam_search_frozen(
                 &self.base,
-                self.csr.as_ref(),
+                self.serving.csr(),
                 space,
                 query,
                 &[entry],
@@ -319,25 +335,36 @@ impl AnnIndex for HnswIndex {
                 params.beam_width,
                 scratch,
             )
-        })
+        });
+        self.serving.finish(res)
     }
 
     fn freeze(&mut self) {
-        if self.csr.is_none() {
-            self.csr = Some(CsrGraph::from_view(&self.base));
-        }
+        self.serving.freeze(&self.base);
     }
 
     fn is_frozen(&self) -> bool {
-        self.csr.is_some()
+        self.serving.is_frozen()
     }
 
     fn quantize(&mut self) {
-        crate::common::ensure_quantized(&mut self.quant, &self.store);
+        self.serving.quantize(&self.store);
     }
 
     fn is_quantized(&self) -> bool {
-        self.quant.is_some()
+        self.serving.is_quantized()
+    }
+
+    fn reorder(&mut self, strategy: ReorderStrategy) {
+        self.reorder_with(strategy);
+    }
+
+    fn is_reordered(&self) -> bool {
+        self.serving.is_reordered()
+    }
+
+    fn reorder_strategy(&self) -> ReorderStrategy {
+        self.serving.strategy()
     }
 
     fn stats(&self) -> IndexStats {
@@ -346,9 +373,8 @@ impl AnnIndex for HnswIndex {
             edges: self.base.num_edges(),
             avg_degree: self.base.avg_degree(),
             max_degree: self.base.max_degree(),
-            graph_bytes: self.base.heap_bytes()
-                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.hierarchy.heap_bytes() + crate::common::quant_bytes(&self.quant),
+            graph_bytes: self.base.heap_bytes() + self.serving.graph_bytes(),
+            aux_bytes: self.hierarchy.heap_bytes() + self.serving.aux_bytes(),
         }
     }
 }

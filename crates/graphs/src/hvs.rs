@@ -19,9 +19,10 @@
 
 use crate::common::BuildReport;
 use gass_core::distance::{l2_sq, DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
+use gass_core::reorder::{ReorderStrategy, ServingState};
 use gass_core::search::SearchResult;
 use gass_core::search::{beam_search, beam_search_frozen, SearchScratch};
 use gass_core::seed::SeedProvider;
@@ -144,6 +145,17 @@ impl VoronoiPyramid {
     pub fn heap_bytes(&self) -> usize {
         self.levels.iter().map(Level::heap_bytes).sum()
     }
+
+    /// Relabels the per-centroid representatives through `map` after the
+    /// store was permuted. Centroids are raw vectors, so the counted
+    /// descent itself is unchanged.
+    pub fn reorder(&mut self, map: &gass_core::reorder::IdRemap) {
+        for level in &mut self.levels {
+            for rep in &mut level.representatives {
+                *rep = map.to_new(*rep);
+            }
+        }
+    }
 }
 
 impl SeedProvider for VoronoiPyramid {
@@ -156,6 +168,10 @@ impl SeedProvider for VoronoiPyramid {
     fn label(&self) -> &'static str {
         "HVS"
     }
+
+    fn reorder(&mut self, map: &gass_core::reorder::IdRemap) {
+        VoronoiPyramid::reorder(self, map);
+    }
 }
 
 /// A built HVS index: II+RND base graph (as in HNSW's base layer) plus
@@ -163,8 +179,7 @@ impl SeedProvider for VoronoiPyramid {
 pub struct HvsIndex {
     store: VectorStore,
     base: FlatGraph,
-    csr: Option<CsrGraph>,
-    quant: Option<gass_core::QuantizedStore>,
+    serving: ServingState,
     pyramid: VoronoiPyramid,
     scratch: ScratchPool,
     build: BuildReport,
@@ -222,8 +237,7 @@ impl HvsIndex {
         Self {
             store,
             base,
-            csr: None,
-            quant: None,
+            serving: ServingState::new(),
             pyramid,
             scratch: ScratchPool::new(),
             build,
@@ -260,17 +274,17 @@ impl AnnIndex for HvsIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter)
-            .with_quant(crate::common::quant_view(&self.quant, params));
+        let space =
+            Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
         let mut seeds = Vec::new();
         self.pyramid.seeds(space, query, params.seed_count, &mut seeds);
         if seeds.is_empty() {
-            seeds.push(0);
+            seeds.push(self.serving.to_new(0));
         }
-        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+        let res = self.scratch.with(self.store.len(), params.beam_width, |scratch| {
             beam_search_frozen(
                 &self.base,
-                self.csr.as_ref(),
+                self.serving.csr(),
                 space,
                 query,
                 &seeds,
@@ -278,25 +292,38 @@ impl AnnIndex for HvsIndex {
                 params.beam_width,
                 scratch,
             )
-        })
+        });
+        self.serving.finish(res)
     }
 
     fn freeze(&mut self) {
-        if self.csr.is_none() {
-            self.csr = Some(CsrGraph::from_view(&self.base));
-        }
+        self.serving.freeze(&self.base);
     }
 
     fn is_frozen(&self) -> bool {
-        self.csr.is_some()
+        self.serving.is_frozen()
     }
 
     fn quantize(&mut self) {
-        crate::common::ensure_quantized(&mut self.quant, &self.store);
+        self.serving.quantize(&self.store);
     }
 
     fn is_quantized(&self) -> bool {
-        self.quant.is_some()
+        self.serving.is_quantized()
+    }
+
+    fn reorder(&mut self, strategy: ReorderStrategy) {
+        if let Some(map) = self.serving.reorder(&self.base, &mut self.store, strategy, &[]) {
+            self.pyramid.reorder(&map);
+        }
+    }
+
+    fn is_reordered(&self) -> bool {
+        self.serving.is_reordered()
+    }
+
+    fn reorder_strategy(&self) -> ReorderStrategy {
+        self.serving.strategy()
     }
 
     fn stats(&self) -> IndexStats {
@@ -305,9 +332,8 @@ impl AnnIndex for HvsIndex {
             edges: self.base.num_edges(),
             avg_degree: self.base.avg_degree(),
             max_degree: self.base.max_degree(),
-            graph_bytes: self.base.heap_bytes()
-                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.pyramid.heap_bytes() + crate::common::quant_bytes(&self.quant),
+            graph_bytes: self.base.heap_bytes() + self.serving.graph_bytes(),
+            aux_bytes: self.pyramid.heap_bytes() + self.serving.aux_bytes(),
         }
     }
 }

@@ -6,8 +6,9 @@
 use crate::common::BuildReport;
 use crate::nndescent::KnnGraphState;
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
+use gass_core::reorder::{ReorderStrategy, ServingState};
 use gass_core::search::{beam_search_frozen, SearchResult};
 use gass_core::seed::{RandomSeeds, SeedProvider};
 use gass_core::store::VectorStore;
@@ -42,8 +43,7 @@ impl KGraphParams {
 pub struct KGraphIndex {
     store: VectorStore,
     graph: FlatGraph,
-    csr: Option<CsrGraph>,
-    quant: Option<gass_core::QuantizedStore>,
+    serving: ServingState,
     seeds: RandomSeeds,
     scratch: ScratchPool,
     build: BuildReport,
@@ -76,7 +76,14 @@ impl KGraphIndex {
         let build =
             BuildReport { seconds: start.elapsed().as_secs_f64(), dist_calcs: counter.get() };
         let seeds = RandomSeeds::new(store.len(), params.seed ^ 0x5eed);
-        Self { store, graph, seeds, csr: None, quant: None, scratch: ScratchPool::new(), build }
+        Self {
+            store,
+            graph,
+            seeds,
+            serving: ServingState::new(),
+            scratch: ScratchPool::new(),
+            build,
+        }
     }
 
     /// Construction cost report.
@@ -109,14 +116,14 @@ impl AnnIndex for KGraphIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter)
-            .with_quant(crate::common::quant_view(&self.quant, params));
+        let space =
+            Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
-        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+        let res = self.scratch.with(self.store.len(), params.beam_width, |scratch| {
             beam_search_frozen(
                 &self.graph,
-                self.csr.as_ref(),
+                self.serving.csr(),
                 space,
                 query,
                 &seeds,
@@ -124,25 +131,38 @@ impl AnnIndex for KGraphIndex {
                 params.beam_width,
                 scratch,
             )
-        })
+        });
+        self.serving.finish(res)
     }
 
     fn freeze(&mut self) {
-        if self.csr.is_none() {
-            self.csr = Some(CsrGraph::from_view(&self.graph));
-        }
+        self.serving.freeze(&self.graph);
     }
 
     fn is_frozen(&self) -> bool {
-        self.csr.is_some()
+        self.serving.is_frozen()
     }
 
     fn quantize(&mut self) {
-        crate::common::ensure_quantized(&mut self.quant, &self.store);
+        self.serving.quantize(&self.store);
     }
 
     fn is_quantized(&self) -> bool {
-        self.quant.is_some()
+        self.serving.is_quantized()
+    }
+
+    fn reorder(&mut self, strategy: ReorderStrategy) {
+        if let Some(map) = self.serving.reorder(&self.graph, &mut self.store, strategy, &[]) {
+            self.seeds.reorder(&map);
+        }
+    }
+
+    fn is_reordered(&self) -> bool {
+        self.serving.is_reordered()
+    }
+
+    fn reorder_strategy(&self) -> ReorderStrategy {
+        self.serving.strategy()
     }
 
     fn stats(&self) -> IndexStats {
@@ -151,9 +171,8 @@ impl AnnIndex for KGraphIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes()
-                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: crate::common::quant_bytes(&self.quant),
+            graph_bytes: self.graph.heap_bytes() + self.serving.graph_bytes(),
+            aux_bytes: self.serving.aux_bytes(),
         }
     }
 }

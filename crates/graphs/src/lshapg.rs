@@ -16,6 +16,7 @@ use gass_core::distance::{DistCounter, Space};
 use gass_core::graph::GraphView;
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::neighbor::Neighbor;
+use gass_core::reorder::ReorderStrategy;
 use gass_core::search::{SearchResult, SearchScratch, SearchStats};
 use gass_core::seed::SeedProvider;
 use gass_hash::{LshIndex, LshSeeds};
@@ -211,7 +212,10 @@ impl AnnIndex for LshapgIndex {
                 &mut stats,
             ),
         };
-        SearchResult { neighbors, stats }
+        // The routed traversal runs in the base graph's (possibly
+        // relabeled) id space; the base serving state owns the new→old
+        // translation.
+        self.base.serving().finish(SearchResult { neighbors, stats })
     }
 
     fn freeze(&mut self) {
@@ -230,6 +234,23 @@ impl AnnIndex for LshapgIndex {
 
     fn is_quantized(&self) -> bool {
         self.base.is_quantized()
+    }
+
+    fn reorder(&mut self, strategy: ReorderStrategy) {
+        // The LSH buckets and sketch rows must follow the base graph's
+        // relabeling so seeds and sketch estimates stay in the same id
+        // space as the permuted CSR.
+        if let Some(map) = self.base.reorder_with(strategy) {
+            self.lsh.reorder(&map);
+        }
+    }
+
+    fn is_reordered(&self) -> bool {
+        self.base.is_reordered()
+    }
+
+    fn reorder_strategy(&self) -> ReorderStrategy {
+        self.base.reorder_strategy()
     }
 
     fn stats(&self) -> IndexStats {

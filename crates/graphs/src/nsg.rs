@@ -8,10 +8,11 @@
 use crate::common::{add_reverse_edges, repair_connectivity, BuildReport};
 use crate::efanna::{EfannaIndex, EfannaParams};
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::neighbor::Neighbor;
+use gass_core::reorder::{ReorderStrategy, ServingState};
 use gass_core::search::{
     beam_search_frozen, beam_search_with_sink, SearchResult, SearchScratch,
 };
@@ -48,8 +49,7 @@ impl NsgParams {
 pub struct NsgIndex {
     store: VectorStore,
     graph: FlatGraph,
-    csr: Option<CsrGraph>,
-    quant: Option<gass_core::QuantizedStore>,
+    serving: ServingState,
     seeds: RandomSeeds,
     medoid: u32,
     scratch: ScratchPool,
@@ -133,8 +133,7 @@ impl NsgIndex {
             graph: flat,
             seeds,
             medoid,
-            csr: None,
-            quant: None,
+            serving: ServingState::new(),
             scratch: ScratchPool::new(),
             build,
             base_build,
@@ -181,14 +180,14 @@ impl AnnIndex for NsgIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter)
-            .with_quant(crate::common::quant_view(&self.quant, params));
+        let space =
+            Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
         let mut seeds = Vec::new();
         self.seeds.seeds(space, query, params.seed_count, &mut seeds);
-        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+        let res = self.scratch.with(self.store.len(), params.beam_width, |scratch| {
             beam_search_frozen(
                 &self.graph,
-                self.csr.as_ref(),
+                self.serving.csr(),
                 space,
                 query,
                 &seeds,
@@ -196,25 +195,42 @@ impl AnnIndex for NsgIndex {
                 params.beam_width,
                 scratch,
             )
-        })
+        });
+        self.serving.finish(res)
     }
 
     fn freeze(&mut self) {
-        if self.csr.is_none() {
-            self.csr = Some(CsrGraph::from_view(&self.graph));
-        }
+        self.serving.freeze(&self.graph);
     }
 
     fn is_frozen(&self) -> bool {
-        self.csr.is_some()
+        self.serving.is_frozen()
     }
 
     fn quantize(&mut self) {
-        crate::common::ensure_quantized(&mut self.quant, &self.store);
+        self.serving.quantize(&self.store);
     }
 
     fn is_quantized(&self) -> bool {
-        self.quant.is_some()
+        self.serving.is_quantized()
+    }
+
+    fn reorder(&mut self, strategy: ReorderStrategy) {
+        let entries = [self.medoid];
+        if let Some(map) =
+            self.serving.reorder(&self.graph, &mut self.store, strategy, &entries)
+        {
+            self.seeds.reorder(&map);
+            self.medoid = map.to_new(self.medoid);
+        }
+    }
+
+    fn is_reordered(&self) -> bool {
+        self.serving.is_reordered()
+    }
+
+    fn reorder_strategy(&self) -> ReorderStrategy {
+        self.serving.strategy()
     }
 
     fn stats(&self) -> IndexStats {
@@ -223,9 +239,8 @@ impl AnnIndex for NsgIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes()
-                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: crate::common::quant_bytes(&self.quant),
+            graph_bytes: self.graph.heap_bytes() + self.serving.graph_bytes(),
+            aux_bytes: self.serving.aux_bytes(),
         }
     }
 }

@@ -7,10 +7,11 @@
 
 use crate::common::{exact_knn_subset, BuildReport};
 use gass_core::distance::{DistCounter, Space};
-use gass_core::graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
+use gass_core::graph::{AdjacencyGraph, FlatGraph, GraphView};
 use gass_core::index::{AnnIndex, IndexStats, QueryParams, ScratchPool};
 use gass_core::nd::NdStrategy;
 use gass_core::neighbor::Neighbor;
+use gass_core::reorder::{IdRemap, ReorderStrategy, ServingState};
 use gass_core::search::{beam_search_frozen, SearchResult};
 use gass_core::seed::SeedProvider;
 use gass_core::store::VectorStore;
@@ -75,14 +76,20 @@ impl Seeder {
             Seeder::Bkt(b) => b.heap_bytes(),
         }
     }
+
+    fn reorder(&mut self, map: &IdRemap) {
+        match self {
+            Seeder::Kdt(f) => f.reorder(map),
+            Seeder::Bkt(b) => b.reorder(map),
+        }
+    }
 }
 
 /// A built SPTAG index.
 pub struct SptagIndex {
     store: VectorStore,
     graph: FlatGraph,
-    csr: Option<CsrGraph>,
-    quant: Option<gass_core::QuantizedStore>,
+    serving: ServingState,
     seeder: Seeder,
     variant: SptagVariant,
     scratch: ScratchPool,
@@ -146,8 +153,7 @@ impl SptagIndex {
             graph: flat,
             seeder,
             variant: params.variant,
-            csr: None,
-            quant: None,
+            serving: ServingState::new(),
             scratch: ScratchPool::new(),
             build,
         }
@@ -186,14 +192,14 @@ impl AnnIndex for SptagIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space = Space::new(&self.store, counter)
-            .with_quant(crate::common::quant_view(&self.quant, params));
+        let space =
+            Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
         let mut seeds = Vec::new();
         self.seeder.seeds(space, query, params.seed_count, &mut seeds);
-        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+        let res = self.scratch.with(self.store.len(), params.beam_width, |scratch| {
             beam_search_frozen(
                 &self.graph,
-                self.csr.as_ref(),
+                self.serving.csr(),
                 space,
                 query,
                 &seeds,
@@ -201,25 +207,38 @@ impl AnnIndex for SptagIndex {
                 params.beam_width,
                 scratch,
             )
-        })
+        });
+        self.serving.finish(res)
     }
 
     fn freeze(&mut self) {
-        if self.csr.is_none() {
-            self.csr = Some(CsrGraph::from_view(&self.graph));
-        }
+        self.serving.freeze(&self.graph);
     }
 
     fn is_frozen(&self) -> bool {
-        self.csr.is_some()
+        self.serving.is_frozen()
     }
 
     fn quantize(&mut self) {
-        crate::common::ensure_quantized(&mut self.quant, &self.store);
+        self.serving.quantize(&self.store);
     }
 
     fn is_quantized(&self) -> bool {
-        self.quant.is_some()
+        self.serving.is_quantized()
+    }
+
+    fn reorder(&mut self, strategy: ReorderStrategy) {
+        if let Some(map) = self.serving.reorder(&self.graph, &mut self.store, strategy, &[]) {
+            self.seeder.reorder(&map);
+        }
+    }
+
+    fn is_reordered(&self) -> bool {
+        self.serving.is_reordered()
+    }
+
+    fn reorder_strategy(&self) -> ReorderStrategy {
+        self.serving.strategy()
     }
 
     fn stats(&self) -> IndexStats {
@@ -228,9 +247,8 @@ impl AnnIndex for SptagIndex {
             edges: self.graph.num_edges(),
             avg_degree: self.graph.avg_degree(),
             max_degree: self.graph.max_degree(),
-            graph_bytes: self.graph.heap_bytes()
-                + self.csr.as_ref().map_or(0, |c| c.heap_bytes()),
-            aux_bytes: self.seeder.heap_bytes() + crate::common::quant_bytes(&self.quant),
+            graph_bytes: self.graph.heap_bytes() + self.serving.graph_bytes(),
+            aux_bytes: self.seeder.heap_bytes() + self.serving.aux_bytes(),
         }
     }
 }

@@ -39,6 +39,12 @@ fn quantized_recall_within_one_point_on_10k() {
     let mut index =
         HnswIndex::build(base, HnswParams { m: 12, ef_construction: 96, seed: 7, threads: 0 });
     index.freeze();
+    // Honor the CI reorder leg: this test bypasses the registry, so the
+    // forced relabeling is applied by hand. Results report original ids,
+    // so every assertion below is strategy-invariant.
+    if let Some(strategy) = gass_core::reorder_forced() {
+        index.reorder(strategy);
+    }
     let params = QueryParams::new(K, 128).with_seed_count(8).with_rerank_factor(4);
 
     // Full-precision baseline on the exact same graph.

@@ -18,6 +18,7 @@
 #![warn(clippy::all)]
 
 use gass_core::distance::Space;
+use gass_core::reorder::IdRemap;
 use gass_core::seed::SeedProvider;
 use gass_core::store::VectorStore;
 use rand::rngs::SmallRng;
@@ -119,6 +120,9 @@ pub struct LshIndex {
     sketches: Vec<f32>,
     sketch_dim: usize,
     dim: usize,
+    /// After a reorder: `new → old` table used as the sort key so the
+    /// truncated candidate set is identical before and after relabeling.
+    orig: Option<Vec<u32>>,
 }
 
 impl LshIndex {
@@ -154,7 +158,7 @@ impl LshIndex {
         for (_, v) in store.iter() {
             sketches.extend(tables[0].raw_projections(v));
         }
-        Self { tables, sketches, sketch_dim, dim }
+        Self { tables, sketches, sketch_dim, dim, orig: None }
     }
 
     /// Like [`Self::build`], but the bucket width adapts to the data:
@@ -202,10 +206,41 @@ impl LshIndex {
                 t.probe(query, true, &mut out);
             }
         }
-        out.sort_unstable();
+        match &self.orig {
+            Some(orig) => out.sort_unstable_by_key(|&id| orig[id as usize]),
+            None => out.sort_unstable(),
+        }
         out.dedup();
         out.truncate(budget.max(1));
         out
+    }
+
+    /// Relabels bucket contents and permutes the sketch rows through `map`
+    /// after the vector store was permuted. Hash keys depend only on the
+    /// vector contents, so bucket membership is unchanged.
+    pub fn reorder(&mut self, map: &IdRemap) {
+        for t in &mut self.tables {
+            for bucket in t.buckets.values_mut() {
+                for id in bucket.iter_mut() {
+                    *id = map.to_new(*id);
+                }
+            }
+        }
+        let n = self.sketches.len() / self.sketch_dim.max(1);
+        let mut permuted = Vec::with_capacity(self.sketches.len());
+        for new in 0..n {
+            let old = map.to_old(new as u32) as usize;
+            permuted.extend_from_slice(
+                &self.sketches[old * self.sketch_dim..(old + 1) * self.sketch_dim],
+            );
+        }
+        self.sketches = permuted;
+        self.orig = Some(match self.orig.take() {
+            Some(prev) => {
+                (0..prev.len()).map(|id| prev[map.to_old(id as u32) as usize]).collect()
+            }
+            None => map.new_to_old().to_vec(),
+        });
     }
 
     /// Projection sketch of an arbitrary query vector (table 0's raw
@@ -274,6 +309,11 @@ impl SeedProvider for LshSeeds {
 
     fn label(&self) -> &'static str {
         "LSH"
+    }
+
+    fn reorder(&mut self, map: &IdRemap) {
+        self.index.reorder(map);
+        self.fallback = map.to_new(self.fallback);
     }
 }
 
@@ -352,6 +392,22 @@ mod tests {
         seeds.seeds(space, &[1e6f32; 8], 5, &mut out);
         assert_eq!(out, vec![3]);
         assert_eq!(seeds.label(), "LSH");
+    }
+
+    #[test]
+    fn reorder_preserves_the_truncated_candidate_set() {
+        let store = clustered_store(8, 25);
+        let idx = LshIndex::build(&store, 4, 4, 8.0, 42);
+        let q = vec![20.0f32; 8];
+        let before = idx.candidates(&q, 12);
+        let rev: Vec<u32> = (0..store.len() as u32).rev().collect();
+        let map = IdRemap::from_new_to_old(rev).unwrap();
+        let mut relabeled = idx.clone();
+        relabeled.reorder(&map);
+        let after = relabeled.candidates(&q, 12);
+        // The kept set must be the same *vectors*, reported under new ids.
+        let translated: Vec<u32> = after.iter().map(|&id| map.to_old(id)).collect();
+        assert_eq!(translated, before);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::kmeans::balanced_kmeans;
 use gass_core::distance::{l2_sq, Space};
+use gass_core::reorder::IdRemap;
 use gass_core::seed::SeedProvider;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -115,6 +116,19 @@ impl BkTree {
         }
     }
 
+    /// Relabels the leaf ids through `map` after the vector store was
+    /// permuted. Centroids are raw vectors (no ids), so the counted
+    /// descent is unchanged.
+    pub fn reorder(&mut self, map: &IdRemap) {
+        for node in &mut self.nodes {
+            if let Node::Leaf { ids } = node {
+                for id in ids.iter_mut() {
+                    *id = map.to_new(*id);
+                }
+            }
+        }
+    }
+
     /// Approximate heap bytes (centroids + leaf id lists + node vector).
     pub fn heap_bytes(&self) -> usize {
         let inner: usize = self
@@ -136,12 +150,15 @@ impl BkTree {
 #[derive(Clone, Debug)]
 pub struct BktSeeds {
     tree: BkTree,
+    /// After a reorder: `new → old` table used as the sort key so the
+    /// truncated seed set is identical before and after relabeling.
+    orig: Option<Vec<u32>>,
 }
 
 impl BktSeeds {
     /// Builds the BKT seed structure over `space`'s store.
     pub fn build(space: Space<'_>, branching: usize, leaf_size: usize, seed: u64) -> Self {
-        Self { tree: BkTree::build(space, branching, leaf_size, seed) }
+        Self { tree: BkTree::build(space, branching, leaf_size, seed), orig: None }
     }
 
     /// The underlying tree.
@@ -158,13 +175,26 @@ impl BktSeeds {
 impl SeedProvider for BktSeeds {
     fn seeds(&self, space: Space<'_>, query: &[f32], count: usize, out: &mut Vec<u32>) {
         self.tree.candidates(space, query, count.max(1), out);
-        out.sort_unstable();
+        match &self.orig {
+            Some(orig) => out.sort_unstable_by_key(|&id| orig[id as usize]),
+            None => out.sort_unstable(),
+        }
         out.dedup();
         out.truncate(count.max(1));
     }
 
     fn label(&self) -> &'static str {
         "KM"
+    }
+
+    fn reorder(&mut self, map: &IdRemap) {
+        self.tree.reorder(map);
+        self.orig = Some(match self.orig.take() {
+            Some(prev) => {
+                (0..prev.len()).map(|id| prev[map.to_old(id as u32) as usize]).collect()
+            }
+            None => map.new_to_old().to_vec(),
+        });
     }
 }
 

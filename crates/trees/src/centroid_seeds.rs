@@ -12,6 +12,7 @@
 
 use crate::kmeans::kmeans;
 use gass_core::distance::{l2_sq, Space};
+use gass_core::reorder::IdRemap;
 use gass_core::seed::SeedProvider;
 
 /// Data-adaptive centroid-based seed provider.
@@ -100,6 +101,17 @@ impl SeedProvider for CentroidSeeds {
 
     fn label(&self) -> &'static str {
         "CS"
+    }
+
+    fn reorder(&mut self, map: &IdRemap) {
+        // Member lists are ordered by proximity to their centroid — a
+        // property of the vectors, not the labels — so an in-place id
+        // remap preserves the emission order exactly.
+        for group in &mut self.members {
+            for id in group.iter_mut() {
+                *id = map.to_new(*id);
+            }
+        }
     }
 }
 

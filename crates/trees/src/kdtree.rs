@@ -14,6 +14,7 @@
 //! the seeds.
 
 use gass_core::distance::Space;
+use gass_core::reorder::IdRemap;
 use gass_core::seed::SeedProvider;
 use gass_core::store::VectorStore;
 use rand::rngs::SmallRng;
@@ -134,6 +135,20 @@ impl KdTree {
             .sum();
         self.nodes.capacity() * std::mem::size_of::<Node>() + leaf_ids
     }
+
+    /// Relabels the stored leaf ids through `map` after the vector store
+    /// was permuted. Split planes compare query coordinates only, so the
+    /// descent (and hence the set of vectors each leaf denotes) is
+    /// unchanged.
+    pub fn reorder(&mut self, map: &IdRemap) {
+        for node in &mut self.nodes {
+            if let Node::Leaf { ids } = node {
+                for id in ids.iter_mut() {
+                    *id = map.to_new(*id);
+                }
+            }
+        }
+    }
 }
 
 fn pick_split_dim(store: &VectorStore, ids: &[u32], rng: &mut SmallRng) -> usize {
@@ -186,6 +201,10 @@ fn pop_min(frontier: &mut Vec<(f32, u32)>) -> Option<(f32, u32)> {
 #[derive(Clone, Debug)]
 pub struct KdForest {
     trees: Vec<KdTree>,
+    /// After a reorder: `new → old` table. The cross-tree merge sorts by
+    /// *original* id so the truncated candidate set (and its order) is
+    /// identical before and after any relabeling.
+    orig: Option<Vec<u32>>,
 }
 
 impl KdForest {
@@ -196,7 +215,7 @@ impl KdForest {
         let trees = (0..num_trees)
             .map(|t| KdTree::build(store, &ids, leaf_size, seed.wrapping_add(t as u64)))
             .collect();
-        Self { trees }
+        Self { trees, orig: None }
     }
 
     /// Collects up to `budget` deduplicated candidates across all trees.
@@ -206,7 +225,10 @@ impl KdForest {
         for t in &self.trees {
             t.candidates(query, per_tree, &mut out);
         }
-        out.sort_unstable();
+        match &self.orig {
+            Some(orig) => out.sort_unstable_by_key(|&id| orig[id as usize]),
+            None => out.sort_unstable(),
+        }
         out.dedup();
         out.truncate(budget.max(1));
         out
@@ -230,6 +252,19 @@ impl SeedProvider for KdForest {
 
     fn label(&self) -> &'static str {
         "KD"
+    }
+
+    fn reorder(&mut self, map: &IdRemap) {
+        for t in &mut self.trees {
+            t.reorder(map);
+        }
+        self.orig = Some(match self.orig.take() {
+            // Compose: current `new → old` chained through the fresh map.
+            Some(prev) => {
+                (0..prev.len()).map(|id| prev[map.to_old(id as u32) as usize]).collect()
+            }
+            None => map.new_to_old().to_vec(),
+        });
     }
 }
 

@@ -8,6 +8,7 @@
 
 use gass_core::distance::{l2_sq, Space};
 use gass_core::neighbor::Neighbor;
+use gass_core::reorder::IdRemap;
 use gass_core::seed::SeedProvider;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -155,6 +156,23 @@ impl VpTree {
             .sum();
         self.nodes.capacity() * std::mem::size_of::<Node>() + leaf_ids
     }
+
+    /// Relabels vantage points and leaf ids through `map` after the
+    /// vector store was permuted. Each remapped vantage id denotes the
+    /// same vector, so the descent and its counted distance evaluations
+    /// are unchanged.
+    pub fn reorder(&mut self, map: &IdRemap) {
+        for node in &mut self.nodes {
+            match node {
+                Node::Ball { vantage, .. } => *vantage = map.to_new(*vantage),
+                Node::Leaf { ids } => {
+                    for id in ids.iter_mut() {
+                        *id = map.to_new(*id);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// VP-tree seed provider (NGT's strategy). Holds its own tree; the store it
@@ -162,12 +180,15 @@ impl VpTree {
 #[derive(Clone, Debug)]
 pub struct VpSeeds {
     tree: VpTree,
+    /// After a reorder: `new → old` table used as the sort key so the
+    /// truncated seed set is identical before and after relabeling.
+    orig: Option<Vec<u32>>,
 }
 
 impl VpSeeds {
     /// Builds the VP-tree seed structure over `space`'s store.
     pub fn build(space: Space<'_>, leaf_size: usize, seed: u64) -> Self {
-        Self { tree: VpTree::build(space, leaf_size, seed) }
+        Self { tree: VpTree::build(space, leaf_size, seed), orig: None }
     }
 
     /// The underlying tree.
@@ -184,13 +205,26 @@ impl VpSeeds {
 impl SeedProvider for VpSeeds {
     fn seeds(&self, space: Space<'_>, query: &[f32], count: usize, out: &mut Vec<u32>) {
         self.tree.candidates(space, query, count.max(1), out);
-        out.sort_unstable();
+        match &self.orig {
+            Some(orig) => out.sort_unstable_by_key(|&id| orig[id as usize]),
+            None => out.sort_unstable(),
+        }
         out.dedup();
         out.truncate(count.max(1));
     }
 
     fn label(&self) -> &'static str {
         "VP"
+    }
+
+    fn reorder(&mut self, map: &IdRemap) {
+        self.tree.reorder(map);
+        self.orig = Some(match self.orig.take() {
+            Some(prev) => {
+                (0..prev.len()).map(|id| prev[map.to_old(id as u32) as usize]).collect()
+            }
+            None => map.new_to_old().to_vec(),
+        });
     }
 }
 

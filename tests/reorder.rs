@@ -1,0 +1,127 @@
+//! Property-based tests (proptest) over the graph-reordering invariants:
+//! every strategy's permutation is a bijection; relabeling the serving
+//! state is invisible to `search()` (same ids, same distances, same
+//! counted evaluations) on random graphs; and reordering commutes with
+//! quantization.
+
+use gass_core::{
+    compute_permutation, AdjacencyGraph, AnnIndex, DistCounter, FlatGraph, PrebuiltIndex,
+    QueryParams, ReorderStrategy, StaticSeeds, VectorStore,
+};
+use proptest::prelude::*;
+
+const DIM: usize = 6;
+
+/// A random store plus a random directed graph over its ids: per node, a
+/// few arbitrary out-neighbors (self-loops and duplicates included — the
+/// permutation machinery must not care).
+fn arb_store_and_graph() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<Vec<u32>>)> {
+    (4usize..40).prop_flat_map(|n| {
+        let points =
+            prop::collection::vec(prop::collection::vec(-10.0f32..10.0, DIM..=DIM), n..=n);
+        let edges = prop::collection::vec(prop::collection::vec(0..n as u32, 0..6), n..=n);
+        (points, edges)
+    })
+}
+
+fn assemble(points: &[Vec<f32>], edges: &[Vec<u32>]) -> (VectorStore, FlatGraph) {
+    let mut store = VectorStore::new(DIM);
+    for p in points {
+        store.push(p);
+    }
+    let mut adj = AdjacencyGraph::new(points.len());
+    for (u, list) in edges.iter().enumerate() {
+        for &v in list {
+            adj.add_edge(u as u32, v);
+        }
+    }
+    (store, FlatGraph::from_adjacency(&adj, None))
+}
+
+/// Serves the graph with deterministic static seeds so that two indexes
+/// over the same data answer in lockstep regardless of labeling.
+fn serve(store: &VectorStore, graph: &FlatGraph) -> PrebuiltIndex {
+    let seeds: Vec<u32> = (0..store.len().min(3) as u32).collect();
+    let mut index = PrebuiltIndex::new(
+        store.clone(),
+        graph.clone(),
+        Box::new(StaticSeeds::new(seeds)),
+        "prop",
+    );
+    index.align_store();
+    index.freeze();
+    index
+}
+
+fn search_all(
+    index: &PrebuiltIndex,
+    points: &[Vec<f32>],
+) -> (Vec<Vec<gass_core::Neighbor>>, u64) {
+    let counter = DistCounter::new();
+    let params = QueryParams::new(3, 8).with_rerank_factor(2);
+    let results = points.iter().map(|q| index.search(q, &params, &counter).neighbors).collect();
+    (results, counter.get())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every strategy produces a bijective relabeling: `to_new` and
+    /// `to_old` invert each other over the whole id range.
+    #[test]
+    fn permutations_are_bijections(sg in arb_store_and_graph()) {
+        let (points, edges) = sg;
+        let (_, graph) = assemble(&points, &edges);
+        for strategy in ReorderStrategy::ALL {
+            let map = compute_permutation(&graph, strategy, &[0]);
+            for id in 0..points.len() as u32 {
+                prop_assert_eq!(map.to_new(map.to_old(id)), id, "{}", strategy);
+                prop_assert_eq!(map.to_old(map.to_new(id)), id, "{}", strategy);
+            }
+        }
+    }
+
+    /// Relabeling the serving state changes nothing observable: neighbor
+    /// ids (original label space), distances, and counted evaluations all
+    /// match the unreordered index, for every strategy, on arbitrary
+    /// graphs — including disconnected and self-looped ones.
+    #[test]
+    fn search_is_invariant_under_reordering(sg in arb_store_and_graph()) {
+        let (points, edges) = sg;
+        let (store, graph) = assemble(&points, &edges);
+        let baseline = serve(&store, &graph);
+        let expected = search_all(&baseline, &points);
+        for strategy in ReorderStrategy::ALL {
+            let mut reordered = serve(&store, &graph);
+            reordered.reorder(strategy);
+            let got = search_all(&reordered, &points);
+            prop_assert_eq!(&got, &expected, "{}", strategy);
+        }
+    }
+
+    /// `reorder . quantize == quantize . reorder`: the SQ8 codes are
+    /// per-dimension affine, so permuting rows commutes with encoding and
+    /// both orders serve identical quantized results.
+    #[test]
+    fn reorder_commutes_with_quantize(sg in arb_store_and_graph()) {
+        let (points, edges) = sg;
+        let (store, graph) = assemble(&points, &edges);
+        for strategy in ReorderStrategy::ALL {
+            let mut quantize_first = serve(&store, &graph);
+            quantize_first.quantize();
+            quantize_first.reorder(strategy);
+            let mut reorder_first = serve(&store, &graph);
+            reorder_first.reorder(strategy);
+            reorder_first.quantize();
+            let a = search_all(&quantize_first, &points);
+            let b = search_all(&reorder_first, &points);
+            prop_assert_eq!(&a, &b, "{}", strategy);
+            // The code stores themselves agree row-for-row.
+            let qa = quantize_first.quantized().unwrap();
+            let qb = reorder_first.quantized().unwrap();
+            for id in 0..points.len() as u32 {
+                prop_assert_eq!(qa.code_row(id), qb.code_row(id), "{} id {}", strategy, id);
+            }
+        }
+    }
+}
