@@ -1,23 +1,40 @@
-//! Scalar vs SIMD SQ8 asymmetric-distance micro-benchmarks at the paper's
+//! Scalar vs SIMD code-space distance micro-benchmarks at the paper's
 //! dataset dimensionalities (Glove 25/100, Deep 96, Sift 128, Gist 960),
 //! mirroring `simd_kernels` for the f32 path. The dispatched kernels
-//! (`l2_sq_u8`, `l2_sq_u8_batch`) pick AVX2/NEON at runtime; the
-//! `*_scalar` rows pin the 8-lane reference the dispatcher falls back to
-//! under `GASS_NO_SIMD`.
+//! (`l2_sq_u8`, `l2_sq_u8_batch`, `pq_scan`, `pq_scan_batch`) pick
+//! AVX2/NEON at runtime; the `*_scalar` rows pin the reference the
+//! dispatcher falls back to under `GASS_NO_SIMD`. The `pq_scan` rows are
+//! the 16-entry LUT compare-select scan over 4-bit PQ codes (m = dim/6
+//! subquantizers), the inner loop of PQ traversal.
 //!
-//! Inputs come from a real `QuantizedStore` so the code rows carry the
-//! cache-line-padded stride the serving path sees.
+//! Inputs come from real code stores so the rows carry the padded stride
+//! (SQ8) / chunked LUT layout (PQ) the serving path sees.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gass_core::quant::{l2_sq_u8, l2_sq_u8_batch, l2_sq_u8_batch_scalar, l2_sq_u8_scalar};
+use gass_core::quant::{
+    l2_sq_u8, l2_sq_u8_batch, l2_sq_u8_batch_scalar, l2_sq_u8_scalar, pq_scan, pq_scan_batch,
+    pq_scan_batch_scalar, pq_scan_scalar, PqStore,
+};
 use gass_core::{PreparedQuery, QuantizedStore, VectorStore};
 use std::hint::black_box;
 
-fn quantized(dim: usize) -> (QuantizedStore, PreparedQuery) {
+fn sample_store(dim: usize) -> (VectorStore, Vec<f32>) {
     let gen = |phase: f32| (0..dim).map(move |i| (i as f32 * 0.37 + phase).sin());
     let flat: Vec<f32> = (0..5).flat_map(|v| gen(1.0 + v as f32)).collect();
-    let store = QuantizedStore::from_store(&VectorStore::from_flat(dim, flat));
-    let query: Vec<f32> = gen(0.0).collect();
+    (VectorStore::from_flat(dim, flat), gen(0.0).collect())
+}
+
+fn quantized(dim: usize) -> (QuantizedStore, PreparedQuery) {
+    let (base, query) = sample_store(dim);
+    let store = QuantizedStore::from_store(&base);
+    let mut pq = PreparedQuery::default();
+    store.prepare_into(&query, &mut pq);
+    (store, pq)
+}
+
+fn pq_encoded(dim: usize) -> (PqStore, PreparedQuery) {
+    let (base, query) = sample_store(dim);
+    let store = PqStore::from_store(&base, None);
     let mut pq = PreparedQuery::default();
     store.prepare_into(&query, &mut pq);
     (store, pq)
@@ -53,6 +70,31 @@ fn bench_quant_kernels(c: &mut Criterion) {
                 bench
                     .iter(|| l2_sq_u8_batch_scalar(black_box(u), black_box(s), black_box(rows)))
             },
+        );
+
+        // PQ LUT scan at the same dims (m = dim/6 subquantizers, 4-bit
+        // codes): the 16-entry compare-select kernel vs its scalar
+        // reference, single-row and 4-row batch.
+        let (pstore, ppq) = pq_encoded(dim);
+        let lut = ppq.lut();
+        let prow = pstore.code_row(0);
+        let prows =
+            [pstore.code_row(1), pstore.code_row(2), pstore.code_row(3), pstore.code_row(4)];
+        group.bench_with_input(BenchmarkId::new("pq_scan/simd", dim), &dim, |bench, _| {
+            bench.iter(|| pq_scan(black_box(lut), black_box(prow)))
+        });
+        group.bench_with_input(BenchmarkId::new("pq_scan/scalar", dim), &dim, |bench, _| {
+            bench.iter(|| pq_scan_scalar(black_box(lut), black_box(prow)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("pq_scan_batch/simd", dim),
+            &dim,
+            |bench, _| bench.iter(|| pq_scan_batch(black_box(lut), black_box(prows))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pq_scan_batch/scalar", dim),
+            &dim,
+            |bench, _| bench.iter(|| pq_scan_batch_scalar(black_box(lut), black_box(prows))),
         );
     }
     group.finish();

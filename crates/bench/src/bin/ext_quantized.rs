@@ -1,29 +1,36 @@
-//! Extension experiment: SQ8 quantized traversal with exact rerank,
-//! measured against the PR 2 serving configuration (SIMD + prefetch +
-//! frozen CSR + aligned store) on the same built graph.
+//! Extension experiment: the compressed-serving codec ladder —
+//! full-precision, SQ8, SQ4, and PQ traversal with exact rerank — against
+//! the PR 2 serving configuration (SIMD + prefetch + frozen CSR + aligned
+//! store) on the same built graph.
 //!
 //! The ladder runs on the 100K tier of the *Gist* analog (960 dims): a
-//! 384 MB `f32` store vs a 96 MB code store, which is the memory-bound
-//! regime scalar quantization targets — traversal bandwidth, not kernel
-//! arithmetic, is the serving bottleneck. (On a cache-resident tier like
-//! Deep-96 at 100K — 38 MB against this host's 260 MB L3 — the same
-//! ladder is flat: the u8 kernel's widening/weighting arithmetic costs
-//! about what the `f32` kernel saves in loads.)
+//! 384 MB `f32` store vs 96 MB (SQ8) / 48 MB (SQ4) / 8 MB (PQ m=160)
+//! code stores, which is the memory-bound regime compressed serving
+//! targets — traversal bandwidth, not kernel arithmetic, is the serving
+//! bottleneck. (On a cache-resident tier like Deep-96 at 100K — 38 MB
+//! against this host's 260 MB L3 — the same ladder is flat: the code
+//! kernels' unpack/LUT arithmetic costs about what the `f32` kernel
+//! saves in loads.)
 //!
 //! The ladder starts at the full-precision serving path, then quantizes
-//! the index and sweeps the rerank factor. Quantized rows traverse on
-//! 8-bit codes (4x less bandwidth per candidate) and re-score a
-//! `rerank_factor * k` pool at full precision before returning, so the
-//! `DistCounter` split shows u8 evaluations dominating while the handful
-//! of f32 evaluations restores exact distances. Quantization is an
-//! *approximation*: recall can dip below the full-precision row, and the
-//! rerank factor buys it back.
+//! the index per codec and sweeps the rerank factor. Quantized rows
+//! traverse on codes (4x / 8x / 48x less bandwidth per candidate) and
+//! re-score a `rerank_factor * k` pool at full precision before
+//! returning, so the `DistCounter` split shows u8 evaluations dominating
+//! while the handful of f32 evaluations restores exact distances.
+//! Quantization is an *approximation*: recall dips below the
+//! full-precision row as the code rate drops, and the rerank factor buys
+//! it back — SQ8/SQ4 recover at small pools, PQ at 0.67 bits/dim needs a
+//! deeper sweep (the pool must contain the true neighbors for the exact
+//! rerank to surface them).
 //!
 //! Acceptance shape: on the 100K tier, a quantized rung reaches >= 1.5x
-//! the full-precision serving QPS at recall@10 >= 0.95. The harness also
-//! proves the `--quant none` contract: an unquantized index is untouched
-//! by the quantization subsystem — two deterministic passes return
-//! bit-identical recall and distance totals.
+//! the full-precision serving QPS at recall@10 >= 0.95, and the PQ
+//! (m = dim/6, 4-bit) code store is >= 4x smaller than SQ8's while some
+//! PQ rung still clears recall@10 >= 0.95 after exact rerank. The
+//! harness also proves the `--quant none` contract: an unquantized index
+//! is untouched by the quantization subsystem — two deterministic passes
+//! return bit-identical recall and distance totals.
 //!
 //! ```sh
 //! cargo run --release -p gass-bench --bin ext_quantized
@@ -35,6 +42,7 @@
 use gass_bench::{num_queries, results_dir, scale};
 use gass_core::distance::DistCounter;
 use gass_core::index::{AnnIndex, QueryParams};
+use gass_core::CodecSpec;
 use gass_eval::{measure_throughput, measure_throughput_batch, recall_at_k, write_json, Table};
 use gass_graphs::{HnswIndex, HnswParams};
 use serde::Serialize;
@@ -47,8 +55,15 @@ const REPS: usize = 3;
 #[derive(Serialize)]
 struct RungRecord {
     variant: String,
-    quantized: bool,
+    codec: String,
     rerank_factor: usize,
+    /// Bytes the traversal path reads per vector: the code row for
+    /// quantized rungs, the full `f32` row for the baseline.
+    row_bytes: usize,
+    /// Heap footprint of the structure traversal reads distances from:
+    /// the code store (codes + codebooks) when quantized, the aligned
+    /// `f32` store otherwise.
+    serving_bytes: usize,
     recall_at_10: f64,
     dist_u8_total: u64,
     dist_f32_total: u64,
@@ -75,6 +90,11 @@ struct Record {
     /// bit-identical recall and distance totals (the `--quant none`
     /// contract: quantization off is the PR 2 path, untouched).
     quant_none_identical: bool,
+    /// SQ8 code-store bytes over PQ code-store bytes (codes + codebooks);
+    /// the acceptance bar is >= 4x.
+    pq_size_ratio_vs_sq8: f64,
+    /// Best recall@10 over the PQ rungs; the acceptance bar is >= 0.95.
+    pq_best_recall_at_10: f64,
     /// Best quantized QPS (1 thread) at recall@10 >= 0.95, over the
     /// full-precision serving QPS.
     speedup_qps_1t: f64,
@@ -114,7 +134,7 @@ fn main() {
     let (base, queries) = gass_data::holdout_split(&all, num_queries(), 333);
     let dim = base.dim();
     let truth = gass_data::ground_truth(&base, &queries, K);
-    println!("Extension: SQ8 quantized serving ladder, Gist (n={n}, dim={dim}), k={K}\n");
+    println!("Extension: compressed serving codec ladder, Gist (n={n}, dim={dim}), k={K}\n");
 
     eprintln!("building HNSW ({host_cores} threads)...");
     let mut index = HnswIndex::build(
@@ -143,6 +163,8 @@ fn main() {
 
     let mut table = Table::new(vec![
         "variant",
+        "row_B",
+        "store_MB",
         "recall@10",
         "dists_u8",
         "dists_f32",
@@ -155,10 +177,15 @@ fn main() {
     let mut rungs: Vec<RungRecord> = Vec::new();
     let mut measure = |index: &HnswIndex,
                        label: String,
+                       codec: &str,
                        params: &QueryParams,
                        rerank: usize,
                        table: &mut Table| {
         let (recall, u8s, f32s) = deterministic_pass(index, &queries, &truth, params);
+        let (row_bytes, serving_bytes) = match index.quantized() {
+            Some(q) => (q.code_row(0).len(), q.heap_bytes()),
+            None => (dim * 4, index.store().heap_bytes()),
+        };
         let best = |threads: usize| {
             (0..REPS)
                 .map(|_| measure_throughput(index, &queries, params, threads, ROUNDS))
@@ -173,6 +200,8 @@ fn main() {
             .unwrap();
         table.row(vec![
             label.clone(),
+            row_bytes.to_string(),
+            format!("{:.1}", serving_bytes as f64 / (1 << 20) as f64),
             format!("{recall:.4}"),
             u8s.to_string(),
             f32s.to_string(),
@@ -185,8 +214,10 @@ fn main() {
         eprintln!("done: {label}");
         rungs.push(RungRecord {
             variant: label,
-            quantized: index.is_quantized(),
+            codec: codec.to_string(),
             rerank_factor: rerank,
+            row_bytes,
+            serving_bytes,
             recall_at_10: recall,
             dist_u8_total: u8s,
             dist_f32_total: f32s,
@@ -208,21 +239,63 @@ fn main() {
         "full-precision passes must be deterministic and never touch u8 codes"
     );
 
-    measure(&index, "full-precision (serving)".into(), &params, 1, &mut table);
+    measure(&index, "full-precision (serving)".into(), "none", &params, 1, &mut table);
 
-    eprintln!("quantizing (SQ8, per-dim affine)...");
-    index.quantize();
-    for rerank in [2usize, 4, 8] {
-        let qparams = params.with_rerank_factor(rerank);
-        measure(&index, format!("sq8 rerank={rerank}"), &qparams, rerank, &mut table);
+    // The ladder: each codec re-encodes the same serving state in place
+    // and sweeps its rerank factor. The sweeps widen as the code rate
+    // drops — SQ8 (8 bits/dim) recovers with small pools, SQ4 (4
+    // bits/dim) the same, PQ at m = dim/6 (0.67 bits/dim) ranks the pool
+    // coarsely enough that only a deep pool contains the true top-10.
+    let mut pq_bytes = 0usize;
+    let mut sq8_bytes = 0usize;
+    let ladder: [(CodecSpec, &str, &[usize]); 3] = [
+        (CodecSpec::Sq8, "sq8", &[2, 4, 8]),
+        (CodecSpec::Sq4, "sq4", &[2, 4, 8]),
+        (CodecSpec::Pq { m: None }, "pq", &[16, 32, 64, 96]),
+    ];
+    for (spec, codec, sweep) in ladder {
+        let resolved = spec.resolve(dim);
+        eprintln!("quantizing ({resolved})...");
+        index.quantize(spec);
+        let bytes = index.quantized().expect("quantized").heap_bytes();
+        match codec {
+            "sq8" => sq8_bytes = bytes,
+            "pq" => pq_bytes = bytes,
+            _ => {}
+        }
+        for &rerank in sweep {
+            let qparams = params.with_rerank_factor(rerank);
+            measure(
+                &index,
+                format!("{resolved} rerank={rerank}"),
+                codec,
+                &qparams,
+                rerank,
+                &mut table,
+            );
+        }
     }
 
     let full = &rungs[0];
     let eligible = |r: &&RungRecord| {
-        r.quantized && r.recall_at_10 >= 0.95 && r.recall_at_10 >= full.recall_at_10 - 0.01
+        r.codec != "none"
+            && r.recall_at_10 >= 0.95
+            && r.recall_at_10 >= full.recall_at_10 - 0.01
     };
     let best_1t = rungs[1..].iter().filter(eligible).map(|r| r.qps_1t).fold(0.0, f64::max);
     let best_mt = rungs[1..].iter().filter(eligible).map(|r| r.qps_mt).fold(0.0, f64::max);
+    let pq_size_ratio_vs_sq8 = sq8_bytes as f64 / pq_bytes.max(1) as f64;
+    let pq_best_recall_at_10 =
+        rungs.iter().filter(|r| r.codec == "pq").map(|r| r.recall_at_10).fold(0.0, f64::max);
+    assert!(
+        pq_size_ratio_vs_sq8 >= 4.0,
+        "PQ code store must be >= 4x smaller than SQ8 ({sq8_bytes} vs {pq_bytes})"
+    );
+    assert!(
+        pq_best_recall_at_10 >= 0.95,
+        "a PQ rung must clear recall@10 >= 0.95 after exact rerank \
+         (best: {pq_best_recall_at_10:.4})"
+    );
     let record = Record {
         experiment: "ext_quantized",
         n,
@@ -235,6 +308,8 @@ fn main() {
         host_cores,
         simd_backend: gass_core::simd_backend(),
         quant_none_identical,
+        pq_size_ratio_vs_sq8,
+        pq_best_recall_at_10,
         speedup_qps_1t: best_1t / full.qps_1t.max(1e-12),
         speedup_qps_mt: best_mt / full.qps_mt.max(1e-12),
         rungs,
@@ -243,10 +318,14 @@ fn main() {
     println!("{}", table.render());
     println!(
         "best quantized rung at recall@10 >= 0.95: {:.2}x QPS (1 thread), \
-         {:.2}x QPS ({} threads) over full-precision serving; u8 \
-         evaluations dominate the quantized rows, the f32 column is the \
-         exact rerank.",
-        record.speedup_qps_1t, record.speedup_qps_mt, threads_mt
+         {:.2}x QPS ({} threads) over full-precision serving; PQ code store \
+         {:.1}x smaller than SQ8 at best PQ recall {:.4}. u8 evaluations \
+         dominate the quantized rows, the f32 column is the exact rerank.",
+        record.speedup_qps_1t,
+        record.speedup_qps_mt,
+        threads_mt,
+        record.pq_size_ratio_vs_sq8,
+        record.pq_best_recall_at_10
     );
     let path = write_json(&results_dir(), "ext_quantized", &record).expect("write results");
     println!("wrote {}", path.display());

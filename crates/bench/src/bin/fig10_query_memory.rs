@@ -1,13 +1,15 @@
 //! Figure 10: memory footprint during *query answering* — what must stay
 //! resident to serve searches (raw vectors + graph + seed structures +
 //! per-thread scratch), measured in the full serving configuration:
-//! frozen CSR, SQ8 codes, and (under `GASS_REORDER`) the id remap.
+//! frozen CSR, quantized codes, and (under `GASS_REORDER`) the id remap.
 //!
 //! Paper shape: Vamana smallest (graph + data only, modest degree), ELPIS
 //! next (small leaf graphs but duplicated contiguous leaf storage), HNSW
 //! pays for slotted layout + hierarchy. The `of_which_serving` column
 //! isolates what freezing + quantization (+ reordering) add on top of the
-//! build-time structures.
+//! build-time structures; each method gets one row per codec ladder rung
+//! (SQ8 / SQ4 / PQ) so the ladder's shrinking code store is visible per
+//! method.
 //!
 //! ```sh
 //! cargo run --release -p gass-bench --bin fig10_query_memory
@@ -22,6 +24,7 @@ fn main() {
     let mut table = Table::new(vec![
         "tier",
         "method",
+        "codec",
         "resident_total",
         "of_which_graph",
         "of_which_aux",
@@ -43,23 +46,28 @@ fn main() {
             let mut built = build_method(kind, base.clone(), 5);
             // Build-time structures only (flat graph + seed trees).
             let s0 = built.index.stats();
-            // The serving configuration adds the CSR snapshot, the SQ8
-            // codes, and — when reordering is active — the id remap.
+            // The serving configuration adds the CSR snapshot, the codec
+            // store, and — when reordering is active — the id remap. One
+            // row per ladder rung: re-quantizing replaces the codes in
+            // place, so the delta between rows is exactly the code store.
             built.freeze();
-            built.quantize();
-            let s = built.index.stats();
-            let serving = (s.graph_bytes - s0.graph_bytes) + (s.aux_bytes - s0.aux_bytes);
-            // Query-time scratch: visited stamps (4B/node) + beam buffer.
-            let scratch = tier.n * 4 + 320 * std::mem::size_of::<(u64, bool)>();
-            table.row(vec![
-                tier.label.to_string(),
-                kind.name(),
-                fmt_bytes(raw + s.graph_bytes + s.aux_bytes + scratch),
-                fmt_bytes(s.graph_bytes),
-                fmt_bytes(s.aux_bytes),
-                fmt_bytes(serving),
-                fmt_bytes(scratch),
-            ]);
+            for spec in gass_core::CodecSpec::ALL {
+                built.quantize(spec);
+                let s = built.index.stats();
+                let serving = (s.graph_bytes - s0.graph_bytes) + (s.aux_bytes - s0.aux_bytes);
+                // Query-time scratch: visited stamps (4B/node) + beam buffer.
+                let scratch = tier.n * 4 + 320 * std::mem::size_of::<(u64, bool)>();
+                table.row(vec![
+                    tier.label.to_string(),
+                    kind.name(),
+                    spec.resolve(base.dim()).to_string(),
+                    fmt_bytes(raw + s.graph_bytes + s.aux_bytes + scratch),
+                    fmt_bytes(s.graph_bytes),
+                    fmt_bytes(s.aux_bytes),
+                    fmt_bytes(serving),
+                    fmt_bytes(scratch),
+                ]);
+            }
             eprintln!("done: {} {}", tier.label, kind.name());
         }
     }

@@ -10,15 +10,17 @@
 //! * vector layout: cache-line-aligned padded store vs packed;
 //! * software prefetch of pending candidates: on vs off;
 //! * graph reordering: RCM and hub-cluster relabelings of the CSR +
-//!   aligned store, translated back to original ids.
+//!   aligned store, translated back to original ids;
+//! * compressed serving: the SQ8 / SQ4 / PQ codec ladder with exact
+//!   rerank.
 //!
 //! The scalar/prefetch rows ablate one serving-path optimization each from
 //! the full `csr+aligned` configuration; recall and distance counts are
 //! identical for every such variant (the optimizations are
 //! layout/kernel-only), so wall-clock is the entire story. The final
-//! `sq8` rows traverse on 8-bit scalar-quantized codes with an exact
-//! rerank — an *approximation*, excluded from the identical-counts
-//! reading: their recall may dip and their counts include the rerank.
+//! codec rows traverse on quantized codes with an exact rerank — an
+//! *approximation*, excluded from the identical-counts reading: their
+//! recall may dip and their counts include the rerank.
 //!
 //! Paper shape: the optimized layouts win at low/mid recall where
 //! traversal overhead dominates; the gap closes at high recall where
@@ -71,9 +73,21 @@ fn main() {
         .iter()
         .map(|(label, map)| (*label, csr.permute(map), aligned_store.permute(map)))
         .collect();
-    // SQ8 codes for the quantization ablation rows (built once; the
-    // encode is deterministic).
-    let qstore = gass_core::QuantizedStore::from_store(&aligned_store);
+    // Code stores for the quantization ablation rows (built once each;
+    // the encodes are deterministic). One ladder rung per codec, with the
+    // rerank sweep deepening as the code rate drops: SQ8 keeps 8 bits/dim,
+    // SQ4 4 bits/dim, PQ at m = dim/6 just 0.67 bits/dim.
+    let codecs: Vec<(gass_core::CodecSpec, Box<dyn gass_core::CodecStore>, Vec<usize>)> =
+        gass_core::CodecSpec::ALL
+            .into_iter()
+            .map(|spec| {
+                let reranks = match spec {
+                    gass_core::CodecSpec::Pq { .. } => vec![8, 16],
+                    _ => vec![2, 4],
+                };
+                (spec.resolve(base.dim()), spec.build(&aligned_store), reranks)
+            })
+            .collect();
 
     let counter = DistCounter::new();
     let space = Space::new(index.store(), &counter);
@@ -151,17 +165,20 @@ fn main() {
                 found
             });
         }
-        // Quantization ablation: SQ8 traversal with exact rerank on top of
-        // the serving configuration. Unlike every row above, these rows
-        // are *approximate* — traversal runs on 8-bit codes, so recall and
-        // distance counts are allowed to differ; the rerank factor trades
-        // f32 re-scores for recall recovery.
-        for rerank in [2usize, 4] {
-            let space_quant =
-                space_aligned.with_quant(Some(gass_core::QuantView::new(&qstore, rerank)));
-            run(&format!("serving, sq8 rerank={rerank}"), &mut |q, e| {
-                beam_search(&csr, space_quant, q, &[e], k, l, &mut scratch).neighbors
-            });
+        // Quantization ablation: code-space traversal with exact rerank on
+        // top of the serving configuration, one rung per codec. Unlike
+        // every row above, these rows are *approximate* — traversal runs
+        // on codes, so recall and distance counts are allowed to differ;
+        // the rerank factor trades f32 re-scores for recall recovery and
+        // the sweep deepens as the code rate drops.
+        for (spec, qstore, reranks) in &codecs {
+            for &rerank in reranks {
+                let space_quant = space_aligned
+                    .with_quant(Some(gass_core::QuantView::new(qstore.as_ref(), rerank)));
+                run(&format!("serving, {spec} rerank={rerank}"), &mut |q, e| {
+                    beam_search(&csr, space_quant, q, &[e], k, l, &mut scratch).neighbors
+                });
+            }
         }
         eprintln!("done: L={l}");
     }
@@ -174,7 +191,8 @@ fn main() {
          grows. The serving rows isolate the kernel (SIMD vs scalar), the \
          store layout, and the prefetch contribution; the scalar-kernel \
          ablation should dominate at high L where distance work does. The \
-         sq8 rows are approximate (quantized traversal + exact rerank) and \
-         trade a small recall dip for bandwidth."
+         codec-ladder rows are approximate (quantized traversal + exact \
+         rerank) and trade a recall dip — growing as the code rate drops \
+         from sq8 to sq4 to pq — for bandwidth."
     );
 }

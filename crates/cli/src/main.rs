@@ -49,7 +49,7 @@ COMMANDS:
             [--k <10>] [--beam <80>] [--seeds <16>]
             [--layout <packed|aligned>] [--graph-layout <flat|csr>]
             [--simd <on|off>] [--prefetch <on|off>]
-            [--quant <sq8|none>] [--rerank-factor <4>]
+            [--quant <sq8|sq4|pq|none>] [--pq-m <m>] [--rerank-factor <4>]
             [--reorder <none|degree|bfs|rcm|hub>]
             Answer k-NN queries from a saved graph; reports recall against
             exact ground truth and distance calculations per query.
@@ -58,10 +58,15 @@ COMMANDS:
             results are identical under every combination — only speed
             changes. --simd/--prefetch left absent defer to the
             GASS_NO_SIMD / GASS_NO_PREFETCH environment overrides.
-            --quant sq8 traverses on 8-bit scalar-quantized codes and
-            re-scores a rerank-factor*k candidate pool at full precision
-            (approximate: recall can dip slightly; raise --rerank-factor
-            to recover it). --quant none (the default) is exact serving.
+            --quant walks the compression ladder: sq8 traverses on 8-bit
+            scalar-quantized codes (1 byte/dim), sq4 on 4-bit codes
+            (2 dims/byte), pq on product-quantized codes (m subquantizers
+            x 16 centroids, 4-bit codes scanned through per-query LUTs;
+            --pq-m must divide the dimensionality, default m ~ dim/6).
+            Every rung re-scores a rerank-factor*k candidate pool at full
+            precision (approximate: recall can dip; raise --rerank-factor
+            to recover it — the coarser the codec, the deeper the pool
+            needed). --quant none (the default) is exact serving.
             --reorder relabels the frozen CSR, vectors, and codes with a
             locality-preserving permutation (implies --graph-layout csr);
             results are identical under every strategy — only speed
@@ -259,6 +264,42 @@ fn run(args: Args) -> Result<(), String> {
             Ok(())
         }
         "query" => {
+            // Parse and validate every flag before touching the (possibly
+            // large) input files, so bad invocations fail fast with a
+            // clear message.
+            let k: usize = args.get_or("k", 10).map_err(|e| e.to_string())?;
+            let beam: usize = args.get_or("beam", 80).map_err(|e| e.to_string())?;
+            let seeds: usize = args.get_or("seeds", 16).map_err(|e| e.to_string())?;
+            let layout: String =
+                args.get_or("layout", "aligned".into()).map_err(|e| e.to_string())?;
+            let graph_layout: String =
+                args.get_or("graph-layout", "csr".into()).map_err(|e| e.to_string())?;
+            let quant: String =
+                args.get_or("quant", "none".into()).map_err(|e| e.to_string())?;
+            let pq_m: Option<usize> = args.get_opt("pq-m").map_err(|e| e.to_string())?;
+            let reorder: Option<gass_core::ReorderStrategy> =
+                match args.get_opt::<String>("reorder").map_err(|e| e.to_string())? {
+                    Some(v) => Some(v.parse().map_err(|e: String| format!("--reorder: {e}"))?),
+                    None => gass_core::reorder_forced(),
+                };
+            let rerank: usize = args.get_or("rerank-factor", 4).map_err(|e| e.to_string())?;
+            if rerank == 0 {
+                return Err(
+                    "--rerank-factor must be at least 1: quantized serving re-scores a \
+                     rerank-factor*k candidate pool at full precision, and an empty pool \
+                     would return no results"
+                        .to_string(),
+                );
+            }
+            // Codec family resolves here; the --pq-m divisibility check
+            // needs the store's dimensionality and runs after loading.
+            let family: Option<gass_core::CodecSpec> = match quant.as_str() {
+                "none" => None,
+                name => Some(name.parse().map_err(|e: String| format!("--quant: {e}"))?),
+            };
+            if pq_m.is_some() && !matches!(family, Some(gass_core::CodecSpec::Pq { .. })) {
+                return Err("--pq-m requires --quant pq".to_string());
+            }
             let store = persist::load_store(Path::new(
                 args.require("store").map_err(|e| e.to_string())?,
             ))
@@ -271,21 +312,22 @@ fn run(args: Args) -> Result<(), String> {
                 args.require("queries").map_err(|e| e.to_string())?,
             ))
             .map_err(|e| e.to_string())?;
-            let k: usize = args.get_or("k", 10).map_err(|e| e.to_string())?;
-            let beam: usize = args.get_or("beam", 80).map_err(|e| e.to_string())?;
-            let seeds: usize = args.get_or("seeds", 16).map_err(|e| e.to_string())?;
-            let layout: String =
-                args.get_or("layout", "aligned".into()).map_err(|e| e.to_string())?;
-            let graph_layout: String =
-                args.get_or("graph-layout", "csr".into()).map_err(|e| e.to_string())?;
-            let quant: String =
-                args.get_or("quant", "none".into()).map_err(|e| e.to_string())?;
-            let reorder: Option<gass_core::ReorderStrategy> =
-                match args.get_opt::<String>("reorder").map_err(|e| e.to_string())? {
-                    Some(v) => Some(v.parse().map_err(|e: String| format!("--reorder: {e}"))?),
-                    None => gass_core::reorder_forced(),
-                };
-            let rerank: usize = args.get_or("rerank-factor", 4).map_err(|e| e.to_string())?;
+            // A bad --pq-m fails with a clear message here rather than a
+            // panic deep in the encoder.
+            let spec: Option<gass_core::CodecSpec> = match (family, pq_m) {
+                (Some(gass_core::CodecSpec::Pq { .. }), Some(want)) => {
+                    let dim = store.dim();
+                    if want == 0 || !dim.is_multiple_of(want) {
+                        return Err(format!(
+                            "--pq-m {want} must be a nonzero divisor of the store \
+                             dimensionality {dim} (each of the m subquantizers encodes \
+                             dim/m dimensions)"
+                        ));
+                    }
+                    Some(gass_core::CodecSpec::Pq { m: Some(want) })
+                }
+                (f, _) => f,
+            };
             let simd: Option<String> = args.get_opt("simd").map_err(|e| e.to_string())?;
             let prefetch: Option<String> =
                 args.get_opt("prefetch").map_err(|e| e.to_string())?;
@@ -323,10 +365,8 @@ fn run(args: Args) -> Result<(), String> {
                 "flat" => {}
                 other => return Err(format!("unknown --graph-layout `{other}`")),
             }
-            match quant.as_str() {
-                "sq8" => index.quantize(),
-                "none" => {}
-                other => return Err(format!("unknown --quant `{other}`")),
+            if let Some(spec) = spec {
+                index.quantize(spec);
             }
             if let Some(strategy) = reorder {
                 index.reorder(strategy);
@@ -343,10 +383,11 @@ fn run(args: Args) -> Result<(), String> {
             let nq = truth.len().max(1);
             println!(
                 "queries={} k={k} L={beam}  kernel={} store={layout} graph={graph_layout} \
-                 prefetch={} quant={quant} reorder={}",
+                 prefetch={} quant={} reorder={}",
                 nq,
                 gass_core::simd_backend(),
                 if gass_core::prefetch_enabled() { "on" } else { "off" },
+                spec.map_or_else(|| "none".to_string(), |s| s.to_string()),
                 reorder.unwrap_or_default(),
             );
             println!(

@@ -124,6 +124,186 @@ fn generate_build_query_roundtrip() {
 }
 
 #[test]
+fn quantized_query_ladder() {
+    let dir = std::env::temp_dir().join("gass_cli_e2e_quant");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("base.store.gass");
+    let graph = dir.join("base.hnsw.gass");
+    let queries = dir.join("q.store.gass");
+    run_ok(gass().args([
+        "generate",
+        "--dataset",
+        "deep",
+        "--n",
+        "800",
+        "--seed",
+        "5",
+        "--out",
+        store.to_str().unwrap(),
+    ]));
+    run_ok(gass().args([
+        "generate",
+        "--dataset",
+        "deep",
+        "--n",
+        "10",
+        "--seed",
+        "9",
+        "--out",
+        queries.to_str().unwrap(),
+    ]));
+    run_ok(gass().args([
+        "build",
+        "--method",
+        "hnsw",
+        "--store",
+        store.to_str().unwrap(),
+        "--out",
+        graph.to_str().unwrap(),
+    ]));
+    // Each rung serves on codes (u8 > 0) and keeps usable recall thanks to
+    // the exact rerank pool; the PQ rung pins its geometry via --pq-m.
+    let rungs: [(&str, &[&str], &str); 3] = [
+        ("sq8", &[], "quant=sq8"),
+        ("sq4", &[], "quant=sq4"),
+        ("pq", &["--pq-m", "48", "--rerank-factor", "16"], "quant=pq(m=48)"),
+    ];
+    for (quant, extra, label) in rungs {
+        let mut cmd = gass();
+        cmd.args([
+            "query",
+            "--store",
+            store.to_str().unwrap(),
+            "--graph",
+            graph.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "5",
+            "--beam",
+            "64",
+            "--quant",
+            quant,
+        ]);
+        cmd.args(extra);
+        let out = run_ok(&mut cmd);
+        assert!(out.contains(label), "missing `{label}` in: {out}");
+        let u8s: u64 = out
+            .split("u8=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no u8 counter in output: {out}"));
+        assert!(u8s > 0, "{quant} rung did not traverse on codes: {out}");
+        let recall: f64 = out
+            .split("recall@5=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no recall in output: {out}"));
+        assert!(recall > 0.7, "{quant} rung recall too low: {recall} ({out})");
+    }
+}
+
+#[test]
+fn rejects_zero_rerank_factor() {
+    // Validation fires before any file is touched, so bogus paths are fine.
+    let out = gass()
+        .args([
+            "query",
+            "--store",
+            "x",
+            "--graph",
+            "y",
+            "--queries",
+            "z",
+            "--quant",
+            "sq8",
+            "--rerank-factor",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--rerank-factor must be at least 1"),
+        "unhelpful rerank error: {err}"
+    );
+}
+
+#[test]
+fn rejects_pq_m_not_dividing_dim() {
+    let dir = std::env::temp_dir().join("gass_cli_e2e_pqm");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("base.store.gass");
+    let graph = dir.join("base.hnsw.gass");
+    run_ok(gass().args([
+        "generate",
+        "--dataset",
+        "deep",
+        "--n",
+        "200",
+        "--seed",
+        "5",
+        "--out",
+        store.to_str().unwrap(),
+    ]));
+    run_ok(gass().args([
+        "build",
+        "--method",
+        "hnsw",
+        "--store",
+        store.to_str().unwrap(),
+        "--out",
+        graph.to_str().unwrap(),
+    ]));
+    // 96 dims: 7 does not divide, so the CLI must fail up front with a
+    // clear message naming both numbers, not panic inside the encoder.
+    let out = gass()
+        .args([
+            "query",
+            "--store",
+            store.to_str().unwrap(),
+            "--graph",
+            graph.to_str().unwrap(),
+            "--queries",
+            store.to_str().unwrap(),
+            "--quant",
+            "pq",
+            "--pq-m",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--pq-m 7") && err.contains("96"), "unhelpful pq-m error: {err}");
+    // --pq-m without the pq codec is rejected too.
+    let out = gass()
+        .args([
+            "query",
+            "--store",
+            store.to_str().unwrap(),
+            "--graph",
+            graph.to_str().unwrap(),
+            "--queries",
+            store.to_str().unwrap(),
+            "--quant",
+            "sq8",
+            "--pq-m",
+            "8",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--pq-m requires --quant pq"),
+        "unhelpful pq-m/codec mismatch error"
+    );
+}
+
+#[test]
 fn helpful_errors() {
     let out = gass().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

@@ -578,12 +578,12 @@ impl DistCounter {
     }
 }
 
-/// A view of a [`QuantizedStore`](crate::quant::QuantizedStore) plus the
-/// serving-time rerank policy, attached to a [`Space`] to route traversal
-/// through quantized distances.
+/// A view of a [`CodecStore`](crate::quant::CodecStore) (SQ8, SQ4 or PQ
+/// codes) plus the serving-time rerank policy, attached to a [`Space`] to
+/// route traversal through compressed code-space distances.
 #[derive(Clone, Copy)]
 pub struct QuantView<'a> {
-    store: &'a crate::quant::QuantizedStore,
+    store: &'a dyn crate::quant::CodecStore,
     rerank_factor: usize,
 }
 
@@ -591,13 +591,13 @@ impl<'a> QuantView<'a> {
     /// Pairs quantized codes with a rerank pool multiplier (a
     /// `rerank_factor * k` candidate pool is re-scored exactly before
     /// results are returned; values below 1 behave as 1).
-    pub fn new(store: &'a crate::quant::QuantizedStore, rerank_factor: usize) -> Self {
+    pub fn new(store: &'a dyn crate::quant::CodecStore, rerank_factor: usize) -> Self {
         Self { store, rerank_factor: rerank_factor.max(1) }
     }
 
     /// The quantized codes.
     #[inline]
-    pub fn store(&self) -> &'a crate::quant::QuantizedStore {
+    pub fn store(&self) -> &'a dyn crate::quant::CodecStore {
         self.store
     }
 

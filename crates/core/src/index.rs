@@ -110,13 +110,16 @@ pub trait AnnIndex: Send + Sync {
         false
     }
 
-    /// Builds an SQ8 [`crate::quant::QuantizedStore`] over the index's
-    /// vectors and routes subsequent traversals through quantized
-    /// distances with an exact `rerank_factor * k` re-scoring pool (see
-    /// [`QueryParams::rerank_factor`]). Idempotent, and a no-op for
-    /// indexes without a quantizable traversal (e.g. the serial scan).
-    /// Returned distances stay exact either way.
-    fn quantize(&mut self) {}
+    /// Builds a compressed [`crate::quant::CodecStore`] (SQ8, SQ4 or PQ
+    /// per `spec`) over the index's vectors and routes subsequent
+    /// traversals through code-space distances with an exact
+    /// `rerank_factor * k` re-scoring pool (see
+    /// [`QueryParams::rerank_factor`]). Idempotent when the installed
+    /// codec already matches the resolved spec — a different family or PQ
+    /// geometry re-encodes — and a no-op for indexes without a quantizable
+    /// traversal (e.g. the serial scan). Returned distances stay exact
+    /// either way.
+    fn quantize(&mut self, _spec: crate::quant::CodecSpec) {}
 
     /// `true` once [`Self::quantize`] has taken effect (always `false`
     /// for indexes with nothing to quantize).
@@ -333,24 +336,24 @@ impl PrebuiltIndex {
         }
     }
 
-    /// Installs a previously loaded quantized store (the persisted form),
+    /// Installs a previously loaded code store (the persisted form),
     /// replacing any present one.
     ///
     /// # Panics
     /// Panics if it does not match the wrapped store's shape.
-    pub fn set_quantized(&mut self, quant: crate::quant::QuantizedStore) {
+    pub fn set_quantized(&mut self, quant: Box<dyn crate::quant::CodecStore>) {
         assert_eq!(quant.len(), self.store.len(), "quantized store length mismatch");
         assert_eq!(quant.dim(), self.store.dim(), "quantized store dimension mismatch");
         self.serving.set_quant(quant);
     }
 
-    /// The quantized store, once [`AnnIndex::quantize`] (or
+    /// The code store, once [`AnnIndex::quantize`] (or
     /// [`Self::set_quantized`]) has run.
-    pub fn quantized(&self) -> Option<&crate::quant::QuantizedStore> {
+    pub fn quantized(&self) -> Option<&dyn crate::quant::CodecStore> {
         self.serving.quant()
     }
 
-    /// The shared serving state (frozen CSR / SQ8 codes / id remap).
+    /// The shared serving state (frozen CSR / compressed codes / id remap).
     pub fn serving(&self) -> &crate::reorder::ServingState {
         &self.serving
     }
@@ -432,8 +435,8 @@ impl AnnIndex for PrebuiltIndex {
         self.serving.is_frozen()
     }
 
-    fn quantize(&mut self) {
-        self.serving.quantize(&self.store);
+    fn quantize(&mut self, spec: crate::quant::CodecSpec) {
+        self.serving.quantize(&self.store, spec);
     }
 
     fn is_quantized(&self) -> bool {
@@ -635,8 +638,8 @@ mod tests {
             "chain",
         );
         assert!(!idx.is_quantized());
-        idx.quantize();
-        idx.quantize(); // idempotent
+        idx.quantize(crate::quant::CodecSpec::Sq8);
+        idx.quantize(crate::quant::CodecSpec::Sq8); // idempotent per family
         assert!(idx.is_quantized());
         let counter = DistCounter::new();
         let res = idx.search(&[13.4], &QueryParams::new(2, 20), &counter);

@@ -56,10 +56,13 @@ pub use par::{
     prefix_doubling_batches, ConcurrentAdjacency,
 };
 pub use persist::{
-    load_flat_graph, load_permutation, load_quantized, load_store, save_flat_graph,
-    save_permutation, save_quantized, save_store, PersistError,
+    load_codec, load_flat_graph, load_permutation, load_quantized, load_store, save_codec,
+    save_flat_graph, save_permutation, save_quantized, save_store, PersistError,
 };
-pub use quant::{l2_sq_u8, l2_sq_u8_batch, quant_forced, PreparedQuery, QuantizedStore};
+pub use quant::{
+    l2_sq_u4, l2_sq_u4_batch, l2_sq_u8, l2_sq_u8_batch, pq_auto_m, pq_scan, pq_scan_batch,
+    quant_forced, CodecSpec, CodecStore, PqStore, PreparedQuery, QuantizedStore, Sq4Store,
+};
 pub use reorder::{
     compute_permutation, mean_edge_span, reorder_forced, IdRemap, ReorderStrategy, ServingState,
 };

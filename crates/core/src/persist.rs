@@ -19,9 +19,17 @@
 //! * permutation — `n:u64 | new_to_old:u32[n]` (the reorder placement
 //!   order; the inverse table is rebuilt — and the bijection re-validated —
 //!   on load)
+//! * codec store — `codec:u8 | codec payload`, where the codec tag selects
+//!   the body: SQ8/SQ4 reuse the quantized-store shape (`dim | len | mins |
+//!   deltas | packed codes` with SQ4 rows `ceil(dim/2)` bytes), PQ is
+//!   `dim:u64 | m:u64 | ncent:u64 | len:u64 | perm:u32[dim]
+//!   | centroids:f32[m*16*(dim/m)] | codes:u8[len*ceil(m/2)]` (`perm` is
+//!   the variance-balanced dimension deal, validated as a permutation on
+//!   load). The legacy `KIND_QUANT` section remains readable and is
+//!   exactly the SQ8 body.
 
 use crate::graph::FlatGraph;
-use crate::quant::QuantizedStore;
+use crate::quant::{CodecStore, PqStore, QuantizedStore, Sq4Store};
 use crate::reorder::IdRemap;
 use crate::store::VectorStore;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -36,6 +44,11 @@ const KIND_STORE: u8 = 1;
 const KIND_FLAT_GRAPH: u8 = 2;
 const KIND_QUANT: u8 = 3;
 const KIND_PERM: u8 = 4;
+const KIND_CODEC: u8 = 5;
+
+const CODEC_SQ8: u8 = 1;
+const CODEC_SQ4: u8 = 2;
+const CODEC_PQ: u8 = 3;
 
 /// Errors arising while decoding a persisted structure.
 #[derive(Debug)]
@@ -57,6 +70,8 @@ pub enum PersistError {
     Truncated,
     /// A persisted permutation whose id table is not a bijection.
     NotAPermutation(String),
+    /// A codec section carrying an unrecognized codec tag.
+    UnknownCodec(u8),
 }
 
 impl fmt::Display for PersistError {
@@ -71,6 +86,9 @@ impl fmt::Display for PersistError {
             PersistError::Truncated => write!(f, "payload truncated"),
             PersistError::NotAPermutation(why) => {
                 write!(f, "invalid permutation payload: {why}")
+            }
+            PersistError::UnknownCodec(tag) => {
+                write!(f, "unknown codec tag {tag} (expected sq8=1, sq4=2 or pq=3)")
             }
         }
     }
@@ -254,6 +272,160 @@ pub fn decode_quantized(mut buf: Bytes) -> Result<QuantizedStore, PersistError> 
     Ok(QuantizedStore::from_parts(dim, mins, deltas, packed))
 }
 
+fn put_affine_body(buf: &mut BytesMut, dim: usize, len: usize, mins: &[f32], deltas: &[f32]) {
+    buf.put_u64_le(dim as u64);
+    buf.put_u64_le(len as u64);
+    for &m in mins {
+        buf.put_f32_le(m);
+    }
+    for &d in deltas {
+        buf.put_f32_le(d);
+    }
+}
+
+type AffineBody = (usize, Vec<f32>, Vec<f32>, Vec<u8>);
+
+fn get_affine_body(
+    buf: &mut Bytes,
+    row_bytes: fn(usize) -> usize,
+) -> Result<AffineBody, PersistError> {
+    if buf.remaining() < 16 {
+        return Err(PersistError::Truncated);
+    }
+    let dim = buf.get_u64_le() as usize;
+    let len = buf.get_u64_le() as usize;
+    if dim == 0 {
+        return Err(PersistError::Truncated);
+    }
+    if buf.remaining() < dim * 8 {
+        return Err(PersistError::Truncated);
+    }
+    let mut mins = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        mins.push(buf.get_f32_le());
+    }
+    let mut deltas = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        deltas.push(buf.get_f32_le());
+    }
+    let want = row_bytes(dim).checked_mul(len).ok_or(PersistError::Truncated)?;
+    if buf.remaining() < want {
+        return Err(PersistError::Truncated);
+    }
+    let mut packed = vec![0u8; want];
+    buf.copy_to_slice(&mut packed);
+    Ok((dim, mins, deltas, packed))
+}
+
+/// Encodes any [`CodecStore`] as a tagged codec section (see the module
+/// docs). All three codecs persist their packed logical bytes; padded and
+/// aligned layouts are rebuilt on load.
+pub fn encode_codec(codec: &dyn CodecStore) -> Bytes {
+    let any = codec.as_any();
+    if let Some(q) = any.downcast_ref::<QuantizedStore>() {
+        let dim = q.dim();
+        let mut buf = header(KIND_CODEC, 17 + dim * 8 + q.len() * dim);
+        buf.put_u8(CODEC_SQ8);
+        put_affine_body(&mut buf, dim, q.len(), q.mins(), q.deltas());
+        buf.put_slice(&q.to_packed_codes());
+        buf.freeze()
+    } else if let Some(q) = any.downcast_ref::<Sq4Store>() {
+        let dim = q.dim();
+        let mut buf = header(KIND_CODEC, 17 + dim * 8 + q.len() * dim.div_ceil(2));
+        buf.put_u8(CODEC_SQ4);
+        put_affine_body(&mut buf, dim, q.len(), q.mins(), q.deltas());
+        buf.put_slice(&q.to_packed_codes());
+        buf.freeze()
+    } else if let Some(q) = any.downcast_ref::<PqStore>() {
+        let mut buf = header(
+            KIND_CODEC,
+            33 + q.dim() * 4 + q.centroids().len() * 4 + q.len() * q.m().div_ceil(2),
+        );
+        buf.put_u8(CODEC_PQ);
+        buf.put_u64_le(q.dim() as u64);
+        buf.put_u64_le(q.m() as u64);
+        buf.put_u64_le(q.ncent() as u64);
+        buf.put_u64_le(q.len() as u64);
+        for &d in q.perm() {
+            buf.put_u32_le(d);
+        }
+        for &c in q.centroids() {
+            buf.put_f32_le(c);
+        }
+        buf.put_slice(&q.to_packed_codes());
+        buf.freeze()
+    } else {
+        unreachable!("unknown CodecStore implementation {:?}", codec.spec())
+    }
+}
+
+/// Decodes a tagged codec section into the matching [`CodecStore`].
+pub fn decode_codec(mut buf: Bytes) -> Result<Box<dyn CodecStore>, PersistError> {
+    check_header(&mut buf, KIND_CODEC)?;
+    if buf.remaining() < 1 {
+        return Err(PersistError::Truncated);
+    }
+    match buf.get_u8() {
+        CODEC_SQ8 => {
+            let (dim, mins, deltas, packed) = get_affine_body(&mut buf, |dim| dim)?;
+            Ok(Box::new(QuantizedStore::from_parts(dim, mins, deltas, packed)))
+        }
+        CODEC_SQ4 => {
+            let (dim, mins, deltas, packed) = get_affine_body(&mut buf, |dim| dim.div_ceil(2))?;
+            Ok(Box::new(Sq4Store::from_parts(dim, mins, deltas, packed)))
+        }
+        CODEC_PQ => {
+            if buf.remaining() < 32 {
+                return Err(PersistError::Truncated);
+            }
+            let dim = buf.get_u64_le() as usize;
+            let m = buf.get_u64_le() as usize;
+            let ncent = buf.get_u64_le() as usize;
+            let len = buf.get_u64_le() as usize;
+            if dim == 0
+                || m == 0
+                || m > dim
+                || !dim.is_multiple_of(m)
+                || ncent == 0
+                || ncent > 16
+            {
+                return Err(PersistError::Truncated);
+            }
+            if buf.remaining() < dim * 4 {
+                return Err(PersistError::Truncated);
+            }
+            let mut perm = Vec::with_capacity(dim);
+            let mut seen = vec![false; dim];
+            for _ in 0..dim {
+                let d = buf.get_u32_le();
+                if d as usize >= dim || std::mem::replace(&mut seen[d as usize], true) {
+                    return Err(PersistError::Truncated);
+                }
+                perm.push(d);
+            }
+            let cents = m
+                .checked_mul(16)
+                .and_then(|x| x.checked_mul(dim / m))
+                .ok_or(PersistError::Truncated)?;
+            if buf.remaining() < cents * 4 {
+                return Err(PersistError::Truncated);
+            }
+            let mut centroids = Vec::with_capacity(cents);
+            for _ in 0..cents {
+                centroids.push(buf.get_f32_le());
+            }
+            let want = m.div_ceil(2).checked_mul(len).ok_or(PersistError::Truncated)?;
+            if buf.remaining() < want {
+                return Err(PersistError::Truncated);
+            }
+            let mut packed = vec![0u8; want];
+            buf.copy_to_slice(&mut packed);
+            Ok(Box::new(PqStore::from_parts(dim, m, ncent, perm, centroids, packed)))
+        }
+        tag => Err(PersistError::UnknownCodec(tag)),
+    }
+}
+
 /// Encodes a reorder permutation (the `new → old` placement order; the
 /// inverse table is cheap to rebuild, so only one direction is stored).
 pub fn encode_permutation(map: &IdRemap) -> Bytes {
@@ -313,6 +485,17 @@ pub fn save_quantized(quant: &QuantizedStore, path: &Path) -> Result<(), Persist
 /// Reads a quantized store from `path`.
 pub fn load_quantized(path: &Path) -> Result<QuantizedStore, PersistError> {
     decode_quantized(Bytes::from(fs::read(path)?))
+}
+
+/// Writes a codec store to `path`.
+pub fn save_codec(codec: &dyn CodecStore, path: &Path) -> Result<(), PersistError> {
+    fs::write(path, encode_codec(codec))?;
+    Ok(())
+}
+
+/// Reads a codec store from `path`.
+pub fn load_codec(path: &Path) -> Result<Box<dyn CodecStore>, PersistError> {
+    decode_codec(Bytes::from(fs::read(path)?))
 }
 
 /// Writes a reorder permutation to `path`.
@@ -414,6 +597,70 @@ mod tests {
         assert!(matches!(decode_quantized(cut).unwrap_err(), PersistError::Truncated));
         let err = decode_quantized(encode_store(&store)).unwrap_err();
         assert!(matches!(err, PersistError::WrongKind { .. }));
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_codes_for_every_codec() {
+        let store = VectorStore::from_flat(
+            6,
+            (0..90).map(|i| ((i * 13) as f32 * 0.31).sin() * 5.0).collect(),
+        );
+        let query = [0.5f32, -1.0, 2.0, 0.0, 1.25, -0.75];
+        let codecs: Vec<Box<dyn CodecStore>> = vec![
+            Box::new(QuantizedStore::from_store(&store)),
+            Box::new(Sq4Store::from_store(&store)),
+            Box::new(PqStore::from_store(&store, Some(2))),
+        ];
+        for codec in codecs {
+            let decoded = decode_codec(encode_codec(codec.as_ref())).unwrap();
+            assert_eq!(decoded.spec(), codec.spec());
+            assert_eq!(decoded.len(), codec.len());
+            assert_eq!(decoded.dim(), codec.dim());
+            let mut pq_a = crate::quant::PreparedQuery::default();
+            let mut pq_b = crate::quant::PreparedQuery::default();
+            codec.prepare_into(&query, &mut pq_a);
+            decoded.prepare_into(&query, &mut pq_b);
+            for id in 0..codec.len() as u32 {
+                assert_eq!(
+                    decoded.code_row(id),
+                    codec.code_row(id),
+                    "{} row {id}",
+                    codec.spec()
+                );
+                assert_eq!(
+                    decoded.dist_prepared(&pq_b, id).to_bits(),
+                    codec.dist_prepared(&pq_a, id).to_bits(),
+                    "{} distance {id}",
+                    codec.spec()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codec_file_roundtrip_truncation_and_unknown_tag() {
+        let store = sample_store();
+        let codec = Sq4Store::from_store(&store);
+        let dir = std::env::temp_dir().join("gass_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("codec.gass");
+        save_codec(&codec, &path).unwrap();
+        let back = load_codec(&path).unwrap();
+        assert_eq!(back.spec(), crate::quant::CodecSpec::Sq4);
+        assert_eq!(back.len(), 2);
+        let bytes = encode_codec(&codec);
+        let cut = bytes.slice(0..bytes.len() - 1);
+        assert!(matches!(decode_codec(cut).unwrap_err(), PersistError::Truncated));
+        assert!(matches!(
+            decode_codec(encode_store(&store)).unwrap_err(),
+            PersistError::WrongKind { .. }
+        ));
+        let mut raw = bytes.to_vec();
+        raw[6] = 99; // codec tag byte
+        assert!(matches!(
+            decode_codec(Bytes::from(raw)).unwrap_err(),
+            PersistError::UnknownCodec(99)
+        ));
     }
 
     #[test]

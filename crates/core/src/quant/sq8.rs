@@ -41,52 +41,13 @@
 //! [`crate::set_simd_enabled`] select backends exactly as for `f32`, and
 //! the rare AVX2-without-FMA host falls back to the scalar reference.
 
+use super::{lines_as_bytes, CodeLine, CodecSpec, CodecStore, PreparedQuery, LINE_U8};
 use crate::store::VectorStore;
-use std::sync::atomic::{AtomicU8, Ordering};
-
-/// Codes per 64-byte cache line — the row-stride granularity.
-pub const LINE_U8: usize = 64;
-
-/// One cache line of codes; the allocation unit of the quantized layout.
-/// `repr(align(64))` makes any `Vec<CodeLine>`'s base pointer — and hence
-/// every padded row — 64-byte aligned.
-#[derive(Clone, Copy, Debug)]
-#[repr(align(64))]
-struct CodeLine(#[allow(dead_code)] [u8; LINE_U8]); // read via pointer casts in raw()
 
 /// Row stride of the quantized layout: `dim` rounded up to a whole number
 /// of cache lines (64 codes).
 fn quant_stride(dim: usize) -> usize {
     dim.next_multiple_of(LINE_U8)
-}
-
-// --- GASS_QUANT override ------------------------------------------------
-
-// Tri-state cache so the env var is read once, lazily (same pattern as the
-// SIMD/prefetch toggles in `distance`).
-static QUANT_FORCED: AtomicU8 = AtomicU8::new(QF_UNINIT);
-const QF_UNINIT: u8 = 0;
-const QF_OFF: u8 = 1;
-const QF_ON: u8 = 2;
-
-#[cold]
-fn init_quant_forced() -> u8 {
-    let on = std::env::var("GASS_QUANT").is_ok_and(|v| v == "sq8");
-    let q = if on { QF_ON } else { QF_OFF };
-    QUANT_FORCED.store(q, Ordering::Relaxed);
-    q
-}
-
-/// `true` when `GASS_QUANT=sq8` asks for quantized serving everywhere an
-/// index is built through the registry (the CI matrix leg uses this to run
-/// the whole suite over the quantized path).
-pub fn quant_forced() -> bool {
-    let q = QUANT_FORCED.load(Ordering::Relaxed);
-    if q == QF_UNINIT {
-        init_quant_forced() == QF_ON
-    } else {
-        q == QF_ON
-    }
 }
 
 // --- the quantized store ------------------------------------------------
@@ -101,34 +62,6 @@ pub struct QuantizedStore {
     mins: Vec<f32>,
     deltas: Vec<f32>,
     codes: Vec<CodeLine>,
-}
-
-/// A query shifted against the quantization grid for asymmetric
-/// distances: `u_d = q_d − min_d` is the query relative to the
-/// per-dimension origin, `s_d = Δ_d` the per-dimension step, so
-/// `u_d − s_d · c_d` is the exact per-dimension residual against the
-/// decoded candidate. Both arrays are zero-padded to the code-row stride
-/// so the kernels can run over whole padded rows. Reused across queries
-/// via [`crate::search::SearchScratch`].
-#[derive(Clone, Debug, Default)]
-pub struct PreparedQuery {
-    u: Vec<f32>,
-    s: Vec<f32>,
-}
-
-impl PreparedQuery {
-    /// The query shifted to the grid origin, `q_d − min_d`
-    /// (stride-padded).
-    #[inline]
-    pub fn u(&self) -> &[f32] {
-        &self.u
-    }
-
-    /// Per-dimension steps `Δ_d` (stride-padded).
-    #[inline]
-    pub fn s(&self) -> &[f32] {
-        &self.s
-    }
 }
 
 impl QuantizedStore {
@@ -267,14 +200,7 @@ impl QuantizedStore {
 
     #[inline]
     fn raw(&self) -> &[u8] {
-        // Sound: `CodeLine` is `repr(align(64))` over `[u8; 64]`, fully
-        // initialized, so the allocation is `len*64` valid bytes.
-        unsafe {
-            std::slice::from_raw_parts(
-                self.codes.as_ptr().cast::<u8>(),
-                self.codes.len() * LINE_U8,
-            )
-        }
+        lines_as_bytes(&self.codes)
     }
 
     /// The full padded code row of vector `id` (`stride` bytes; padding
@@ -427,12 +353,66 @@ impl QuantizedStore {
     }
 }
 
+impl CodecStore for QuantizedStore {
+    fn spec(&self) -> CodecSpec {
+        CodecSpec::Sq8
+    }
+
+    fn dim(&self) -> usize {
+        self.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn code_row(&self, id: u32) -> &[u8] {
+        self.code_row(id)
+    }
+
+    fn prepare_into(&self, query: &[f32], out: &mut PreparedQuery) {
+        self.prepare_into(query, out);
+    }
+
+    fn dist_prepared(&self, pq: &PreparedQuery, id: u32) -> f32 {
+        self.dist_prepared(pq, id)
+    }
+
+    fn dist_prepared_batch(&self, pq: &PreparedQuery, ids: [u32; 4]) -> [f32; 4] {
+        self.dist_prepared_batch(pq, ids)
+    }
+
+    fn prefetch(&self, id: u32) {
+        self.prefetch(id);
+    }
+
+    fn decode(&self, id: u32) -> Vec<f32> {
+        self.decode(id)
+    }
+
+    fn permute(&self, map: &crate::reorder::IdRemap) -> Box<dyn CodecStore> {
+        Box::new(QuantizedStore::permute(self, map))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.heap_bytes()
+    }
+
+    fn clone_box(&self) -> Box<dyn CodecStore> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
 // --- u8 asymmetric-distance kernels -------------------------------------
 
 /// Reduces the eight accumulator lanes in the canonical tree order (same
 /// as the `f32` kernels).
 #[inline(always)]
-fn reduce8(acc: [f32; 8]) -> f32 {
+pub(crate) fn reduce8(acc: [f32; 8]) -> f32 {
     let c = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
     (c[0] + c[2]) + (c[1] + c[3])
 }
@@ -442,7 +422,7 @@ fn reduce8(acc: [f32; 8]) -> f32 {
 /// `vfnmadd`/`vfmadd` (AVX2+FMA) and `fmls`/`fmla` (NEON) produce, which
 /// is why the backends agree bitwise.
 #[inline(always)]
-fn lane(u: f32, s: f32, c: u8, acc: f32) -> f32 {
+pub(crate) fn lane(u: f32, s: f32, c: u8, acc: f32) -> f32 {
     let d = (-s).mul_add(c as f32, u);
     d.mul_add(d, acc)
 }
@@ -683,7 +663,7 @@ mod neon {
 /// back to the scalar reference.
 #[cfg(target_arch = "x86_64")]
 #[inline]
-fn fma_available() -> bool {
+pub(crate) fn fma_available() -> bool {
     use std::sync::atomic::{AtomicU8, Ordering};
     static FMA: AtomicU8 = AtomicU8::new(0);
     match FMA.load(Ordering::Relaxed) {
@@ -932,6 +912,32 @@ mod props {
             let q = QuantizedStore::from_store(&VectorStore::from_flat(dim, flat));
             for id in 0..copies as u32 {
                 prop_assert_eq!(q.decode(id), row.clone());
+            }
+        }
+
+        /// Permuting the encoded store is bit-identical to encoding the
+        /// permuted vectors: the affine grids are global per dimension, so
+        /// encoding is row-local — the SQ8 leg of the reorder∘quantize
+        /// commutation contract.
+        #[test]
+        fn permute_commutes_with_encode(case in stores(), seed in 0usize..6) {
+            let (dim, rows) = case;
+            let n = rows.len();
+            let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+            let q = QuantizedStore::from_store(&VectorStore::from_flat(dim, flat));
+            let new_to_old: Vec<u32> =
+                (0..n as u32).map(|i| (i as usize + seed) as u32 % n as u32).collect();
+            let map = crate::reorder::IdRemap::from_new_to_old(new_to_old.clone()).unwrap();
+            let mut permuted = VectorStore::new(dim);
+            for &old in &new_to_old {
+                permuted.push(&rows[old as usize]);
+            }
+            let a = q.permute(&map);
+            let b = QuantizedStore::from_store(&permuted);
+            prop_assert_eq!(a.mins(), b.mins());
+            prop_assert_eq!(a.deltas(), b.deltas());
+            for id in 0..n as u32 {
+                prop_assert_eq!(a.code_row(id), b.code_row(id), "row {}", id);
             }
         }
     }

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use crate::distance::QuantView;
 use crate::graph::{CsrGraph, GraphView};
 use crate::index::QueryParams;
-use crate::quant::QuantizedStore;
+use crate::quant::{CodecSpec, CodecStore};
 use crate::search::SearchResult;
 use crate::store::VectorStore;
 
@@ -357,20 +357,20 @@ pub fn reorder_forced() -> Option<ReorderStrategy> {
 }
 
 /// The shared frozen/quantized/reordered serving state every method
-/// carries: the CSR snapshot, the optional SQ8 code store, and the id
-/// remap introduced by reordering.
+/// carries: the CSR snapshot, the optional compressed code store (SQ8,
+/// SQ4 or PQ), and the id remap introduced by reordering.
 ///
 /// Methods hold one `ServingState` instead of separate `csr`/`quant`
 /// fields, so `freeze`/`quantize`/`reorder` wiring lands once. The state
 /// machine is: `freeze()` snapshots the graph into CSR; `quantize()`
-/// encodes the (current) store; `reorder()` forces a freeze, permutes
-/// CSR + store + codes in place, and records the composed [`IdRemap`] so
-/// [`ServingState::finish`] can translate result ids back to the original
-/// space.
+/// encodes the (current) store with the requested codec; `reorder()`
+/// forces a freeze, permutes CSR + store + codes in place, and records
+/// the composed [`IdRemap`] so [`ServingState::finish`] can translate
+/// result ids back to the original space.
 #[derive(Clone, Debug, Default)]
 pub struct ServingState {
     csr: Option<CsrGraph>,
-    quant: Option<QuantizedStore>,
+    quant: Option<Box<dyn CodecStore>>,
     remap: Option<IdRemap>,
     strategy: ReorderStrategy,
 }
@@ -398,12 +398,16 @@ impl ServingState {
         self.csr.as_ref()
     }
 
-    /// Encodes `store` into SQ8 codes (idempotent). Call *after* any
-    /// permutation of the store, or use [`ServingState::reorder`] which
-    /// keeps the codes in sync.
-    pub fn quantize(&mut self, store: &VectorStore) {
-        if self.quant.is_none() {
-            self.quant = Some(QuantizedStore::from_store(store));
+    /// Encodes `store` with the codec named by `spec`. Idempotent when the
+    /// installed codec already is the resolved spec (family *and* PQ
+    /// geometry); any other request re-encodes, so one built index can
+    /// walk the compression ladder. Call *after* any permutation of the
+    /// store, or use [`ServingState::reorder`] which keeps the codes in
+    /// sync.
+    pub fn quantize(&mut self, store: &VectorStore, spec: CodecSpec) {
+        let want = spec.resolve(store.dim());
+        if self.quant.as_ref().map(|q| q.spec()) != Some(want) {
+            self.quant = Some(want.build(store));
         }
     }
 
@@ -412,21 +416,21 @@ impl ServingState {
         self.quant.is_some()
     }
 
-    /// The SQ8 code store, if quantized.
-    pub fn quant(&self) -> Option<&QuantizedStore> {
-        self.quant.as_ref()
+    /// The compressed code store, if quantized.
+    pub fn quant(&self) -> Option<&dyn CodecStore> {
+        self.quant.as_deref()
     }
 
     /// Installs a previously built (e.g. persisted) code store, replacing
     /// any present one. The caller asserts it matches the current store
     /// layout — in particular, that it was encoded *after* any reorder.
-    pub fn set_quant(&mut self, quant: QuantizedStore) {
+    pub fn set_quant(&mut self, quant: Box<dyn CodecStore>) {
         self.quant = Some(quant);
     }
 
     /// The quantized traversal view for `params`, if quantized.
     pub fn quant_view(&self, params: &QueryParams) -> Option<QuantView<'_>> {
-        self.quant.as_ref().map(|q| QuantView::new(q, params.rerank_factor))
+        self.quant.as_deref().map(|q| QuantView::new(q, params.rerank_factor))
     }
 
     /// Relabels the whole serving state with `strategy`: forces a freeze,
@@ -561,6 +565,31 @@ mod tests {
         assert!(IdRemap::from_new_to_old(vec![0, 0, 1]).is_err());
         assert!(IdRemap::from_new_to_old(vec![0, 5]).is_err());
         assert!(IdRemap::from_new_to_old(vec![2, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn quantize_reencodes_on_codec_or_geometry_change() {
+        let store = VectorStore::from_flat(
+            8,
+            (0..64).map(|i| ((i * 7) as f32 * 0.43).sin() * 4.0).collect(),
+        );
+        let mut s = ServingState::new();
+        s.quantize(&store, CodecSpec::Sq8);
+        assert_eq!(s.quant().unwrap().spec(), CodecSpec::Sq8);
+        // Same family: no re-encode.
+        s.quantize(&store, CodecSpec::Sq8);
+        assert_eq!(s.quant().unwrap().spec(), CodecSpec::Sq8);
+        // Different family: re-encode.
+        s.quantize(&store, CodecSpec::Pq { m: None });
+        let auto = s.quant().unwrap().spec();
+        assert_eq!(auto, CodecSpec::Pq { m: None }.resolve(8));
+        // Same family but different PQ geometry: must re-encode, not
+        // silently keep the old codes.
+        s.quantize(&store, CodecSpec::Pq { m: Some(4) });
+        assert_eq!(s.quant().unwrap().spec(), CodecSpec::Pq { m: Some(4) });
+        // An auto request over a non-auto geometry re-encodes back.
+        s.quantize(&store, CodecSpec::Pq { m: None });
+        assert_eq!(s.quant().unwrap().spec(), auto);
     }
 
     #[test]

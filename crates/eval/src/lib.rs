@@ -22,6 +22,6 @@ pub mod throughput;
 
 pub use complexity::{dataset_complexity, ComplexityReport};
 pub use mem::{current_rss_bytes, footprint, vm_peak_bytes, FootprintReport};
-pub use recall::{cost_to_reach, evaluate_at, recall_at_k, sweep, SweepPoint};
+pub use recall::{cost_to_reach, evaluate_at, evaluate_params, recall_at_k, sweep, SweepPoint};
 pub use report::{fmt_bytes, fmt_count, write_json, Table};
 pub use throughput::{measure_throughput, measure_throughput_batch, ThroughputReport};

@@ -48,14 +48,26 @@ pub fn evaluate_at(
     beam_width: usize,
     seed_count: usize,
 ) -> SweepPoint {
+    let params = QueryParams::new(k, beam_width).with_seed_count(seed_count);
+    evaluate_params(index, queries, truth, &params)
+}
+
+/// [`evaluate_at`] with caller-built [`QueryParams`] (rerank factor,
+/// seeding — anything beyond the beam width).
+pub fn evaluate_params(
+    index: &dyn AnnIndex,
+    queries: &VectorStore,
+    truth: &[Vec<Neighbor>],
+    params: &QueryParams,
+) -> SweepPoint {
     assert_eq!(queries.len(), truth.len(), "truth/queries length mismatch");
     let counter = DistCounter::new();
-    let params = QueryParams::new(k, beam_width).with_seed_count(seed_count);
+    let (k, beam_width) = (params.k, params.beam_width);
     let start = std::time::Instant::now();
     let mut recall_sum = 0.0;
     let mut hops = 0usize;
     for (qi, t) in truth.iter().enumerate() {
-        let res = index.search(queries.get(qi as u32), &params, &counter);
+        let res = index.search(queries.get(qi as u32), params, &counter);
         recall_sum += recall_at_k(t, &res.neighbors, k);
         hops += res.stats.hops;
     }

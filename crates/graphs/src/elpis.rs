@@ -236,11 +236,11 @@ impl AnnIndex for ElpisIndex {
         self.leaves.iter().all(|l| l.index.is_frozen())
     }
 
-    fn quantize(&mut self) {
+    fn quantize(&mut self, spec: gass_core::CodecSpec) {
         // No monolithic store either: quantization delegates to every
         // per-leaf HNSW, which encodes its leaf-local vector copy.
         for leaf in &mut self.leaves {
-            leaf.index.quantize();
+            leaf.index.quantize(spec);
         }
     }
 

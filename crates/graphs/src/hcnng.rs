@@ -205,8 +205,8 @@ impl AnnIndex for HcnngIndex {
         self.serving.is_frozen()
     }
 
-    fn quantize(&mut self) {
-        self.serving.quantize(&self.store);
+    fn quantize(&mut self, spec: gass_core::CodecSpec) {
+        self.serving.quantize(&self.store, spec);
     }
 
     fn is_quantized(&self) -> bool {

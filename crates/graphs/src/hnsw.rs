@@ -252,9 +252,9 @@ impl HnswIndex {
         self.serving.csr()
     }
 
-    /// The SQ8 codes, once [`AnnIndex::quantize`] has run (LSHAPG routes
-    /// its probabilistic traversal through these directly).
-    pub fn quantized(&self) -> Option<&gass_core::QuantizedStore> {
+    /// The compressed codes, once [`AnnIndex::quantize`] has run (LSHAPG
+    /// routes its probabilistic traversal through these directly).
+    pub fn quantized(&self) -> Option<&dyn gass_core::CodecStore> {
         self.serving.quant()
     }
 
@@ -347,8 +347,8 @@ impl AnnIndex for HnswIndex {
         self.serving.is_frozen()
     }
 
-    fn quantize(&mut self) {
-        self.serving.quantize(&self.store);
+    fn quantize(&mut self, spec: gass_core::CodecSpec) {
+        self.serving.quantize(&self.store, spec);
     }
 
     fn is_quantized(&self) -> bool {

@@ -226,10 +226,10 @@ impl AnnIndex for LshapgIndex {
         self.base.is_frozen()
     }
 
-    fn quantize(&mut self) {
+    fn quantize(&mut self, spec: gass_core::CodecSpec) {
         // The base HNSW owns the store; its codes serve the routed
         // traversal too.
-        self.base.quantize();
+        self.base.quantize(spec);
     }
 
     fn is_quantized(&self) -> bool {

@@ -1,9 +1,10 @@
-//! Integration contract of SQ8 quantized serving on a 10K dataset: with a
-//! rerank factor >= 2, recall@10 stays within one point of the
-//! full-precision path on the *same* built graph, while the `DistCounter`
-//! split shows the `u8` code evaluations doing the bulk of the work and
-//! the `f32` evaluations reduced to the exact rerank (plus the HNSW
-//! hierarchy descent, which stays at full precision).
+//! Integration contract of compressed serving on a 10K dataset, walked
+//! down the whole codec ladder (SQ8 → SQ4 → PQ on one built graph): with
+//! a rerank factor >= 2, recall@10 stays within one point of the
+//! full-precision path, while the `DistCounter` split shows the code
+//! evaluations doing the bulk of the work and the `f32` evaluations
+//! reduced to the exact rerank (plus the HNSW hierarchy descent, which
+//! stays at full precision).
 
 use gass_core::index::{AnnIndex, QueryParams};
 use gass_core::store::VectorStore;
@@ -45,7 +46,7 @@ fn quantized_recall_within_one_point_on_10k() {
     if let Some(strategy) = gass_core::reorder_forced() {
         index.reorder(strategy);
     }
-    let params = QueryParams::new(K, 128).with_seed_count(8).with_rerank_factor(4);
+    let params = QueryParams::new(K, 128).with_seed_count(8);
 
     // Full-precision baseline on the exact same graph.
     let full_counter = DistCounter::new();
@@ -53,22 +54,37 @@ fn quantized_recall_within_one_point_on_10k() {
     assert_eq!(full_counter.get_u8(), 0, "unquantized serving must not touch u8 codes");
     assert!(full > 0.9, "full-precision recall implausibly low: {full}");
 
-    index.quantize();
-    assert!(index.is_quantized());
-    let quant_counter = DistCounter::new();
-    let quant = recall_at_10(&index, &queries, &truth, &params, &quant_counter);
+    // Walk the ladder on the same built graph: `quantize` re-encodes when
+    // the requested codec (family or PQ geometry) changes. The rerank
+    // pool scales with the code rate — the affine codecs (8 and 4
+    // bits/dim) recover with a 4x pool, while PQ at 2 bits/dim (m = dim/2,
+    // 16 centroids per 2-dim subquantizer) needs a 16x pool to pull the
+    // true top 10 back from the coarser code ranking.
+    let dim = queries.dim();
+    let ladder = [
+        (gass_core::CodecSpec::Sq8, 4usize),
+        (gass_core::CodecSpec::Sq4, 4),
+        (gass_core::CodecSpec::Pq { m: Some(dim / 2) }, 16),
+    ];
+    for (spec, rerank) in ladder {
+        index.quantize(spec);
+        assert!(index.is_quantized());
+        let params = params.with_rerank_factor(rerank);
+        let quant_counter = DistCounter::new();
+        let quant = recall_at_10(&index, &queries, &truth, &params, &quant_counter);
 
-    assert!(
-        quant >= full - 0.01,
-        "quantized recall {quant} more than 1pt below full-precision {full}"
-    );
-    // Traversal ran on the codes; f32 work shrank to the rerank pool and
-    // the hierarchy descent.
-    assert!(
-        quant_counter.get_u8() > quant_counter.get_f32(),
-        "u8 evaluations should dominate: u8={} f32={}",
-        quant_counter.get_u8(),
-        quant_counter.get_f32()
-    );
-    assert!(quant_counter.get_u8() > 0 && quant_counter.get_f32() > 0);
+        assert!(
+            quant >= full - 0.01,
+            "{spec} recall {quant} more than 1pt below full-precision {full}"
+        );
+        // Traversal ran on the codes; f32 work shrank to the rerank pool
+        // and the hierarchy descent.
+        assert!(
+            quant_counter.get_u8() > quant_counter.get_f32(),
+            "{spec}: code evaluations should dominate: u8={} f32={}",
+            quant_counter.get_u8(),
+            quant_counter.get_f32()
+        );
+        assert!(quant_counter.get_u8() > 0 && quant_counter.get_f32() > 0);
+    }
 }

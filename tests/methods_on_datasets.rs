@@ -4,15 +4,25 @@
 //! harnesses compare them quantitatively.
 
 use gass::prelude::*;
-use gass_eval::evaluate_at;
+use gass_eval::{evaluate_at, evaluate_params};
 
 fn run_roster(kinds: &[MethodKind], dataset: DatasetKind, n: usize, floor: f64) {
     let (base, queries) = dataset.generate(n, 10, 404);
     let k = 10;
     let truth = gass::data::ground_truth(&base, &queries, k);
+    // A forced codec serves these floors through approximate code-space
+    // traversal; the exact rerank restores recall as long as the pool
+    // contains the true neighbors, so the coarser the codec the deeper
+    // the pool must be (PQ keeps ~0.67 bits/dim vs SQ4's 4 and SQ8's 8).
+    let rerank = match gass::core::quant_forced() {
+        Some(gass::core::CodecSpec::Pq { .. }) => 32,
+        Some(_) => 8,
+        None => 4,
+    };
+    let params = QueryParams::new(k, 96).with_seed_count(16).with_rerank_factor(rerank);
     for &kind in kinds {
         let built = build_method(kind, base.clone(), 17);
-        let p = evaluate_at(built.index.as_ref(), &queries, &truth, k, 96, 16);
+        let p = evaluate_params(built.index.as_ref(), &queries, &truth, &params);
         // The paper singles LSHAPG out as needing more computation for
         // high accuracy (its probabilistic routing prunes promising
         // neighbors); hold it to a proportionally lower floor.
