@@ -73,6 +73,26 @@ COMMANDS:
             changes. Absent defers to the GASS_REORDER environment
             override.
 
+  serve     --store <file> [--graph <file>] [--method <hnsw|...>]
+            [--host <127.0.0.1>] [--port <0>] [--workers <0>]
+            [--max-batch <16>] [--max-wait-us <200>] [--queue-depth <1024>]
+            [--seed <u64>] [--threads <t>]
+            [--quant <sq8|sq4|pq|none>] [--pq-m <m>] [--rerank-factor <4>]
+            [--reorder <none|degree|bfs|rcm|hub>]
+            Serve k-NN queries over TCP (length-prefixed binary frames).
+            With --graph, serves the saved graph; without it, builds
+            --method (default hnsw) over the store in-process first.
+            --port 0 binds an ephemeral port; the bound address is printed
+            as `listening on <addr>` once the server is ready. Concurrent
+            requests are coalesced into micro-batches (closed at
+            --max-batch jobs or --max-wait-us, whichever first) — batching
+            changes throughput, never answers. Admission control
+            fast-rejects queries beyond --queue-depth with `overloaded`
+            instead of queueing without bound. --workers 0 uses all cores.
+            --quant/--reorder absent defer to the GASS_QUANT / GASS_REORDER
+            environment overrides. Stop with a Shutdown frame (the server
+            drains admitted queries, then exits) or Ctrl-C.
+
   info      --file <file>
             Describe a saved store or graph.
 
@@ -398,6 +418,136 @@ fn run(args: Args) -> Result<(), String> {
                 counter.get_f32() / nq as u64,
                 t.elapsed().as_secs_f64() * 1e3 / nq as f64
             );
+            Ok(())
+        }
+        "serve" => {
+            // Serving-config flags first: bad invocations must fail before
+            // any index is built or loaded.
+            let host: String =
+                args.get_or("host", "127.0.0.1".into()).map_err(|e| e.to_string())?;
+            let port: u16 = args.get_or("port", 0).map_err(|e| e.to_string())?;
+            let workers: usize = args.get_or("workers", 0).map_err(|e| e.to_string())?;
+            let max_batch: usize = args.get_or("max-batch", 16).map_err(|e| e.to_string())?;
+            let max_wait_us: u64 =
+                args.get_or("max-wait-us", 200).map_err(|e| e.to_string())?;
+            let queue_depth: usize =
+                args.get_or("queue-depth", 1024).map_err(|e| e.to_string())?;
+            if max_batch == 0 {
+                return Err("--max-batch must be at least 1".to_string());
+            }
+            if queue_depth == 0 {
+                return Err(
+                    "--queue-depth must be at least 1 (admission control needs room to \
+                     admit anything)"
+                        .to_string(),
+                );
+            }
+            let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+            let threads: Option<usize> = args.get_opt("threads").map_err(|e| e.to_string())?;
+            let rerank: usize = args.get_or("rerank-factor", 4).map_err(|e| e.to_string())?;
+            if rerank == 0 {
+                return Err("--rerank-factor must be at least 1".to_string());
+            }
+            // Quant/reorder mirror `query`, except absent --quant also
+            // defers to the GASS_QUANT override so the CI matrix legs
+            // exercise compressed serving without flag plumbing.
+            let quant: Option<String> = args.get_opt("quant").map_err(|e| e.to_string())?;
+            let pq_m: Option<usize> = args.get_opt("pq-m").map_err(|e| e.to_string())?;
+            let family: Option<gass_core::CodecSpec> = match quant.as_deref() {
+                None => gass_core::quant_forced(),
+                Some("none") => None,
+                Some(name) => Some(name.parse().map_err(|e: String| format!("--quant: {e}"))?),
+            };
+            if pq_m.is_some() && !matches!(family, Some(gass_core::CodecSpec::Pq { .. })) {
+                return Err("--pq-m requires --quant pq".to_string());
+            }
+            let reorder: Option<gass_core::ReorderStrategy> =
+                match args.get_opt::<String>("reorder").map_err(|e| e.to_string())? {
+                    Some(v) => Some(v.parse().map_err(|e: String| format!("--reorder: {e}"))?),
+                    None => gass_core::reorder_forced(),
+                };
+
+            let store_path = args.require("store").map_err(|e| e.to_string())?;
+            let store =
+                persist::load_store(Path::new(store_path)).map_err(|e| e.to_string())?;
+            let dim = store.dim();
+            let spec: Option<gass_core::CodecSpec> = match (family, pq_m) {
+                (Some(gass_core::CodecSpec::Pq { .. }), Some(want)) => {
+                    if want == 0 || !dim.is_multiple_of(want) {
+                        return Err(format!(
+                            "--pq-m {want} must be a nonzero divisor of the store \
+                             dimensionality {dim}"
+                        ));
+                    }
+                    Some(gass_core::CodecSpec::Pq { m: Some(want) })
+                }
+                (f, _) => f,
+            };
+            let graph_path: Option<String> =
+                args.get_opt("graph").map_err(|e| e.to_string())?;
+            let (graph, label) = match graph_path {
+                Some(p) => {
+                    let g =
+                        persist::load_flat_graph(Path::new(&p)).map_err(|e| e.to_string())?;
+                    if g.num_nodes() != store.len() {
+                        return Err(format!(
+                            "graph has {} nodes but the store has {} vectors",
+                            g.num_nodes(),
+                            store.len()
+                        ));
+                    }
+                    (g, "loaded".to_string())
+                }
+                None => {
+                    let method: String =
+                        args.get_or("method", "hnsw".into()).map_err(|e| e.to_string())?;
+                    eprintln!("building {method} over {} vectors...", store.len());
+                    (build_graph(&method, store.clone(), seed, threads)?, method)
+                }
+            };
+            let n = store.len();
+            let mut index = PrebuiltIndex::new(
+                store,
+                graph,
+                Box::new(RandomSeeds::per_query(n, 7)),
+                "serve",
+            );
+            // Always the serving configuration: aligned store, frozen CSR.
+            index.align_store();
+            index.freeze();
+            if let Some(spec) = spec {
+                index.quantize(spec);
+            }
+            if let Some(strategy) = reorder {
+                index.reorder(strategy);
+            }
+            let cfg = gass_serve::ServeConfig {
+                host,
+                port,
+                workers,
+                max_batch,
+                max_wait_us,
+                queue_depth,
+            };
+            let handle = gass_serve::serve(std::sync::Arc::new(index), cfg)
+                .map_err(|e| format!("bind failed: {e}"))?;
+            println!(
+                "serving {label} (n={n}, dim={dim}) quant={} reorder={} \
+                 workers={workers} max_batch={max_batch} max_wait_us={max_wait_us} \
+                 queue_depth={queue_depth}",
+                spec.map_or_else(|| "none".to_string(), |s| s.to_string()),
+                reorder.unwrap_or_default(),
+            );
+            // The readiness line clients wait for; flush so piped readers
+            // (the e2e test) see it immediately.
+            println!("listening on {}", handle.addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            while !handle.is_shutting_down() {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            handle.join();
+            println!("server drained and exited");
             Ok(())
         }
         "info" => {

@@ -85,6 +85,26 @@ pub trait AnnIndex: Send + Sync {
         counter: &DistCounter,
     ) -> SearchResult;
 
+    /// Answers a group of k-NN queries sharing `params`, in query order.
+    ///
+    /// The default is the sequential per-query loop. Indexes with a
+    /// coalesced execution engine override it —
+    /// [`PrebuiltIndex`] interleaves up to
+    /// [`crate::search::COALESCE_LANES`] quantized searches in lockstep
+    /// on the calling thread (see
+    /// [`crate::search::beam_search_coalesced`]), hiding each query's
+    /// dependent memory latency under the other lanes' compute. Every
+    /// implementation must answer bit-identically to the sequential
+    /// loop: coalescing is an execution strategy, not a semantic change.
+    fn search_coalesced(
+        &self,
+        queries: &[&[f32]],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> Vec<SearchResult> {
+        queries.iter().map(|q| self.search(q, params, counter)).collect()
+    }
+
     /// Structural statistics.
     fn stats(&self) -> IndexStats;
 
@@ -148,14 +168,20 @@ pub trait AnnIndex: Send + Sync {
     }
 }
 
-/// Shards in a [`ScratchPool`]. Enough that a typical serving thread
-/// count maps threads to distinct home shards with high probability;
-/// small enough that idle shards cost nothing.
-const SCRATCH_SHARDS: usize = 8;
+/// Minimum shard count in a [`ScratchPool`]: the historical default, kept
+/// as a floor so small hosts still spread borrow traffic across several
+/// mutexes.
+const SCRATCH_SHARDS_MIN: usize = 8;
 
 /// Lock-striped pool of [`SearchScratch`] buffers so concurrent searches
 /// do not allocate an `O(n)` visited set per query — and do not serialize
 /// on a single lock while borrowing one.
+///
+/// The stripe count is sized from the host's worker count (every core may
+/// host a serving thread), with a floor of 8 — a fixed stripe count would
+/// re-introduce borrow contention as soon as `--threads` exceeds it.
+/// [`ScratchPool::with_shards`] pins an explicit count (the serve-crate
+/// executors use one stripe per worker).
 ///
 /// Each thread hashes its id to a *home shard* and borrows/returns there,
 /// so under the parallel serving mode ([`search_batch_parallel`]) distinct
@@ -164,42 +190,76 @@ const SCRATCH_SHARDS: usize = 8;
 /// allocating fresh scratch.
 #[derive(Debug)]
 pub struct ScratchPool {
-    shards: [Mutex<Vec<SearchScratch>>; SCRATCH_SHARDS],
+    shards: Vec<Mutex<Vec<SearchScratch>>>,
 }
 
 impl Default for ScratchPool {
     fn default() -> Self {
-        Self { shards: std::array::from_fn(|_| Mutex::new(Vec::new())) }
+        Self::with_shards(crate::par::effective_threads(0))
     }
 }
 
-/// The calling thread's home shard (its id hashed once, cached).
-fn home_shard() -> usize {
+/// The calling thread's id hash (computed once, cached); each pool
+/// reduces it modulo its own stripe count.
+fn thread_hash() -> usize {
     use std::hash::{Hash, Hasher};
     thread_local! {
-        static HOME: usize = {
+        static HASH: usize = {
             let mut h = std::collections::hash_map::DefaultHasher::new();
             std::thread::current().id().hash(&mut h);
-            h.finish() as usize % SCRATCH_SHARDS
+            h.finish() as usize
         };
     }
-    HOME.with(|&s| s)
+    HASH.with(|&s| s)
+}
+
+thread_local! {
+    static HOME_OVERRIDE: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+    /// Per-thread lane scratches for [`AnnIndex::search_coalesced`]: the
+    /// interleaved engine needs one scratch per in-flight lane, and the
+    /// long-lived serving workers that call it keep these warm across
+    /// batches.
+    static LANE_SCRATCH: std::cell::RefCell<Vec<SearchScratch>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Pins the calling thread's [`ScratchPool`] home shard to `shard`
+/// (reduced modulo each pool's stripe count) instead of the default
+/// thread-id hash. Long-lived executor threads (the `gass-serve` workers)
+/// call this once at startup with their worker index, guaranteeing
+/// distinct home stripes — the hash only makes collisions unlikely.
+pub fn pin_scratch_home(shard: usize) {
+    HOME_OVERRIDE.with(|c| c.set(Some(shard)));
 }
 
 impl ScratchPool {
-    /// An empty pool.
+    /// A pool striped for the host's worker count.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A pool with exactly `max(workers, 8)` stripes — one per expected
+    /// concurrent borrower.
+    pub fn with_shards(workers: usize) -> Self {
+        let n = workers.max(SCRATCH_SHARDS_MIN);
+        Self { shards: (0..n).map(|_| Mutex::new(Vec::new())).collect() }
+    }
+
+    /// Number of stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Borrows a scratch (allocating one only when every shard is busy or
     /// empty), prepared for `n` nodes and beam width `l`, runs `f`, and
     /// returns the scratch to the calling thread's home shard.
     pub fn with<R>(&self, n: usize, l: usize, f: impl FnOnce(&mut SearchScratch) -> R) -> R {
-        let home = home_shard();
+        let shards = self.shards.len();
+        let home = HOME_OVERRIDE.with(|c| c.get()).unwrap_or_else(thread_hash) % shards;
         let mut scratch = None;
-        for off in 0..SCRATCH_SHARDS {
-            if let Ok(mut shard) = self.shards[(home + off) % SCRATCH_SHARDS].try_lock() {
+        for off in 0..shards {
+            if let Ok(mut shard) = self.shards[(home + off) % shards].try_lock() {
                 if let Some(s) = shard.pop() {
                     scratch = Some(s);
                     break;
@@ -427,6 +487,67 @@ impl AnnIndex for PrebuiltIndex {
         self.serving.finish(res)
     }
 
+    fn search_coalesced(
+        &self,
+        queries: &[&[f32]],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> Vec<SearchResult> {
+        let space =
+            Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
+        if queries.len() < 2 || space.quant().is_none() {
+            // Nothing to interleave (or full-precision serving, whose
+            // in-query prefetching already covers its latency): the
+            // sequential loop is the same work.
+            return queries.iter().map(|q| self.search(q, params, counter)).collect();
+        }
+        let n = self.store.len();
+        let mut out = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(crate::search::COALESCE_LANES) {
+            // Seeds are drawn per query in order, exactly as the
+            // sequential loop would (per-query-keyed providers make this
+            // order-independent anyway).
+            let seeds: Vec<Vec<u32>> = chunk
+                .iter()
+                .map(|q| {
+                    let mut s = Vec::new();
+                    self.seeds.seeds(space, q, params.seed_count, &mut s);
+                    s
+                })
+                .collect();
+            LANE_SCRATCH.with(|cell| {
+                let mut lanes = cell.borrow_mut();
+                while lanes.len() < chunk.len() {
+                    lanes.push(SearchScratch::new(n, params.beam_width));
+                }
+                let res = match self.serving.csr() {
+                    Some(csr) => crate::search::beam_search_coalesced(
+                        csr,
+                        space,
+                        chunk,
+                        &seeds,
+                        params.k,
+                        params.beam_width,
+                        &mut lanes[..chunk.len()],
+                    ),
+                    None => crate::search::beam_search_coalesced(
+                        &self.graph,
+                        space,
+                        chunk,
+                        &seeds,
+                        params.k,
+                        params.beam_width,
+                        &mut lanes[..chunk.len()],
+                    ),
+                };
+                for r in res {
+                    out.push(self.serving.finish(r));
+                }
+            });
+        }
+        out
+    }
+
     fn freeze(&mut self) {
         self.serving.freeze(&self.graph);
     }
@@ -594,6 +715,17 @@ mod tests {
         });
         // Everything was returned: a fresh borrow sees cleared scratch.
         pool.with(64, 8, |s| assert!(!s.visited.contains(0)));
+    }
+
+    #[test]
+    fn scratch_pool_stripes_scale_with_workers() {
+        // The historical fixed 8 shards serialized borrows past 8 threads;
+        // stripes now track the requested worker count (floored at 8).
+        assert_eq!(ScratchPool::with_shards(1).num_shards(), 8);
+        assert_eq!(ScratchPool::with_shards(8).num_shards(), 8);
+        assert_eq!(ScratchPool::with_shards(32).num_shards(), 32);
+        let host = crate::par::effective_threads(0);
+        assert_eq!(ScratchPool::new().num_shards(), host.max(8));
     }
 
     #[test]

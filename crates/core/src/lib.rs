@@ -37,6 +37,7 @@ pub mod quant;
 pub mod reorder;
 pub mod search;
 pub mod seed;
+pub mod stats;
 pub mod store;
 pub mod visited;
 
@@ -46,8 +47,8 @@ pub use distance::{
 };
 pub use graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 pub use index::{
-    search_batch_parallel, AnnIndex, IndexStats, PrebuiltIndex, QueryParams, ScratchPool,
-    SerialScanIndex,
+    pin_scratch_home, search_batch_parallel, AnnIndex, IndexStats, PrebuiltIndex, QueryParams,
+    ScratchPool, SerialScanIndex,
 };
 pub use nd::NdStrategy;
 pub use neighbor::{BoundedMaxHeap, Neighbor, SortedBuffer};
@@ -67,9 +68,11 @@ pub use reorder::{
     compute_permutation, mean_edge_span, reorder_forced, IdRemap, ReorderStrategy, ServingState,
 };
 pub use search::{
-    beam_search, beam_search_frozen, beam_search_with_sink, greedy_search, greedy_search_with,
-    serial_scan, SearchResult, SearchScratch, SearchStats,
+    beam_search, beam_search_coalesced, beam_search_frozen, beam_search_with_sink,
+    greedy_search, greedy_search_with, serial_scan, SearchResult, SearchScratch, SearchStats,
+    COALESCE_LANES,
 };
 pub use seed::{FixedSeed, MedoidSeed, RandomSeeds, SeedProvider, StaticSeeds};
+pub use stats::Histogram;
 pub use store::VectorStore;
 pub use visited::VisitedSet;

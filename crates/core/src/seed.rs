@@ -140,19 +140,40 @@ pub struct RandomSeeds {
     /// interpreted in the original id space) and traversal stays
     /// isomorphic to the unreordered index.
     translate: Option<Vec<u32>>,
+    rng_seed: u64,
+    /// Per-query mode: draws come from an RNG keyed by the query bytes
+    /// instead of the shared advancing stream, so the same query always
+    /// gets the same seeds regardless of serving history.
+    per_query: bool,
     rng: Mutex<SmallRng>,
 }
 
 impl RandomSeeds {
-    /// Samples from `0..n`, deterministic under `rng_seed`.
+    /// Samples from `0..n`, deterministic under `rng_seed`. Consecutive
+    /// calls advance a shared stream: reproducible as a *sequence*, but
+    /// an individual query's seeds depend on how many draws preceded it.
     pub fn new(n: usize, rng_seed: u64) -> Self {
         assert!(n > 0, "cannot sample seeds from an empty dataset");
         Self {
             n: n as u32,
             anchor: None,
             translate: None,
+            rng_seed,
+            per_query: false,
             rng: Mutex::new(SmallRng::seed_from_u64(rng_seed)),
         }
+    }
+
+    /// Per-query determinism: each call draws from an RNG seeded by
+    /// `rng_seed` mixed with a hash of the query bytes, so identical
+    /// queries always get identical seeds — no shared stream, no history
+    /// dependence. This is the serving-path variant: answers stay
+    /// bit-identical across restarts, server configurations, and request
+    /// interleavings.
+    pub fn per_query(n: usize, rng_seed: u64) -> Self {
+        let mut s = Self::new(n, rng_seed);
+        s.per_query = true;
+        s
     }
 
     /// Additionally always includes `anchor` (NSG/Vamana style: medoid +
@@ -162,15 +183,8 @@ impl RandomSeeds {
         s.anchor = Some(anchor);
         s
     }
-}
 
-impl SeedProvider for RandomSeeds {
-    fn seeds(&self, _space: Space<'_>, _query: &[f32], count: usize, out: &mut Vec<u32>) {
-        if let Some(a) = self.anchor {
-            out.push(a);
-        }
-        let mut rng = self.rng.lock().unwrap();
-        let want = count.max(1);
+    fn draw(&self, rng: &mut SmallRng, want: usize, out: &mut Vec<u32>) {
         // Sampling with replacement is fine: beam search deduplicates, and
         // for n >> count collisions are negligible.
         match &self.translate {
@@ -184,6 +198,27 @@ impl SeedProvider for RandomSeeds {
                     out.push(rng.random_range(0..self.n));
                 }
             }
+        }
+    }
+}
+
+impl SeedProvider for RandomSeeds {
+    fn seeds(&self, _space: Space<'_>, query: &[f32], count: usize, out: &mut Vec<u32>) {
+        if let Some(a) = self.anchor {
+            out.push(a);
+        }
+        let want = count.max(1);
+        if self.per_query {
+            // FNV-1a over the query's bit patterns keys the draw.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for v in query {
+                h = (h ^ v.to_bits() as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut rng = SmallRng::seed_from_u64(self.rng_seed ^ h);
+            self.draw(&mut rng, want, out);
+        } else {
+            let mut rng = self.rng.lock().unwrap();
+            self.draw(&mut rng, want, out);
         }
     }
 
@@ -295,6 +330,28 @@ mod tests {
             p.seeds(space, &[0.0], 4, &mut b);
         }
         assert_ne!(a, b, "independent draws should differ somewhere");
+    }
+
+    #[test]
+    fn per_query_seeds_are_history_independent() {
+        let (store, counter) = tiny_space();
+        let space = Space::new(&store, &counter);
+        let p = RandomSeeds::per_query(10, 1);
+        let q = RandomSeeds::per_query(10, 1);
+        // Advance `p` with unrelated traffic; a repeated query must still
+        // get the same seeds a fresh provider gives it.
+        let mut scratch = Vec::new();
+        for i in 0..16 {
+            p.seeds(space, &[i as f32], 4, &mut scratch);
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        p.seeds(space, &[3.5, -1.0], 4, &mut a);
+        q.seeds(space, &[3.5, -1.0], 4, &mut b);
+        assert_eq!(a, b, "same query must draw the same seeds");
+        // Distinct queries should still draw differently somewhere.
+        let mut c = Vec::new();
+        q.seeds(space, &[3.5, -2.0], 4, &mut c);
+        assert_ne!(b, c);
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! The wire protocol: length-prefixed fixed binary frames.
+//!
+//! The workspace builds offline (no serde-json, no HTTP stack), so the
+//! service speaks the simplest protocol that is still robust: every
+//! message is one frame, `[u32 len][payload]` with all integers
+//! little-endian, and the payload layouts below are fixed — no
+//! self-describing encoding to parse, no allocation beyond the payload
+//! buffer. Request and response encoders/decoders are symmetric and
+//! round-trip-tested, and both the server and the [`crate::client`] use
+//! exactly these functions, so the tests cover the real wire format.
+//!
+//! ## Request payloads
+//!
+//! | opcode | layout |
+//! |---|---|
+//! | `1` Query | `u16 k, u16 seed_count, u32 beam_width, u32 rerank_factor, u32 deadline_us, u32 dim, dim × f32` |
+//! | `2` Stats | — |
+//! | `3` Ping | — |
+//! | `4` Shutdown | — |
+//!
+//! `deadline_us = 0` means "no deadline"; otherwise the request is
+//! answered `DeadlineExceeded` (without searching) once that many
+//! microseconds have elapsed since the server parsed it.
+//!
+//! ## Response payloads
+//!
+//! First byte is a status code. `0` (`Ok`) is followed by a
+//! variant-specific body: query responses carry
+//! `u32 count, count × (u32 id, f32 dist)`, stats responses carry
+//! `u32 len, len × u8` of JSON text, ping/shutdown acks are empty.
+//! Non-zero statuses (`1` Overloaded, `2` DeadlineExceeded,
+//! `3` BadRequest, `4` ShuttingDown) carry `u32 len, len × u8` of
+//! human-readable detail.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on frame payloads (16 MiB): a corrupt or hostile length
+/// prefix must not trigger an unbounded allocation.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// One k-NN query.
+    Query(QueryRequest),
+    /// Serving statistics as JSON.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Orderly server shutdown.
+    Shutdown,
+}
+
+/// The payload of a [`Request::Query`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRequest {
+    /// Number of neighbors to return.
+    pub k: usize,
+    /// Beam width `L`.
+    pub beam_width: usize,
+    /// Seeds requested from the index's seed provider.
+    pub seed_count: usize,
+    /// Exact-rerank pool multiplier (quantized serving).
+    pub rerank_factor: usize,
+    /// Per-request deadline in microseconds since server receipt
+    /// (0 = none).
+    pub deadline_us: u32,
+    /// The query vector.
+    pub query: Vec<f32>,
+}
+
+/// Response status byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Request served.
+    Ok = 0,
+    /// Admission control rejected the request (queue full).
+    Overloaded = 1,
+    /// The request's deadline passed before a worker reached it.
+    DeadlineExceeded = 2,
+    /// Malformed or invalid request (e.g. dimension mismatch).
+    BadRequest = 3,
+    /// The server is draining; no new queries are admitted.
+    ShuttingDown = 4,
+}
+
+impl Status {
+    fn from_u8(b: u8) -> Option<Status> {
+        Some(match b {
+            0 => Status::Ok,
+            1 => Status::Overloaded,
+            2 => Status::DeadlineExceeded,
+            3 => Status::BadRequest,
+            4 => Status::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Query answered: `(id, distance)` pairs, closest first. Distances
+    /// are exact (the serving path reranks at full precision).
+    Neighbors(Vec<(u32, f32)>),
+    /// Stats snapshot (JSON text).
+    Stats(String),
+    /// Ping acknowledged.
+    Pong,
+    /// Shutdown acknowledged; the server drains and exits.
+    ShutdownAck,
+    /// Request rejected; `status` is never [`Status::Ok`].
+    Rejected {
+        /// Why the request was rejected.
+        status: Status,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+const OP_QUERY: u8 = 1;
+const OP_STATS: u8 = 2;
+const OP_PING: u8 = 3;
+const OP_SHUTDOWN: u8 = 4;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one `[u32 len][payload]` frame and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    queue_frame(w, payload)?;
+    w.flush()
+}
+
+/// Writes one frame *without* flushing: callers batching several frames
+/// (the server's per-connection writer, pipelined load generators) queue
+/// them all into a buffered writer and pay one flush syscall for the lot.
+pub fn queue_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame's payload. `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed the connection).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(bad(format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES} cap")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Encodes a request payload (pair with [`write_frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Stats => vec![OP_STATS],
+        Request::Ping => vec![OP_PING],
+        Request::Shutdown => vec![OP_SHUTDOWN],
+        Request::Query(q) => {
+            let mut out = Vec::with_capacity(1 + 16 + 4 + 4 * q.query.len());
+            out.push(OP_QUERY);
+            out.extend_from_slice(&(q.k as u16).to_le_bytes());
+            out.extend_from_slice(&(q.seed_count as u16).to_le_bytes());
+            out.extend_from_slice(&(q.beam_width as u32).to_le_bytes());
+            out.extend_from_slice(&(q.rerank_factor as u32).to_le_bytes());
+            out.extend_from_slice(&q.deadline_us.to_le_bytes());
+            out.extend_from_slice(&(q.query.len() as u32).to_le_bytes());
+            for v in &q.query {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+    }
+}
+
+struct Cursor<'a>(&'a [u8]);
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> io::Result<&[u8]> {
+        if self.0.len() < n {
+            return Err(bad("truncated payload"));
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(bad(format!("{} trailing bytes in payload", self.0.len())))
+        }
+    }
+}
+
+/// Decodes a request payload (the server side of [`encode_request`]).
+pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
+    let mut c = Cursor(payload);
+    let op = c.take(1)?[0];
+    let req = match op {
+        OP_STATS => Request::Stats,
+        OP_PING => Request::Ping,
+        OP_SHUTDOWN => Request::Shutdown,
+        OP_QUERY => {
+            let k = c.u16()? as usize;
+            let seed_count = c.u16()? as usize;
+            let beam_width = c.u32()? as usize;
+            let rerank_factor = c.u32()? as usize;
+            let deadline_us = c.u32()?;
+            let dim = c.u32()? as usize;
+            if dim.saturating_mul(4) > payload.len() {
+                return Err(bad(format!("query dim {dim} larger than the payload")));
+            }
+            let mut query = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                query.push(c.f32()?);
+            }
+            Request::Query(QueryRequest {
+                k,
+                beam_width,
+                seed_count,
+                rerank_factor,
+                deadline_us,
+                query,
+            })
+        }
+        other => return Err(bad(format!("unknown opcode {other}"))),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+fn push_text(out: &mut Vec<u8>, text: &str) {
+    out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+    out.extend_from_slice(text.as_bytes());
+}
+
+/// Encodes a response payload (pair with [`write_frame`]).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Pong => vec![Status::Ok as u8, b'p'],
+        Response::ShutdownAck => vec![Status::Ok as u8, b's'],
+        Response::Neighbors(ns) => {
+            let mut out = Vec::with_capacity(2 + 4 + 8 * ns.len());
+            out.push(Status::Ok as u8);
+            out.push(b'q');
+            out.extend_from_slice(&(ns.len() as u32).to_le_bytes());
+            for (id, dist) in ns {
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&dist.to_le_bytes());
+            }
+            out
+        }
+        Response::Stats(json) => {
+            let mut out = Vec::with_capacity(2 + 4 + json.len());
+            out.push(Status::Ok as u8);
+            out.push(b't');
+            push_text(&mut out, json);
+            out
+        }
+        Response::Rejected { status, detail } => {
+            debug_assert!(*status != Status::Ok);
+            let mut out = Vec::with_capacity(1 + 4 + detail.len());
+            out.push(*status as u8);
+            push_text(&mut out, detail);
+            out
+        }
+    }
+}
+
+/// Decodes a response payload (the client side of [`encode_response`]).
+pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
+    let mut c = Cursor(payload);
+    let status = Status::from_u8(c.take(1)?[0]).ok_or_else(|| bad("unknown status byte"))?;
+    if status != Status::Ok {
+        let len = c.u32()? as usize;
+        let detail = String::from_utf8(c.take(len)?.to_vec())
+            .map_err(|_| bad("rejection detail is not UTF-8"))?;
+        c.finish()?;
+        return Ok(Response::Rejected { status, detail });
+    }
+    let tag = c.take(1)?[0];
+    let resp = match tag {
+        b'p' => Response::Pong,
+        b's' => Response::ShutdownAck,
+        b'q' => {
+            let count = c.u32()? as usize;
+            if count.saturating_mul(8) > payload.len() {
+                return Err(bad(format!("{count} neighbors larger than the payload")));
+            }
+            let mut ns = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = c.u32()?;
+                let dist = c.f32()?;
+                ns.push((id, dist));
+            }
+            Response::Neighbors(ns)
+        }
+        b't' => {
+            let len = c.u32()? as usize;
+            let json = String::from_utf8(c.take(len)?.to_vec())
+                .map_err(|_| bad("stats payload is not UTF-8"))?;
+            Response::Stats(json)
+        }
+        other => return Err(bad(format!("unknown ok-variant tag {other}"))),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let payload = encode_request(&req);
+        assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let payload = encode_response(&resp);
+        assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Query(QueryRequest {
+            k: 10,
+            beam_width: 80,
+            seed_count: 16,
+            rerank_factor: 4,
+            deadline_us: 5_000,
+            query: vec![1.5, -2.25, 0.0, f32::MIN_POSITIVE],
+        }));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::ShutdownAck);
+        round_trip_response(Response::Neighbors(vec![(3, 0.25), (9, 1.75)]));
+        round_trip_response(Response::Neighbors(vec![]));
+        round_trip_response(Response::Stats("{\"qps\":123.0}".to_string()));
+        round_trip_response(Response::Rejected {
+            status: Status::Overloaded,
+            detail: "queue full (depth 1024)".to_string(),
+        });
+        round_trip_response(Response::Rejected {
+            status: Status::DeadlineExceeded,
+            detail: String::new(),
+        });
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut buf = Vec::new();
+        let payload = encode_request(&Request::Ping);
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_not_allocated() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        let mut payload = encode_request(&Request::Query(QueryRequest {
+            k: 1,
+            beam_width: 2,
+            seed_count: 3,
+            rerank_factor: 4,
+            deadline_us: 0,
+            query: vec![1.0, 2.0],
+        }));
+        payload.pop();
+        assert!(decode_request(&payload).is_err(), "truncated");
+        let mut payload = encode_request(&Request::Ping);
+        payload.push(0);
+        assert!(decode_request(&payload).is_err(), "trailing");
+        assert!(decode_request(&[99]).is_err(), "unknown opcode");
+        assert!(decode_response(&[77]).is_err(), "unknown status");
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_overallocate() {
+        // A query claiming 2^31 dims in a tiny payload must fail fast.
+        let mut payload = vec![OP_QUERY];
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&(1u32 << 31).to_le_bytes());
+        assert!(decode_request(&payload).is_err());
+    }
+}
