@@ -34,18 +34,30 @@ USAGE: gass <command> [--key value]...
 
 COMMANDS:
   generate  --dataset <deep|sift|gist|imagenet|sald|seismic|t2i|pow0|pow5|pow50>
-            --n <count> [--seed <u64>] --out <file>
-            Generate a synthetic dataset analog and save it.
+            --n <count> [--seed <u64>] [--format <packed|mapped>] --out <file>
+            Generate a synthetic dataset analog and save it. --format
+            mapped writes the page-aligned mmap layout (rows padded to the
+            SIMD stride) that loads by page fault instead of a heap copy;
+            absent it defers to the GASS_MMAP environment override
+            (GASS_MMAP=1 selects mapped) and defaults to packed.
 
   build     --method <hnsw|vamana|nsg|ssg|kgraph|efanna|dpg|ngt|sptag-kdt|
                       sptag-bkt|hcnng|nsw|ii-rnd|ii-nond>
-            --store <file> --out <file> [--seed <u64>] [--threads <t>]
+            --store <file> --out <path> [--seed <u64>] [--threads <t>]
+            [--shards <N>] [--nprobe <K>]
             Build a graph index over a saved store and save the graph.
             --threads 0 uses all cores; 1 forces the serial path; absent
             keeps each method's default (serial for the incremental-
             insertion methods, all cores for the rest).
+            With --shards N, partition the store with balanced k-means and
+            build one --method graph per shard, one shard at a time (peak
+            memory stays near a single shard); --out becomes a directory
+            holding the shard table (centroids + id lists) and per-shard
+            mapped stores and graphs. --nprobe K (default ceil(N/4)) sets
+            how many shards `query`/`serve` search per query.
 
   query     --store <file> --graph <file> --queries <file>
+            | --sharded <dir> --queries <file> [--nprobe <K>]
             [--k <10>] [--beam <80>] [--seeds <16>]
             [--layout <packed|aligned>] [--graph-layout <flat|csr>]
             [--simd <on|off>] [--prefetch <on|off>]
@@ -72,8 +84,15 @@ COMMANDS:
             results are identical under every strategy — only speed
             changes. Absent defers to the GASS_REORDER environment
             override.
+            With --sharded, queries route through the shard table: rank
+            shards by query-to-centroid distance, search the nearest
+            --nprobe (overriding the table's default), and merge the
+            per-shard top-k. Recall trades against speed through --nprobe;
+            --nprobe N over N shards is exactly the merged union of all
+            per-shard searches.
 
   serve     --store <file> [--graph <file>] [--method <hnsw|...>]
+            | --sharded <dir> [--nprobe <K>]
             [--host <127.0.0.1>] [--port <0>] [--workers <0>]
             [--max-batch <16>] [--max-wait-us <200>] [--queue-depth <1024>]
             [--seed <u64>] [--threads <t>]
@@ -92,9 +111,14 @@ COMMANDS:
             --quant/--reorder absent defer to the GASS_QUANT / GASS_REORDER
             environment overrides. Stop with a Shutdown frame (the server
             drains admitted queries, then exits) or Ctrl-C.
+            With --sharded, serves a `build --shards` directory through
+            centroid-routed nprobe search; shard stores saved in the
+            mapped layout fault in per page, so untouched shards cost no
+            resident memory (disable with GASS_NO_MMAP=1).
 
   info      --file <file>
-            Describe a saved store or graph.
+            Describe a saved store (packed or mapped), graph, or shard
+            table.
 
   help      Show this text.
 ";
@@ -114,6 +138,25 @@ fn dataset_of(name: &str) -> Result<DatasetKind, String> {
         other => return Err(format!("unknown dataset `{other}`")),
     })
 }
+
+/// The methods `build` can persist (the composite ELPIS/LSHAPG/HVS carry
+/// method-specific routing state beyond one flat graph).
+const BUILDABLE_METHODS: &[&str] = &[
+    "hnsw",
+    "vamana",
+    "nsg",
+    "ssg",
+    "kgraph",
+    "efanna",
+    "dpg",
+    "ngt",
+    "sptag-kdt",
+    "sptag-bkt",
+    "hcnng",
+    "nsw",
+    "ii-rnd",
+    "ii-nond",
+];
 
 /// Builds `method` and extracts its frozen graph for persistence.
 ///
@@ -251,10 +294,27 @@ fn run(args: Args) -> Result<(), String> {
             let n: usize = args.get_or("n", 10_000).map_err(|e| e.to_string())?;
             let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
             let out = args.require("out").map_err(|e| e.to_string())?;
+            // Explicit --format wins; absent defers to the GASS_MMAP
+            // override (the CI matrix leg that serves everything through
+            // the file-backed tier), default packed.
+            let format: String = match args.get_opt("format").map_err(|e| e.to_string())? {
+                Some(f) => f,
+                None => match std::env::var("GASS_MMAP").ok().as_deref() {
+                    Some("1") => "mapped".into(),
+                    _ => "packed".into(),
+                },
+            };
             let store = kind.generate_base(n, seed);
-            persist::save_store(&store, Path::new(out)).map_err(|e| e.to_string())?;
+            match format.as_str() {
+                "packed" => {
+                    persist::save_store(&store, Path::new(out)).map_err(|e| e.to_string())?
+                }
+                "mapped" => persist::save_store_mapped(&store, Path::new(out))
+                    .map_err(|e| e.to_string())?,
+                other => return Err(format!("unknown --format `{other}`")),
+            }
             println!(
-                "wrote {} ({} x {}d, {} bytes)",
+                "wrote {} ({} x {}d, {format}, {} bytes)",
                 out,
                 store.len(),
                 store.dim(),
@@ -268,19 +328,74 @@ fn run(args: Args) -> Result<(), String> {
             let out = args.require("out").map_err(|e| e.to_string())?;
             let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
             let threads: Option<usize> = args.get_opt("threads").map_err(|e| e.to_string())?;
+            let shards: Option<usize> = args.get_opt("shards").map_err(|e| e.to_string())?;
+            let nprobe: Option<usize> = args.get_opt("nprobe").map_err(|e| e.to_string())?;
+            if nprobe.is_some() && shards.is_none() {
+                return Err("--nprobe requires --shards".to_string());
+            }
+            if !BUILDABLE_METHODS.contains(&method) {
+                return Err(format!(
+                    "unknown or non-persistable method `{method}` \
+                     (ELPIS/LSHAPG/HVS are composite; serve them in-process)"
+                ));
+            }
             let store =
-                persist::load_store(Path::new(store_path)).map_err(|e| e.to_string())?;
+                persist::open_store(Path::new(store_path)).map_err(|e| e.to_string())?;
             let t = std::time::Instant::now();
-            let graph = build_graph(method, store, seed, threads)?;
-            println!(
-                "built {method} over {} nodes in {:.2}s ({} edges, avg degree {:.1})",
-                graph.num_nodes(),
-                t.elapsed().as_secs_f64(),
-                graph.num_edges(),
-                graph.avg_degree()
-            );
-            persist::save_flat_graph(&graph, Path::new(out)).map_err(|e| e.to_string())?;
-            println!("wrote {out}");
+            match shards {
+                Some(k) => {
+                    if k == 0 {
+                        return Err("--shards must be at least 1".to_string());
+                    }
+                    let mut params = gass_core::ShardedParams::new(k).with_seed(seed);
+                    if let Some(np) = nprobe {
+                        if np == 0 {
+                            return Err("--nprobe must be at least 1".to_string());
+                        }
+                        params = params.with_nprobe(np);
+                    }
+                    let counter = DistCounter::new();
+                    gass_core::ShardedIndex::build_to_dir(
+                        &store,
+                        &params,
+                        &counter,
+                        Path::new(out),
+                        |s, sub| {
+                            eprintln!(
+                                "shard {s}: building {method} over {} vectors",
+                                sub.len()
+                            );
+                            let graph = build_graph(method, sub.clone(), seed, threads)
+                                .expect("method validated above");
+                            let n = sub.len();
+                            let seeds: Box<dyn gass_core::SeedProvider> =
+                                Box::new(RandomSeeds::per_query(n, 7));
+                            (graph, seeds)
+                        },
+                    )
+                    .map_err(|e| e.to_string())?;
+                    println!(
+                        "built {method} x {k} shards over {} vectors in {:.2}s (nprobe {})",
+                        store.len(),
+                        t.elapsed().as_secs_f64(),
+                        params.nprobe.min(k),
+                    );
+                    println!("wrote {out}/ (shard table + per-shard stores and graphs)");
+                }
+                None => {
+                    let graph = build_graph(method, store, seed, threads)?;
+                    println!(
+                        "built {method} over {} nodes in {:.2}s ({} edges, avg degree {:.1})",
+                        graph.num_nodes(),
+                        t.elapsed().as_secs_f64(),
+                        graph.num_edges(),
+                        graph.avg_degree()
+                    );
+                    persist::save_flat_graph(&graph, Path::new(out))
+                        .map_err(|e| e.to_string())?;
+                    println!("wrote {out}");
+                }
+            }
             Ok(())
         }
         "query" => {
@@ -320,23 +435,83 @@ fn run(args: Args) -> Result<(), String> {
             if pq_m.is_some() && !matches!(family, Some(gass_core::CodecSpec::Pq { .. })) {
                 return Err("--pq-m requires --quant pq".to_string());
             }
-            let store = persist::load_store(Path::new(
-                args.require("store").map_err(|e| e.to_string())?,
-            ))
-            .map_err(|e| e.to_string())?;
-            let graph = persist::load_flat_graph(Path::new(
-                args.require("graph").map_err(|e| e.to_string())?,
-            ))
-            .map_err(|e| e.to_string())?;
-            let queries = persist::load_store(Path::new(
+            if !matches!(layout.as_str(), "aligned" | "packed") {
+                return Err(format!("unknown --layout `{layout}`"));
+            }
+            if !matches!(graph_layout.as_str(), "csr" | "flat") {
+                return Err(format!("unknown --graph-layout `{graph_layout}`"));
+            }
+            let sharded_dir: Option<String> =
+                args.get_opt("sharded").map_err(|e| e.to_string())?;
+            let nprobe: Option<usize> = args.get_opt("nprobe").map_err(|e| e.to_string())?;
+            if nprobe.is_some() && sharded_dir.is_none() {
+                return Err("--nprobe requires --sharded".to_string());
+            }
+            if nprobe == Some(0) {
+                return Err("--nprobe must be at least 1".to_string());
+            }
+            let queries = persist::open_store(Path::new(
                 args.require("queries").map_err(|e| e.to_string())?,
             ))
             .map_err(|e| e.to_string())?;
+            // Either one monolithic store+graph pair, or a `build --shards`
+            // directory. Exact ground truth needs the base vectors either
+            // way; the sharded path gathers them back out of the shards.
+            let (mut index, truth): (Box<dyn AnnIndex>, Vec<Vec<gass_core::Neighbor>>) =
+                match &sharded_dir {
+                    Some(dir) => {
+                        if args.get_opt::<String>("store").map_err(|e| e.to_string())?.is_some()
+                            || args
+                                .get_opt::<String>("graph")
+                                .map_err(|e| e.to_string())?
+                                .is_some()
+                        {
+                            return Err(
+                                "--sharded replaces --store/--graph (the directory holds \
+                                 both per shard)"
+                                    .to_string(),
+                            );
+                        }
+                        let mut idx = gass_core::ShardedIndex::load(Path::new(dir))
+                            .map_err(|e| e.to_string())?;
+                        if let Some(np) = nprobe {
+                            idx.set_nprobe(np);
+                        }
+                        let base = idx.gather_store();
+                        let truth = gass_data::ground_truth(&base, &queries, k);
+                        if layout == "aligned" {
+                            idx.align_store();
+                        }
+                        (Box::new(idx), truth)
+                    }
+                    None => {
+                        let store = persist::open_store(Path::new(
+                            args.require("store").map_err(|e| e.to_string())?,
+                        ))
+                        .map_err(|e| e.to_string())?;
+                        let graph = persist::load_flat_graph(Path::new(
+                            args.require("graph").map_err(|e| e.to_string())?,
+                        ))
+                        .map_err(|e| e.to_string())?;
+                        let n = store.len();
+                        let truth = gass_data::ground_truth(&store, &queries, k);
+                        let mut idx = PrebuiltIndex::new(
+                            store,
+                            graph,
+                            Box::new(RandomSeeds::new(n, 7)),
+                            "loaded",
+                        );
+                        if layout == "aligned" {
+                            idx.align_store();
+                        }
+                        (Box::new(idx), truth)
+                    }
+                };
             // A bad --pq-m fails with a clear message here rather than a
             // panic deep in the encoder.
             let spec: Option<gass_core::CodecSpec> = match (family, pq_m) {
                 (Some(gass_core::CodecSpec::Pq { .. }), Some(want)) => {
-                    let dim = store.dim();
+                    let dim = index.dim();
                     if want == 0 || !dim.is_multiple_of(want) {
                         return Err(format!(
                             "--pq-m {want} must be a nonzero divisor of the store \
@@ -364,26 +539,15 @@ fn run(args: Args) -> Result<(), String> {
             if let Some(v) = &prefetch {
                 gass_core::set_prefetch_enabled(on_off("prefetch", v)?);
             }
-            if queries.dim() != store.dim() {
+            if queries.dim() != index.dim() {
                 return Err(format!(
                     "query dim {} != store dim {}",
                     queries.dim(),
-                    store.dim()
+                    index.dim()
                 ));
             }
-            let n = store.len();
-            let truth = gass_data::ground_truth(&store, &queries, k);
-            let mut index =
-                PrebuiltIndex::new(store, graph, Box::new(RandomSeeds::new(n, 7)), "loaded");
-            match layout.as_str() {
-                "aligned" => index.align_store(),
-                "packed" => {}
-                other => return Err(format!("unknown --layout `{other}`")),
-            }
-            match graph_layout.as_str() {
-                "csr" => index.freeze(),
-                "flat" => {}
-                other => return Err(format!("unknown --graph-layout `{other}`")),
+            if graph_layout == "csr" {
+                index.freeze();
             }
             if let Some(spec) = spec {
                 index.quantize(spec);
@@ -467,10 +631,80 @@ fn run(args: Args) -> Result<(), String> {
                     None => gass_core::reorder_forced(),
                 };
 
-            let store_path = args.require("store").map_err(|e| e.to_string())?;
-            let store =
-                persist::load_store(Path::new(store_path)).map_err(|e| e.to_string())?;
-            let dim = store.dim();
+            let sharded_dir: Option<String> =
+                args.get_opt("sharded").map_err(|e| e.to_string())?;
+            let nprobe: Option<usize> = args.get_opt("nprobe").map_err(|e| e.to_string())?;
+            if nprobe.is_some() && sharded_dir.is_none() {
+                return Err("--nprobe requires --sharded".to_string());
+            }
+            if nprobe == Some(0) {
+                return Err("--nprobe must be at least 1".to_string());
+            }
+
+            let (mut index, label): (Box<dyn AnnIndex>, String) = match &sharded_dir {
+                Some(dir) => {
+                    if args.get_opt::<String>("store").map_err(|e| e.to_string())?.is_some()
+                        || args.get_opt::<String>("graph").map_err(|e| e.to_string())?.is_some()
+                    {
+                        return Err(
+                            "--sharded replaces --store/--graph (the directory holds both \
+                             per shard)"
+                                .to_string(),
+                        );
+                    }
+                    let mut idx = gass_core::ShardedIndex::load(Path::new(dir))
+                        .map_err(|e| e.to_string())?;
+                    if let Some(np) = nprobe {
+                        idx.set_nprobe(np);
+                    }
+                    let label = format!(
+                        "sharded ({} shards, nprobe {})",
+                        idx.num_shards(),
+                        idx.nprobe()
+                    );
+                    idx.align_store();
+                    (Box::new(idx), label)
+                }
+                None => {
+                    let store_path = args.require("store").map_err(|e| e.to_string())?;
+                    let store = persist::open_store(Path::new(store_path))
+                        .map_err(|e| e.to_string())?;
+                    let graph_path: Option<String> =
+                        args.get_opt("graph").map_err(|e| e.to_string())?;
+                    let (graph, label) = match graph_path {
+                        Some(p) => {
+                            let g = persist::load_flat_graph(Path::new(&p))
+                                .map_err(|e| e.to_string())?;
+                            if g.num_nodes() != store.len() {
+                                return Err(format!(
+                                    "graph has {} nodes but the store has {} vectors",
+                                    g.num_nodes(),
+                                    store.len()
+                                ));
+                            }
+                            (g, "loaded".to_string())
+                        }
+                        None => {
+                            let method: String = args
+                                .get_or("method", "hnsw".into())
+                                .map_err(|e| e.to_string())?;
+                            eprintln!("building {method} over {} vectors...", store.len());
+                            (build_graph(&method, store.clone(), seed, threads)?, method)
+                        }
+                    };
+                    let n = store.len();
+                    let mut idx = PrebuiltIndex::new(
+                        store,
+                        graph,
+                        Box::new(RandomSeeds::per_query(n, 7)),
+                        "serve",
+                    );
+                    idx.align_store();
+                    (Box::new(idx), label)
+                }
+            };
+            let n = index.num_vectors();
+            let dim = index.dim();
             let spec: Option<gass_core::CodecSpec> = match (family, pq_m) {
                 (Some(gass_core::CodecSpec::Pq { .. }), Some(want)) => {
                     if want == 0 || !dim.is_multiple_of(want) {
@@ -483,37 +717,7 @@ fn run(args: Args) -> Result<(), String> {
                 }
                 (f, _) => f,
             };
-            let graph_path: Option<String> =
-                args.get_opt("graph").map_err(|e| e.to_string())?;
-            let (graph, label) = match graph_path {
-                Some(p) => {
-                    let g =
-                        persist::load_flat_graph(Path::new(&p)).map_err(|e| e.to_string())?;
-                    if g.num_nodes() != store.len() {
-                        return Err(format!(
-                            "graph has {} nodes but the store has {} vectors",
-                            g.num_nodes(),
-                            store.len()
-                        ));
-                    }
-                    (g, "loaded".to_string())
-                }
-                None => {
-                    let method: String =
-                        args.get_or("method", "hnsw".into()).map_err(|e| e.to_string())?;
-                    eprintln!("building {method} over {} vectors...", store.len());
-                    (build_graph(&method, store.clone(), seed, threads)?, method)
-                }
-            };
-            let n = store.len();
-            let mut index = PrebuiltIndex::new(
-                store,
-                graph,
-                Box::new(RandomSeeds::per_query(n, 7)),
-                "serve",
-            );
             // Always the serving configuration: aligned store, frozen CSR.
-            index.align_store();
             index.freeze();
             if let Some(spec) = spec {
                 index.quantize(spec);
@@ -529,7 +733,7 @@ fn run(args: Args) -> Result<(), String> {
                 max_wait_us,
                 queue_depth,
             };
-            let handle = gass_serve::serve(std::sync::Arc::new(index), cfg)
+            let handle = gass_serve::serve(std::sync::Arc::from(index), cfg)
                 .map_err(|e| format!("bind failed: {e}"))?;
             println!(
                 "serving {label} (n={n}, dim={dim}) quant={} reorder={} \
@@ -552,6 +756,47 @@ fn run(args: Args) -> Result<(), String> {
         }
         "info" => {
             let file = args.require("file").map_err(|e| e.to_string())?;
+            let path = Path::new(file);
+            // A `build --shards` directory: describe through its table.
+            if path.is_dir() {
+                let table = persist::load_shard_table(&path.join("shards.gass"))
+                    .map_err(|e| format!("{file}: not a sharded index directory ({e})"))?;
+                let total: usize = table.shard_ids.iter().map(Vec::len).sum();
+                println!(
+                    "{file}: sharded index, {} shards x {}d, {} vectors total, nprobe {}",
+                    table.shard_ids.len(),
+                    table.dim,
+                    total,
+                    table.nprobe
+                );
+                return Ok(());
+            }
+            // Mapped sections describe themselves from the fixed header
+            // without reading the (possibly huge) row data.
+            match persist::peek_kind(path) {
+                Ok(persist::KIND_MSTORE) => {
+                    let store = persist::open_store(path).map_err(|e| e.to_string())?;
+                    println!(
+                        "{file}: vector store (mapped layout), {} x {}d",
+                        store.len(),
+                        store.dim()
+                    );
+                    return Ok(());
+                }
+                Ok(persist::KIND_SHARDS) => {
+                    let table = persist::load_shard_table(path).map_err(|e| e.to_string())?;
+                    let total: usize = table.shard_ids.iter().map(Vec::len).sum();
+                    println!(
+                        "{file}: shard table, {} shards x {}d, {} vectors total, nprobe {}",
+                        table.shard_ids.len(),
+                        table.dim,
+                        total,
+                        table.nprobe
+                    );
+                    return Ok(());
+                }
+                _ => {}
+            }
             let raw = std::fs::read(file).map_err(|e| e.to_string())?;
             if let Ok(store) = persist::decode_store(bytes_of(&raw)) {
                 println!("{file}: vector store, {} x {}d", store.len(), store.dim());

@@ -206,6 +206,140 @@ fn quantized_query_ladder() {
 }
 
 #[test]
+fn sharded_build_query_roundtrip() {
+    let dir = std::env::temp_dir().join("gass_cli_e2e_sharded");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("base.store.gass");
+    let queries = dir.join("q.store.gass");
+    let sharded = dir.join("sharded_idx");
+    run_ok(gass().args([
+        "generate",
+        "--dataset",
+        "deep",
+        "--n",
+        "1500",
+        "--seed",
+        "5",
+        "--out",
+        store.to_str().unwrap(),
+    ]));
+    run_ok(gass().args([
+        "generate",
+        "--dataset",
+        "deep",
+        "--n",
+        "12",
+        "--seed",
+        "9",
+        "--out",
+        queries.to_str().unwrap(),
+    ]));
+    let out = run_ok(gass().args([
+        "build",
+        "--method",
+        "hnsw",
+        "--store",
+        store.to_str().unwrap(),
+        "--out",
+        sharded.to_str().unwrap(),
+        "--shards",
+        "3",
+        "--nprobe",
+        "1",
+    ]));
+    assert!(out.contains("built hnsw x 3 shards over 1500 vectors"), "{out}");
+    let out = run_ok(gass().args(["info", "--file", sharded.to_str().unwrap()]));
+    assert!(
+        out.contains("sharded index, 3 shards x 96d, 1500 vectors total, nprobe 1"),
+        "{out}"
+    );
+
+    let query = |nprobe: &str, extra_env: Option<(&str, &str)>| {
+        let mut cmd = gass();
+        cmd.args([
+            "query",
+            "--sharded",
+            sharded.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "5",
+            "--beam",
+            "64",
+            "--nprobe",
+            nprobe,
+        ]);
+        if let Some((k, v)) = extra_env {
+            cmd.env(k, v);
+        }
+        run_ok(&mut cmd)
+    };
+    let recall_of = |out: &str| -> f64 {
+        out.split("recall@5=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no recall in output: {out}"))
+    };
+
+    // Full probe merges every shard's answer: the recall floor holds, and
+    // probing a superset of shards can never lose a true neighbor (a true
+    // top-k member is displaced only by strictly closer vectors, all of
+    // which are themselves in the true top-k).
+    let full = query("3", None);
+    let one = query("1", None);
+    assert!(recall_of(&full) > 0.85, "full-probe recall too low: {full}");
+    assert!(
+        recall_of(&full) >= recall_of(&one),
+        "recall fell while probing more shards:\nnprobe=1: {one}\nnprobe=3: {full}"
+    );
+
+    // Shard stores are written in the mapped layout; the heap fallback
+    // (GASS_NO_MMAP=1) must be observationally identical to serving
+    // through the mapping.
+    let no_mmap = query("3", Some(("GASS_NO_MMAP", "1")));
+    let stat_line = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("recall@"))
+            .map(|l| l.split("ms/query").next().unwrap().trim().to_string())
+            .unwrap_or_else(|| panic!("no recall line in: {s}"))
+    };
+    assert_eq!(stat_line(&full), stat_line(&no_mmap), "mmap and heap serving disagree");
+
+    // The quantized ladder applies per shard.
+    let mut cmd = gass();
+    cmd.args([
+        "query",
+        "--sharded",
+        sharded.to_str().unwrap(),
+        "--queries",
+        queries.to_str().unwrap(),
+        "--k",
+        "5",
+        "--beam",
+        "64",
+        "--nprobe",
+        "3",
+        "--quant",
+        "sq8",
+    ]);
+    let out = run_ok(&mut cmd);
+    assert!(out.contains("quant=sq8"), "{out}");
+    assert!(recall_of(&out) > 0.8, "sharded sq8 recall too low: {out}");
+
+    // --nprobe only makes sense against a sharded directory.
+    let out = gass()
+        .args(["query", "--store", "x", "--graph", "y", "--queries", "z", "--nprobe", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--nprobe requires --sharded"),
+        "unhelpful nprobe error"
+    );
+}
+
+#[test]
 fn rejects_zero_rerank_factor() {
     // Validation fires before any file is touched, so bogus paths are fine.
     let out = gass()

@@ -211,6 +211,83 @@ fn serve_smoke_recall_batching_and_shutdown() {
 }
 
 #[test]
+fn serve_sharded_smoke() {
+    let dir = std::env::temp_dir().join("gass_cli_serve_e2e_sharded");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_path = dir.join("base.store.gass");
+    let sharded = dir.join("sharded_idx");
+    run_ok(gass().args([
+        "generate",
+        "--dataset",
+        "deep",
+        "--n",
+        "800",
+        "--seed",
+        "5",
+        "--out",
+        store_path.to_str().unwrap(),
+    ]));
+    run_ok(gass().args([
+        "build",
+        "--method",
+        "hnsw",
+        "--store",
+        store_path.to_str().unwrap(),
+        "--out",
+        sharded.to_str().unwrap(),
+        "--shards",
+        "4",
+        "--nprobe",
+        "2",
+    ]));
+
+    // Serve the sharded directory at full probe so the recall floor is
+    // about the serving path, not the routing operating point.
+    let (child, reader, addr) = spawn_server(&[
+        "--sharded",
+        sharded.to_str().unwrap(),
+        "--nprobe",
+        "4",
+        "--workers",
+        "2",
+    ]);
+
+    let base = persist::load_store(&store_path).unwrap();
+    let queries = gass_data::DatasetKind::Deep.generate_base(20, 9);
+    let truth = gass_data::ground_truth(&base, &queries, K);
+    let (beam, rerank) = recall_params();
+
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    let mut recall = 0.0;
+    for (qi, row) in truth.iter().enumerate() {
+        match client
+            .query(QueryRequest {
+                k: K,
+                beam_width: beam,
+                seed_count: 16,
+                rerank_factor: rerank,
+                deadline_us: 0,
+                query: queries.get(qi as u32).to_vec(),
+            })
+            .unwrap()
+        {
+            Response::Neighbors(ns) => {
+                let got: Vec<gass_core::Neighbor> =
+                    ns.iter().map(|(id, d)| gass_core::Neighbor::new(*id, *d)).collect();
+                recall += gass_eval::recall_at_k(row, &got, K);
+            }
+            other => panic!("expected neighbors, got {other:?}"),
+        }
+    }
+    let recall = recall / truth.len() as f64;
+    assert!(recall > 0.8, "sharded served recall too low: {recall}");
+
+    client.shutdown().unwrap();
+    assert_clean_exit(child, reader);
+}
+
+#[test]
 fn serve_overload_fast_rejects_instead_of_queueing() {
     let dir = std::env::temp_dir().join("gass_cli_serve_e2e_overload");
     let (store_path, graph_path) = fixtures(&dir);

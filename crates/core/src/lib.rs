@@ -29,6 +29,8 @@
 pub mod distance;
 pub mod graph;
 pub mod index;
+pub mod kmeans;
+pub mod mmap;
 pub mod nd;
 pub mod neighbor;
 pub mod par;
@@ -37,6 +39,7 @@ pub mod quant;
 pub mod reorder;
 pub mod search;
 pub mod seed;
+pub mod sharded;
 pub mod stats;
 pub mod store;
 pub mod visited;
@@ -50,6 +53,8 @@ pub use index::{
     pin_scratch_home, search_batch_parallel, AnnIndex, IndexStats, PrebuiltIndex, QueryParams,
     ScratchPool, SerialScanIndex,
 };
+pub use kmeans::{balanced_kmeans, kmeans as kmeans_cluster, maximin_lloyd, Clustering};
+pub use mmap::{mmap_enabled, MmapBuf, MmapRegion};
 pub use nd::NdStrategy;
 pub use neighbor::{BoundedMaxHeap, Neighbor, SortedBuffer};
 pub use par::{
@@ -57,8 +62,10 @@ pub use par::{
     prefix_doubling_batches, ConcurrentAdjacency,
 };
 pub use persist::{
-    load_codec, load_flat_graph, load_permutation, load_quantized, load_store, save_codec,
-    save_flat_graph, save_permutation, save_quantized, save_store, PersistError,
+    load_codec, load_flat_graph, load_permutation, load_quantized, load_shard_table,
+    load_store, open_codec, open_store, peek_kind, save_codec, save_codec_mapped,
+    save_flat_graph, save_permutation, save_quantized, save_shard_table, save_store,
+    save_store_mapped, MappedStoreWriter, PersistError, ShardTable,
 };
 pub use quant::{
     l2_sq_u4, l2_sq_u4_batch, l2_sq_u8, l2_sq_u8_batch, pq_auto_m, pq_scan, pq_scan_batch,
@@ -73,6 +80,7 @@ pub use search::{
     COALESCE_LANES,
 };
 pub use seed::{FixedSeed, MedoidSeed, RandomSeeds, SeedProvider, StaticSeeds};
+pub use sharded::{ShardedIndex, ShardedParams};
 pub use stats::Histogram;
 pub use store::VectorStore;
 pub use visited::VisitedSet;

@@ -27,8 +27,32 @@
 //!   the variance-balanced dimension deal, validated as a permutation on
 //!   load). The legacy `KIND_QUANT` section remains readable and is
 //!   exactly the SQ8 body.
+//!
+//! ## Mapped sections
+//!
+//! Two further kinds store their bulk payload **in the serving layout**
+//! (padded rows from a 64-byte-aligned file offset) so a loaded file can
+//! be memory-mapped and searched in place, cold rows faulting in on
+//! demand — the beyond-RAM tiers' on-disk format (see [`crate::mmap`]):
+//! * mapped store — `dim:u64 | len:u64 | zero pad to offset 64 | rows`,
+//!   each row `aligned_stride(dim)` zero-padded `f32`s
+//! * mapped codec — `codec:u8 | params (as the codec section) | zero pad
+//!   to a 64-byte boundary | padded code rows` (the whole code area, tail
+//!   padding included)
+//!
+//! [`open_store`]/[`open_codec`] sniff the kind byte and accept either
+//! representation; when mapping is disabled or unavailable the mapped
+//! kinds are parsed into ordinary heap structures instead. Byte equality
+//! of the heap and mapped row layouts is what makes the mapped path
+//! observationally identical to the aligned heap path.
+//!
+//! * shard table — `nprobe:u64 | dim:u64 | shards:u64 | total:u64 |
+//!   centroids:f32[shards*dim] | per shard (len:u64 | ids:u32[len])` —
+//!   the routing half of a sharded index ([`crate::sharded`]); the id
+//!   lists are validated to partition `0..total` on load.
 
 use crate::graph::FlatGraph;
+use crate::mmap::{Advice, MmapBuf, MmapRegion};
 use crate::quant::{CodecStore, PqStore, QuantizedStore, Sq4Store};
 use crate::reorder::IdRemap;
 use crate::store::VectorStore;
@@ -36,15 +60,33 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 use std::fs;
 use std::io;
+use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"GASS";
 const VERSION: u8 = 1;
-const KIND_STORE: u8 = 1;
-const KIND_FLAT_GRAPH: u8 = 2;
-const KIND_QUANT: u8 = 3;
-const KIND_PERM: u8 = 4;
-const KIND_CODEC: u8 = 5;
+/// Section kind: packed vector store.
+pub const KIND_STORE: u8 = 1;
+/// Section kind: flat adjacency graph.
+pub const KIND_FLAT_GRAPH: u8 = 2;
+/// Section kind: SQ8 quantized store (legacy single-codec section).
+pub const KIND_QUANT: u8 = 3;
+/// Section kind: reorder permutation.
+pub const KIND_PERM: u8 = 4;
+/// Section kind: codec store (SQ8/SQ4/PQ, packed).
+pub const KIND_CODEC: u8 = 5;
+/// Section kind: mapped vector store (page-aligned, stride-padded rows).
+pub const KIND_MSTORE: u8 = 6;
+/// Section kind: mapped codec store (page-aligned, stride-padded code rows).
+pub const KIND_MCODEC: u8 = 7;
+/// Section kind: shard table (centroids + per-shard global id lists).
+pub const KIND_SHARDS: u8 = 8;
+
+/// File offset where a mapped section's row data begins (one cache line;
+/// keeps every row 64-byte aligned when the mapping itself is
+/// page-aligned).
+const MAP_DATA_ALIGN: usize = 64;
 
 const CODEC_SQ8: u8 = 1;
 const CODEC_SQ4: u8 = 2;
@@ -509,6 +551,510 @@ pub fn load_permutation(path: &Path) -> Result<IdRemap, PersistError> {
     decode_permutation(Bytes::from(fs::read(path)?))
 }
 
+// --- mapped sections ----------------------------------------------------
+
+/// Reads just the kind byte of a GASS file (validating magic and version)
+/// without touching the payload — how [`open_store`]/[`open_codec`]
+/// dispatch between heap and mapped representations.
+pub fn peek_kind(path: &Path) -> Result<u8, PersistError> {
+    let mut head = [0u8; 6];
+    fs::File::open(path)?.read_exact(&mut head).map_err(|_| PersistError::BadMagic)?;
+    if &head[..4] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    if head[4] != VERSION {
+        return Err(PersistError::BadVersion(head[4]));
+    }
+    Ok(head[5])
+}
+
+/// A tiny byte cursor for parsing mapped-section headers in place (the
+/// `Bytes` helpers would need the whole — possibly huge — file copied
+/// into an owned buffer first).
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(PersistError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_f32_le(&mut self) -> Result<f32, PersistError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn check_header(&mut self, expected_kind: u8) -> Result<(), PersistError> {
+        if self.take(4).map_err(|_| PersistError::BadMagic)? != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = self.get_u8().map_err(|_| PersistError::BadMagic)?;
+        if version != VERSION {
+            return Err(PersistError::BadVersion(version));
+        }
+        let kind = self.get_u8().map_err(|_| PersistError::BadMagic)?;
+        if kind != expected_kind {
+            return Err(PersistError::WrongKind { found: kind, expected: expected_kind });
+        }
+        Ok(())
+    }
+}
+
+/// Streams a mapped-layout store file row by row — the writer behind
+/// [`save_store_mapped`], exposed so dataset generators can emit tiers
+/// larger than RAM without ever materializing the store on the heap.
+pub struct MappedStoreWriter {
+    out: io::BufWriter<fs::File>,
+    dim: usize,
+    stride: usize,
+    len: usize,
+    written: usize,
+}
+
+impl MappedStoreWriter {
+    /// Creates `path` and writes the mapped-store header for `len` rows of
+    /// dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn create(path: &Path, dim: usize, len: usize) -> Result<Self, PersistError> {
+        assert!(dim > 0, "vector dimension must be positive");
+        let mut out = io::BufWriter::new(fs::File::create(path)?);
+        let mut head = [0u8; MAP_DATA_ALIGN];
+        head[..4].copy_from_slice(MAGIC);
+        head[4] = VERSION;
+        head[5] = KIND_MSTORE;
+        head[6..14].copy_from_slice(&(dim as u64).to_le_bytes());
+        head[14..22].copy_from_slice(&(len as u64).to_le_bytes());
+        out.write_all(&head)?;
+        Ok(Self { out, dim, stride: crate::store::aligned_stride(dim), len, written: 0 })
+    }
+
+    /// Appends one row (zero-padded to the aligned stride on disk).
+    ///
+    /// # Panics
+    /// Panics on a row of the wrong dimension or past the declared length.
+    pub fn push_row(&mut self, row: &[f32]) -> Result<(), PersistError> {
+        assert_eq!(row.len(), self.dim, "row dimension mismatch");
+        assert!(self.written < self.len, "more rows than declared");
+        for &x in row {
+            self.out.write_all(&x.to_le_bytes())?;
+        }
+        for _ in self.dim..self.stride {
+            self.out.write_all(&0f32.to_le_bytes())?;
+        }
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flushes and closes the file.
+    ///
+    /// # Panics
+    /// Panics if fewer rows than declared were pushed.
+    pub fn finish(mut self) -> Result<(), PersistError> {
+        assert_eq!(self.written, self.len, "fewer rows than declared");
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Writes a store to `path` in the mapped layout (padded rows in place).
+pub fn save_store_mapped(store: &VectorStore, path: &Path) -> Result<(), PersistError> {
+    let mut w = MappedStoreWriter::create(path, store.dim(), store.len())?;
+    for (_, row) in store.iter() {
+        w.push_row(row)?;
+    }
+    w.finish()
+}
+
+fn mstore_header(bytes: &[u8]) -> Result<(usize, usize), PersistError> {
+    let mut cur = Cursor::new(bytes);
+    cur.check_header(KIND_MSTORE)?;
+    let dim = cur.get_u64_le()? as usize;
+    let len = cur.get_u64_le()? as usize;
+    if dim == 0 {
+        return Err(PersistError::Truncated);
+    }
+    Ok((dim, len))
+}
+
+fn mapped_store_view(buf: Arc<MmapBuf>) -> Result<VectorStore, PersistError> {
+    let (dim, len) = mstore_header(buf.as_bytes())?;
+    let stride = crate::store::aligned_stride(dim);
+    let want = len
+        .checked_mul(stride)
+        .and_then(|x| x.checked_mul(4))
+        .ok_or(PersistError::Truncated)?;
+    if buf.len() < MAP_DATA_ALIGN + want {
+        return Err(PersistError::Truncated);
+    }
+    let region = MmapRegion::new(buf, MAP_DATA_ALIGN, want);
+    // Graph traversal touches rows in id order only by accident.
+    region.advise(Advice::Random);
+    Ok(VectorStore::from_mapped(dim, len, region))
+}
+
+/// Opens a mapped-layout store file: a live mapping when enabled and
+/// supported, otherwise a file-backed parse into an aligned heap store
+/// (same vectors, same ids — only residency differs).
+pub fn open_store_mapped(path: &Path) -> Result<VectorStore, PersistError> {
+    if crate::mmap::mmap_enabled() {
+        if let Ok(buf) = MmapBuf::open_mapped(path) {
+            return mapped_store_view(buf);
+        }
+    }
+    let raw = fs::read(path)?;
+    let (dim, len) = mstore_header(&raw)?;
+    let stride = crate::store::aligned_stride(dim);
+    let want = len
+        .checked_mul(stride)
+        .and_then(|x| x.checked_mul(4))
+        .ok_or(PersistError::Truncated)?;
+    if raw.len() < MAP_DATA_ALIGN + want {
+        return Err(PersistError::Truncated);
+    }
+    let mut store = VectorStore::aligned_with_capacity(dim, len);
+    let mut row = vec![0f32; dim];
+    for i in 0..len {
+        let start = MAP_DATA_ALIGN + i * stride * 4;
+        for (x, b) in row.iter_mut().zip(raw[start..start + dim * 4].chunks_exact(4)) {
+            *x = f32::from_le_bytes(b.try_into().unwrap());
+        }
+        store.push(&row);
+    }
+    Ok(store)
+}
+
+/// Opens a store file of either representation: packed ([`KIND_STORE`],
+/// re-aligned in memory by callers as usual) or mapped.
+pub fn open_store(path: &Path) -> Result<VectorStore, PersistError> {
+    match peek_kind(path)? {
+        KIND_MSTORE => open_store_mapped(path),
+        _ => load_store(path),
+    }
+}
+
+/// Writes a codec store to `path` in the mapped layout: the codec-section
+/// parameters, zero pad to a 64-byte boundary, then the padded code rows
+/// exactly as the kernels scan them.
+pub fn save_codec_mapped(codec: &dyn CodecStore, path: &Path) -> Result<(), PersistError> {
+    let any = codec.as_any();
+    let mut head = header(KIND_MCODEC, 64);
+    let (len, stride): (usize, usize) = if let Some(q) = any.downcast_ref::<QuantizedStore>() {
+        head.put_u8(CODEC_SQ8);
+        put_affine_body(&mut head, q.dim(), q.len(), q.mins(), q.deltas());
+        (q.len(), q.stride())
+    } else if let Some(q) = any.downcast_ref::<Sq4Store>() {
+        head.put_u8(CODEC_SQ4);
+        put_affine_body(&mut head, q.dim(), q.len(), q.mins(), q.deltas());
+        (q.len(), q.stride())
+    } else if let Some(q) = any.downcast_ref::<PqStore>() {
+        head.put_u8(CODEC_PQ);
+        head.put_u64_le(q.dim() as u64);
+        head.put_u64_le(q.m() as u64);
+        head.put_u64_le(q.ncent() as u64);
+        head.put_u64_le(q.len() as u64);
+        for &d in q.perm() {
+            head.put_u32_le(d);
+        }
+        for &c in q.centroids() {
+            head.put_f32_le(c);
+        }
+        (q.len(), q.stride())
+    } else {
+        unreachable!("unknown CodecStore implementation {:?}", codec.spec())
+    };
+    while !head.len().is_multiple_of(MAP_DATA_ALIGN) {
+        head.put_u8(0);
+    }
+    let mut out = io::BufWriter::new(fs::File::create(path)?);
+    out.write_all(head.as_ref())?;
+    for id in 0..len as u32 {
+        out.write_all(codec.code_row(id))?;
+    }
+    // PQ strides are 16-byte; pad the code area tail to whole lines.
+    let tail = (len * stride).next_multiple_of(MAP_DATA_ALIGN) - len * stride;
+    out.write_all(&vec![0u8; tail])?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Parsed parameter block of a mapped codec section, plus the layout the
+/// code area must have.
+struct McodecHead {
+    params: McodecParams,
+    /// File offset of the code area (64-byte aligned).
+    data_offset: usize,
+    /// Code-area bytes (tail padding included).
+    code_bytes: usize,
+    /// Logical bytes per row (padding stripped) — the heap-fallback width.
+    row_bytes: usize,
+    /// Padded bytes per row.
+    stride: usize,
+    len: usize,
+}
+
+enum McodecParams {
+    Affine { tag: u8, dim: usize, mins: Vec<f32>, deltas: Vec<f32> },
+    Pq { dim: usize, m: usize, ncent: usize, perm: Vec<u32>, centroids: Vec<f32> },
+}
+
+fn mcodec_header(bytes: &[u8]) -> Result<McodecHead, PersistError> {
+    let mut cur = Cursor::new(bytes);
+    cur.check_header(KIND_MCODEC)?;
+    let tag = cur.get_u8()?;
+    let (params, len, row_bytes, stride) = match tag {
+        CODEC_SQ8 | CODEC_SQ4 => {
+            let dim = cur.get_u64_le()? as usize;
+            let len = cur.get_u64_le()? as usize;
+            if dim == 0 {
+                return Err(PersistError::Truncated);
+            }
+            let mut mins = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                mins.push(cur.get_f32_le()?);
+            }
+            let mut deltas = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                deltas.push(cur.get_f32_le()?);
+            }
+            let (row_bytes, stride) = if tag == CODEC_SQ8 {
+                (dim, crate::quant::sq8::quant_stride(dim))
+            } else {
+                (dim.div_ceil(2), crate::quant::sq4::sq4_stride(dim))
+            };
+            (McodecParams::Affine { tag, dim, mins, deltas }, len, row_bytes, stride)
+        }
+        CODEC_PQ => {
+            let dim = cur.get_u64_le()? as usize;
+            let m = cur.get_u64_le()? as usize;
+            let ncent = cur.get_u64_le()? as usize;
+            let len = cur.get_u64_le()? as usize;
+            if dim == 0
+                || m == 0
+                || m > dim
+                || !dim.is_multiple_of(m)
+                || !(1..=16).contains(&ncent)
+            {
+                return Err(PersistError::Truncated);
+            }
+            let mut perm = Vec::with_capacity(dim);
+            let mut seen = vec![false; dim];
+            for _ in 0..dim {
+                let d = cur.get_u32_le()?;
+                if d as usize >= dim || std::mem::replace(&mut seen[d as usize], true) {
+                    return Err(PersistError::Truncated);
+                }
+                perm.push(d);
+            }
+            let cents = m * 16 * (dim / m);
+            let mut centroids = Vec::with_capacity(cents);
+            for _ in 0..cents {
+                centroids.push(cur.get_f32_le()?);
+            }
+            (
+                McodecParams::Pq { dim, m, ncent, perm, centroids },
+                len,
+                m.div_ceil(2),
+                crate::quant::pq::pq_stride(m),
+            )
+        }
+        tag => return Err(PersistError::UnknownCodec(tag)),
+    };
+    let data_offset = cur.pos.next_multiple_of(MAP_DATA_ALIGN);
+    let code_bytes = len
+        .checked_mul(stride)
+        .map(|x| x.next_multiple_of(MAP_DATA_ALIGN))
+        .ok_or(PersistError::Truncated)?;
+    if bytes.len() < data_offset + code_bytes {
+        return Err(PersistError::Truncated);
+    }
+    Ok(McodecHead { params, data_offset, code_bytes, row_bytes, stride, len })
+}
+
+fn mapped_codec_view(buf: Arc<MmapBuf>) -> Result<Box<dyn CodecStore>, PersistError> {
+    let head = mcodec_header(buf.as_bytes())?;
+    let region = MmapRegion::new(buf, head.data_offset, head.code_bytes);
+    region.advise(Advice::Random);
+    Ok(match head.params {
+        McodecParams::Affine { tag: CODEC_SQ8, dim, mins, deltas } => {
+            Box::new(QuantizedStore::from_parts_mapped(dim, mins, deltas, head.len, region))
+        }
+        McodecParams::Affine { dim, mins, deltas, .. } => {
+            Box::new(Sq4Store::from_parts_mapped(dim, mins, deltas, head.len, region))
+        }
+        McodecParams::Pq { dim, m, ncent, perm, centroids } => Box::new(
+            PqStore::from_parts_mapped(dim, m, ncent, perm, centroids, head.len, region),
+        ),
+    })
+}
+
+/// Opens a mapped-layout codec file: a live mapping when enabled and
+/// supported, otherwise a parse into the ordinary heap codec.
+pub fn open_codec_mapped(path: &Path) -> Result<Box<dyn CodecStore>, PersistError> {
+    if crate::mmap::mmap_enabled() {
+        if let Ok(buf) = MmapBuf::open_mapped(path) {
+            return mapped_codec_view(buf);
+        }
+    }
+    let raw = fs::read(path)?;
+    let head = mcodec_header(&raw)?;
+    // Strip the row padding back to the packed representation and reuse
+    // the validated heap constructors.
+    let mut packed = Vec::with_capacity(head.len * head.row_bytes);
+    for i in 0..head.len {
+        let start = head.data_offset + i * head.stride;
+        packed.extend_from_slice(&raw[start..start + head.row_bytes]);
+    }
+    Ok(match head.params {
+        McodecParams::Affine { tag: CODEC_SQ8, dim, mins, deltas } => {
+            Box::new(QuantizedStore::from_parts(dim, mins, deltas, packed))
+        }
+        McodecParams::Affine { dim, mins, deltas, .. } => {
+            Box::new(Sq4Store::from_parts(dim, mins, deltas, packed))
+        }
+        McodecParams::Pq { dim, m, ncent, perm, centroids } => {
+            Box::new(PqStore::from_parts(dim, m, ncent, perm, centroids, packed))
+        }
+    })
+}
+
+/// Opens a codec file of any representation: tagged codec section, legacy
+/// SQ8 quantized section, or mapped codec.
+pub fn open_codec(path: &Path) -> Result<Box<dyn CodecStore>, PersistError> {
+    match peek_kind(path)? {
+        KIND_MCODEC => open_codec_mapped(path),
+        KIND_QUANT => Ok(Box::new(load_quantized(path)?)),
+        _ => load_codec(path),
+    }
+}
+
+// --- shard tables -------------------------------------------------------
+
+/// The routing half of a sharded index: per-shard centroids plus the
+/// global ids each shard holds (see [`crate::sharded`]).
+#[derive(Clone, Debug)]
+pub struct ShardTable {
+    /// Shards searched per query (the persisted default).
+    pub nprobe: usize,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// `shards * dim` floats, shard `s`'s centroid at `[s*dim..][..dim]`.
+    pub centroids: Vec<f32>,
+    /// Per-shard global id lists (`shard_ids[s][local] = global`); the
+    /// lists partition `0..total`.
+    pub shard_ids: Vec<Vec<u32>>,
+}
+
+/// Encodes a shard table.
+pub fn encode_shard_table(table: &ShardTable) -> Bytes {
+    let total: usize = table.shard_ids.iter().map(Vec::len).sum();
+    let mut buf = header(
+        KIND_SHARDS,
+        32 + table.centroids.len() * 4 + table.shard_ids.len() * 8 + total * 4,
+    );
+    buf.put_u64_le(table.nprobe as u64);
+    buf.put_u64_le(table.dim as u64);
+    buf.put_u64_le(table.shard_ids.len() as u64);
+    buf.put_u64_le(total as u64);
+    for &c in &table.centroids {
+        buf.put_f32_le(c);
+    }
+    for ids in &table.shard_ids {
+        buf.put_u64_le(ids.len() as u64);
+        for &id in ids {
+            buf.put_u32_le(id);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a shard table, re-validating that the id lists partition the
+/// id space.
+pub fn decode_shard_table(mut buf: Bytes) -> Result<ShardTable, PersistError> {
+    check_header(&mut buf, KIND_SHARDS)?;
+    if buf.remaining() < 32 {
+        return Err(PersistError::Truncated);
+    }
+    let nprobe = buf.get_u64_le() as usize;
+    let dim = buf.get_u64_le() as usize;
+    let shards = buf.get_u64_le() as usize;
+    let total = buf.get_u64_le() as usize;
+    if dim == 0 || shards == 0 || nprobe == 0 || nprobe > shards {
+        return Err(PersistError::Truncated);
+    }
+    let cents = shards.checked_mul(dim).ok_or(PersistError::Truncated)?;
+    if buf.remaining() < cents * 4 {
+        return Err(PersistError::Truncated);
+    }
+    let mut centroids = Vec::with_capacity(cents);
+    for _ in 0..cents {
+        centroids.push(buf.get_f32_le());
+    }
+    let mut shard_ids = Vec::with_capacity(shards);
+    let mut seen = vec![false; total];
+    for _ in 0..shards {
+        if buf.remaining() < 8 {
+            return Err(PersistError::Truncated);
+        }
+        let len = buf.get_u64_le() as usize;
+        if buf.remaining() < len.checked_mul(4).ok_or(PersistError::Truncated)? {
+            return Err(PersistError::Truncated);
+        }
+        let mut ids = Vec::with_capacity(len);
+        for _ in 0..len {
+            let id = buf.get_u32_le();
+            if id as usize >= total || std::mem::replace(&mut seen[id as usize], true) {
+                return Err(PersistError::NotAPermutation(format!(
+                    "shard id {id} repeats or exceeds the declared total {total}"
+                )));
+            }
+            ids.push(id);
+        }
+        shard_ids.push(ids);
+    }
+    if seen.iter().any(|&s| !s) {
+        return Err(PersistError::NotAPermutation(format!(
+            "shard id lists do not cover 0..{total}"
+        )));
+    }
+    Ok(ShardTable { nprobe, dim, centroids, shard_ids })
+}
+
+/// Writes a shard table to `path`.
+pub fn save_shard_table(table: &ShardTable, path: &Path) -> Result<(), PersistError> {
+    fs::write(path, encode_shard_table(table))?;
+    Ok(())
+}
+
+/// Reads a shard table from `path`.
+pub fn load_shard_table(path: &Path) -> Result<ShardTable, PersistError> {
+    decode_shard_table(Bytes::from(fs::read(path)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -697,6 +1243,162 @@ mod tests {
             decode_permutation(Bytes::from(raw)).unwrap_err(),
             PersistError::NotAPermutation(_)
         ));
+    }
+
+    /// Serializes the tests that flip the process-wide mmap toggle.
+    static MMAP_FLAG: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn mapped_store_roundtrips_and_matches_heap() {
+        let _guard = MMAP_FLAG.lock().unwrap();
+        let store = VectorStore::from_flat(
+            5,
+            (0..85).map(|i| ((i * 11) as f32 * 0.37).sin() * 3.0).collect(),
+        )
+        .to_aligned();
+        let dir = std::env::temp_dir().join("gass_persist_mapped");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mstore.gass");
+        save_store_mapped(&store, &path).unwrap();
+        // Kind sniffing dispatches to the mapped opener.
+        assert_eq!(peek_kind(&path).unwrap(), KIND_MSTORE);
+        for mapped_on in [true, false] {
+            crate::mmap::set_mmap_enabled(mapped_on);
+            let back = open_store(&path).unwrap();
+            assert_eq!(back.len(), store.len());
+            assert_eq!(back.dim(), store.dim());
+            assert!(back.is_aligned());
+            for id in 0..store.len() as u32 {
+                assert_eq!(back.get(id), store.get(id), "row {id}, mapped={mapped_on}");
+            }
+            assert_eq!(back.is_mapped(), mapped_on && cfg!(unix));
+        }
+        crate::mmap::set_mmap_enabled(true);
+        // Writing the loaded store back is byte-stable.
+        let path2 = dir.join("mstore2.gass");
+        save_store_mapped(&open_store(&path).unwrap(), &path2).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), std::fs::read(&path2).unwrap());
+        // open_store still reads the packed kind transparently.
+        let packed = dir.join("packed.gass");
+        save_store(&store, &packed).unwrap();
+        assert_eq!(open_store(&packed).unwrap().as_flat(), store.to_packed().as_flat());
+    }
+
+    #[test]
+    fn mapped_codec_roundtrips_bit_identically_for_every_codec() {
+        let _guard = MMAP_FLAG.lock().unwrap();
+        let store = VectorStore::from_flat(
+            6,
+            (0..120).map(|i| ((i * 7) as f32 * 0.29).cos() * 4.0).collect(),
+        );
+        let query = [0.25f32, -1.5, 2.0, 0.5, -0.75, 1.0];
+        let codecs: Vec<Box<dyn CodecStore>> = vec![
+            Box::new(QuantizedStore::from_store(&store)),
+            Box::new(Sq4Store::from_store(&store)),
+            Box::new(PqStore::from_store(&store, Some(3))),
+        ];
+        let dir = std::env::temp_dir().join("gass_persist_mapped");
+        std::fs::create_dir_all(&dir).unwrap();
+        for codec in codecs {
+            let path = dir.join(format!("mcodec-{}.gass", codec.spec()));
+            save_codec_mapped(codec.as_ref(), &path).unwrap();
+            assert_eq!(peek_kind(&path).unwrap(), KIND_MCODEC);
+            for mapped_on in [true, false] {
+                crate::mmap::set_mmap_enabled(mapped_on);
+                let back = open_codec(&path).unwrap();
+                assert_eq!(back.spec(), codec.spec());
+                assert_eq!(back.len(), codec.len());
+                let mut pq_a = crate::quant::PreparedQuery::default();
+                let mut pq_b = crate::quant::PreparedQuery::default();
+                codec.prepare_into(&query, &mut pq_a);
+                back.prepare_into(&query, &mut pq_b);
+                for id in 0..codec.len() as u32 {
+                    assert_eq!(
+                        back.code_row(id),
+                        codec.code_row(id),
+                        "{} row {id}, mapped={mapped_on}",
+                        codec.spec()
+                    );
+                    assert_eq!(
+                        back.dist_prepared(&pq_b, id).to_bits(),
+                        codec.dist_prepared(&pq_a, id).to_bits(),
+                        "{} distance {id}, mapped={mapped_on}",
+                        codec.spec()
+                    );
+                }
+            }
+            crate::mmap::set_mmap_enabled(true);
+            // Tampered headers fail cleanly, not at the map boundary.
+            let mut raw = std::fs::read(&path).unwrap();
+            raw.truncate(raw.len() - 1);
+            std::fs::write(dir.join("cut.gass"), raw).unwrap();
+            assert!(matches!(
+                open_codec(&dir.join("cut.gass")).unwrap_err(),
+                PersistError::Truncated
+            ));
+        }
+    }
+
+    #[test]
+    fn mapped_store_writer_streams_rows() {
+        let dir = std::env::temp_dir().join("gass_persist_mapped");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streamed.gass");
+        let mut w = MappedStoreWriter::create(&path, 3, 4).unwrap();
+        for i in 0..4 {
+            w.push_row(&[i as f32, i as f32 + 0.5, -(i as f32)]).unwrap();
+        }
+        w.finish().unwrap();
+        let back = open_store(&path).unwrap();
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.get(2), &[2.0, 2.5, -2.0]);
+        // Identical bytes to the one-shot writer over the same rows.
+        let mut store = VectorStore::new(3);
+        for i in 0..4 {
+            store.push(&[i as f32, i as f32 + 0.5, -(i as f32)]);
+        }
+        let path2 = dir.join("oneshot.gass");
+        save_store_mapped(&store, &path2).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), std::fs::read(&path2).unwrap());
+    }
+
+    #[test]
+    fn shard_table_roundtrip_and_partition_validation() {
+        let table = ShardTable {
+            nprobe: 2,
+            dim: 3,
+            centroids: (0..9).map(|i| i as f32 * 0.5).collect(),
+            shard_ids: vec![vec![0, 3, 4], vec![1, 5], vec![2, 6]],
+        };
+        let bytes = encode_shard_table(&table);
+        let back = decode_shard_table(bytes.clone()).unwrap();
+        assert_eq!(back.nprobe, 2);
+        assert_eq!(back.dim, 3);
+        assert_eq!(back.centroids, table.centroids);
+        assert_eq!(back.shard_ids, table.shard_ids);
+        // Byte-stable re-encode.
+        assert_eq!(encode_shard_table(&back).as_ref(), bytes.as_ref());
+        // Truncation and duplicate-id rejection.
+        let cut = bytes.slice(0..bytes.len() - 1);
+        assert!(matches!(decode_shard_table(cut).unwrap_err(), PersistError::Truncated));
+        let mut dup = table.shard_ids.clone();
+        dup[2][1] = 5; // id 5 now in two shards
+        let bad = ShardTable {
+            nprobe: table.nprobe,
+            dim: table.dim,
+            centroids: table.centroids.clone(),
+            shard_ids: dup,
+        };
+        assert!(matches!(
+            decode_shard_table(encode_shard_table(&bad)).unwrap_err(),
+            PersistError::NotAPermutation(_)
+        ));
+        // File round-trip.
+        let dir = std::env::temp_dir().join("gass_persist_mapped");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shards.gass");
+        save_shard_table(&table, &path).unwrap();
+        assert_eq!(load_shard_table(&path).unwrap().shard_ids, table.shard_ids);
     }
 
     #[test]

@@ -43,7 +43,7 @@
 //! `chunk·512 + c·32`.
 
 use super::{
-    lines_as_bytes, lines_as_bytes_mut, CodeLine, CodecSpec, CodecStore, PreparedQuery, LINE_U8,
+    lines_as_bytes_mut, CodeBuf, CodeLine, CodecSpec, CodecStore, PreparedQuery, LINE_U8,
 };
 use crate::distance::l2_sq;
 use crate::par::par_map;
@@ -81,7 +81,7 @@ pub fn pq_auto_m(dim: usize) -> usize {
 
 /// Bytes between consecutive row starts: two codes per byte, rounded up
 /// to whole 16-byte kernel chunks.
-fn pq_stride(m: usize) -> usize {
+pub(crate) fn pq_stride(m: usize) -> usize {
     m.div_ceil(2).next_multiple_of(16)
 }
 
@@ -116,8 +116,9 @@ fn balanced_dim_order(store: &VectorStore, train: &[u32], m: usize, dsub: usize)
     perm
 }
 
-/// Deterministic Lloyd's k-means over subvector `j` of the training rows:
-/// evenly spaced seeding, fixed iterations, empty clusters reseeded at the
+/// Deterministic Lloyd's k-means over subvector `j` of the training rows,
+/// via the workspace's shared trainer [`crate::kmeans::maximin_lloyd`]:
+/// maximin seeding, fixed iterations, empty clusters reseeded at the
 /// current farthest-assigned points (successively, index tie-break). Same
 /// inputs always produce the same centroids. Returns `ncent` centroids
 /// flattened, zero-padded to [`KSUB`] rows.
@@ -137,85 +138,7 @@ fn train_subquantizer(
             perm_j.iter().map(move |&d| row[d as usize])
         })
         .collect();
-    let sub = |pos: usize| -> &[f32] { &tv[pos * dsub..(pos + 1) * dsub] };
-    // Maximin (farthest-point) seeding: start from the subvector mean's
-    // nearest training point, then greedily add the point farthest from
-    // every chosen centroid. Deterministic, and far better than uniform
-    // index sampling on clustered data.
-    let mut centroids: Vec<f32> = Vec::with_capacity(KSUB * dsub);
-    let mut mean = vec![0.0f64; dsub];
-    for pos in 0..train.len() {
-        for (m, x) in mean.iter_mut().zip(sub(pos)) {
-            *m += *x as f64;
-        }
-    }
-    let mean: Vec<f32> = mean.iter().map(|m| (*m / train.len() as f64) as f32).collect();
-    let first = (0..train.len())
-        .min_by(|&a, &b| l2_sq(sub(a), &mean).total_cmp(&l2_sq(sub(b), &mean)).then(a.cmp(&b)))
-        .unwrap_or(0);
-    centroids.extend_from_slice(sub(first));
-    let mut seed_d: Vec<f32> =
-        (0..train.len()).map(|pos| l2_sq(sub(pos), &centroids[..dsub])).collect();
-    for _ in 1..ncent {
-        let far = seed_d
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
-            .map(|(pos, _)| pos)
-            .unwrap_or(0);
-        let chosen: Vec<f32> = sub(far).to_vec();
-        for (pos, d) in seed_d.iter_mut().enumerate() {
-            *d = d.min(l2_sq(sub(pos), &chosen));
-        }
-        centroids.extend_from_slice(&chosen);
-    }
-    let mut assignment = vec![0usize; train.len()];
-    let mut assigned_d = vec![0.0f32; train.len()];
-    for _ in 0..PQ_KMEANS_ITERS {
-        // Assign (strict `<`, so ties go to the lowest centroid index).
-        for (pos, slot) in assignment.iter_mut().enumerate() {
-            let v = sub(pos);
-            let (mut best, mut best_d) = (0usize, f32::INFINITY);
-            for c in 0..ncent {
-                let d = l2_sq(v, &centroids[c * dsub..(c + 1) * dsub]);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            *slot = best;
-            assigned_d[pos] = best_d;
-        }
-        // Update: f64 sums in fixed row order.
-        let mut sums = vec![0.0f64; ncent * dsub];
-        let mut counts = vec![0usize; ncent];
-        for (pos, &c) in assignment.iter().enumerate() {
-            counts[c] += 1;
-            for (s, x) in sums[c * dsub..(c + 1) * dsub].iter_mut().zip(sub(pos)) {
-                *s += *x as f64;
-            }
-        }
-        for c in 0..ncent {
-            if counts[c] == 0 {
-                // Reseed at the farthest assigned point not yet consumed.
-                let far = assigned_d
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
-                    .map(|(pos, _)| pos)
-                    .unwrap_or(0);
-                assigned_d[far] = -1.0;
-                centroids[c * dsub..(c + 1) * dsub].copy_from_slice(sub(far));
-            } else {
-                for (dst, s) in centroids[c * dsub..(c + 1) * dsub]
-                    .iter_mut()
-                    .zip(&sums[c * dsub..(c + 1) * dsub])
-                {
-                    *dst = (*s / counts[c] as f64) as f32;
-                }
-            }
-        }
-    }
+    let mut centroids = crate::kmeans::maximin_lloyd(&tv, dsub, ncent, PQ_KMEANS_ITERS);
     centroids.resize(KSUB * dsub, 0.0);
     centroids
 }
@@ -280,7 +203,7 @@ pub struct PqStore {
     /// `m * KSUB * dsub` floats; centroid `c` of subquantizer `j` at
     /// `[(j*KSUB + c)*dsub ..][..dsub]` (rows past `ncent` are zero pads).
     centroids: Vec<f32>,
-    codes: Vec<CodeLine>,
+    codes: CodeBuf,
 }
 
 impl PqStore {
@@ -310,7 +233,8 @@ impl PqStore {
         .flatten()
         .collect();
         let stride = pq_stride(m);
-        let codes = encode_rows(store, m, dsub, ncent, &centroids, &perm, stride);
+        let codes =
+            CodeBuf::Heap(encode_rows(store, m, dsub, ncent, &centroids, &perm, stride));
         Self { dim, m, dsub, ncent, stride, len: store.len(), perm, centroids, codes }
     }
 
@@ -357,7 +281,54 @@ impl PqStore {
         for (id, row) in packed.chunks_exact(row_bytes).enumerate() {
             raw[id * stride..id * stride + row_bytes].copy_from_slice(row);
         }
-        Self { dim, m, dsub, ncent, stride, len, perm, centroids, codes }
+        Self { dim, m, dsub, ncent, stride, len, perm, centroids, codes: CodeBuf::Heap(codes) }
+    }
+
+    /// Reassembles a store over a mapped code area (row geometry identical
+    /// to the heap layout: `stride` bytes per row from a 64-byte base).
+    ///
+    /// # Panics
+    /// Panics if parameter lengths or the region size are inconsistent, or
+    /// `perm` is not a permutation of `0..dim`.
+    pub fn from_parts_mapped(
+        dim: usize,
+        m: usize,
+        ncent: usize,
+        perm: Vec<u32>,
+        centroids: Vec<f32>,
+        len: usize,
+        region: crate::mmap::MmapRegion,
+    ) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert!(m >= 1 && m <= dim && dim.is_multiple_of(m), "m={m} must divide dim={dim}");
+        assert!((1..=KSUB).contains(&ncent), "centroid count {ncent} out of range");
+        assert_eq!(perm.len(), dim, "dimension permutation length mismatch");
+        let mut seen = vec![false; dim];
+        for &d in &perm {
+            assert!(
+                (d as usize) < dim && !std::mem::replace(&mut seen[d as usize], true),
+                "perm is not a permutation of 0..{dim}"
+            );
+        }
+        let dsub = dim / m;
+        assert_eq!(centroids.len(), m * KSUB * dsub, "codebook length mismatch");
+        let stride = pq_stride(m);
+        assert_eq!(
+            region.len(),
+            (len * stride).next_multiple_of(LINE_U8),
+            "mapped code area size mismatch"
+        );
+        Self {
+            dim,
+            m,
+            dsub,
+            ncent,
+            stride,
+            len,
+            perm,
+            centroids,
+            codes: CodeBuf::from_mapped(region),
+        }
     }
 
     /// Number of encoded vectors.
@@ -423,7 +394,7 @@ impl PqStore {
     #[inline]
     pub fn code_row(&self, id: u32) -> &[u8] {
         let start = id as usize * self.stride;
-        &lines_as_bytes(&self.codes)[start..start + self.stride]
+        &self.codes.bytes()[start..start + self.stride]
     }
 
     /// Copies the logical code bytes into a packed `len * ceil(m/2)`
@@ -445,14 +416,19 @@ impl PqStore {
         assert_eq!(map.len(), self.len, "remap covers a different vector count");
         let mut codes =
             vec![CodeLine([0u8; LINE_U8]); (self.len * self.stride).div_ceil(LINE_U8)];
-        let src = lines_as_bytes(&self.codes);
+        let src = self.codes.bytes();
         let dst = lines_as_bytes_mut(&mut codes);
         for new in 0..self.len {
             let old = map.to_old(new as u32) as usize;
             dst[new * self.stride..(new + 1) * self.stride]
                 .copy_from_slice(&src[old * self.stride..old * self.stride + self.stride]);
         }
-        Self { codes, perm: self.perm.clone(), centroids: self.centroids.clone(), ..*self }
+        Self {
+            codes: CodeBuf::Heap(codes),
+            perm: self.perm.clone(),
+            centroids: self.centroids.clone(),
+            ..*self
+        }
     }
 
     /// Reconstructs vector `id` by scattering its assigned centroids back
@@ -550,7 +526,7 @@ impl PqStore {
     #[inline]
     pub fn prefetch(&self, id: u32) {
         let start = id as usize * self.stride;
-        let raw = lines_as_bytes(&self.codes);
+        let raw = self.codes.bytes();
         debug_assert!(start + self.stride <= raw.len());
         #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
         unsafe {
@@ -583,9 +559,10 @@ impl PqStore {
         let _ = raw;
     }
 
-    /// Heap bytes held by the codes, codebooks, and dimension map.
+    /// Heap bytes held by the codes, codebooks, and dimension map (mapped
+    /// code areas count zero; their residency is kernel-managed).
     pub fn heap_bytes(&self) -> usize {
-        self.codes.capacity() * std::mem::size_of::<CodeLine>()
+        self.codes.heap_bytes()
             + self.centroids.capacity() * std::mem::size_of::<f32>()
             + self.perm.capacity() * std::mem::size_of::<u32>()
     }
@@ -605,7 +582,7 @@ impl PqStore {
             self.stride,
         );
         Self {
-            codes,
+            codes: CodeBuf::Heap(codes),
             perm: self.perm.clone(),
             centroids: self.centroids.clone(),
             len: store.len(),

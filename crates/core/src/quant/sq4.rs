@@ -26,7 +26,7 @@
 
 use super::sq8::{lane, reduce8};
 use super::{
-    lines_as_bytes, lines_as_bytes_mut, CodeLine, CodecSpec, CodecStore, PreparedQuery, LINE_U8,
+    lines_as_bytes_mut, CodeBuf, CodeLine, CodecSpec, CodecStore, PreparedQuery, LINE_U8,
 };
 use crate::store::VectorStore;
 
@@ -35,7 +35,7 @@ const LEVELS: f32 = 15.0;
 
 /// Bytes between consecutive row starts: two dims per byte, rounded up to
 /// whole cache lines.
-fn sq4_stride(dim: usize) -> usize {
+pub(crate) fn sq4_stride(dim: usize) -> usize {
     dim.div_ceil(2).next_multiple_of(LINE_U8)
 }
 
@@ -48,7 +48,7 @@ pub struct Sq4Store {
     len: usize,
     mins: Vec<f32>,
     deltas: Vec<f32>,
-    codes: Vec<CodeLine>,
+    codes: CodeBuf,
 }
 
 impl Sq4Store {
@@ -76,7 +76,7 @@ impl Sq4Store {
             len: 0,
             mins,
             deltas,
-            codes: Vec::with_capacity(store.len() * stride / LINE_U8),
+            codes: CodeBuf::Heap(Vec::with_capacity(store.len() * stride / LINE_U8)),
         };
         for (_, row) in store.iter() {
             out.push_row(row);
@@ -108,7 +108,27 @@ impl Sq4Store {
         for (id, row) in packed.chunks_exact(row_bytes).enumerate() {
             raw[id * stride..id * stride + row_bytes].copy_from_slice(row);
         }
-        Self { dim, stride, len: n, mins, deltas, codes }
+        Self { dim, stride, len: n, mins, deltas, codes: CodeBuf::Heap(codes) }
+    }
+
+    /// Reassembles a store over a mapped code area (row geometry identical
+    /// to the heap layout: `stride` bytes per row from a 64-byte base).
+    ///
+    /// # Panics
+    /// Panics if parameter lengths or the region size are inconsistent.
+    pub fn from_parts_mapped(
+        dim: usize,
+        mins: Vec<f32>,
+        deltas: Vec<f32>,
+        len: usize,
+        region: crate::mmap::MmapRegion,
+    ) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert_eq!(mins.len(), dim, "mins length mismatch");
+        assert_eq!(deltas.len(), dim, "deltas length mismatch");
+        let stride = sq4_stride(dim);
+        assert_eq!(region.len(), len * stride, "mapped code area size mismatch");
+        Self { dim, stride, len, mins, deltas, codes: CodeBuf::from_mapped(region) }
     }
 
     fn push_row(&mut self, row: &[f32]) {
@@ -179,7 +199,7 @@ impl Sq4Store {
     #[inline]
     pub fn code_row(&self, id: u32) -> &[u8] {
         let start = id as usize * self.stride;
-        &lines_as_bytes(&self.codes)[start..start + self.stride]
+        &self.codes.bytes()[start..start + self.stride]
     }
 
     /// Copies the logical code bytes into a packed `len * ceil(dim/2)`
@@ -198,12 +218,13 @@ impl Sq4Store {
     /// bit-identical to re-encoding the permuted vectors).
     pub fn permute(&self, map: &crate::reorder::IdRemap) -> Sq4Store {
         assert_eq!(map.len(), self.len, "remap covers a different vector count");
-        let lines_per_row = self.stride / LINE_U8;
-        let mut codes = Vec::with_capacity(self.len * lines_per_row);
-        for new in 0..self.len as u32 {
-            let old = map.to_old(new) as usize;
-            codes
-                .extend_from_slice(&self.codes[old * lines_per_row..(old + 1) * lines_per_row]);
+        let mut codes = vec![CodeLine([0u8; LINE_U8]); self.len * self.stride / LINE_U8];
+        let dst = lines_as_bytes_mut(&mut codes);
+        let src = self.codes.bytes();
+        for new in 0..self.len {
+            let old = map.to_old(new as u32) as usize;
+            dst[new * self.stride..(new + 1) * self.stride]
+                .copy_from_slice(&src[old * self.stride..(old + 1) * self.stride]);
         }
         Self {
             dim: self.dim,
@@ -211,7 +232,7 @@ impl Sq4Store {
             len: self.len,
             mins: self.mins.clone(),
             deltas: self.deltas.clone(),
-            codes,
+            codes: CodeBuf::Heap(codes),
         }
     }
 
@@ -281,7 +302,7 @@ impl Sq4Store {
     #[inline]
     pub fn prefetch(&self, id: u32) {
         let start = id as usize * self.stride;
-        let raw = lines_as_bytes(&self.codes);
+        let raw = self.codes.bytes();
         debug_assert!(start + self.dim.div_ceil(2) <= raw.len());
         #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
         unsafe {
@@ -314,9 +335,10 @@ impl Sq4Store {
         let _ = raw;
     }
 
-    /// Heap bytes held by the codes and affine parameters.
+    /// Heap bytes held by the codes and affine parameters (mapped code
+    /// areas count zero; their residency is kernel-managed).
     pub fn heap_bytes(&self) -> usize {
-        self.codes.capacity() * std::mem::size_of::<CodeLine>()
+        self.codes.heap_bytes()
             + (self.mins.capacity() + self.deltas.capacity()) * std::mem::size_of::<f32>()
     }
 }

@@ -41,12 +41,12 @@
 //! [`crate::set_simd_enabled`] select backends exactly as for `f32`, and
 //! the rare AVX2-without-FMA host falls back to the scalar reference.
 
-use super::{lines_as_bytes, CodeLine, CodecSpec, CodecStore, PreparedQuery, LINE_U8};
+use super::{CodeBuf, CodeLine, CodecSpec, CodecStore, PreparedQuery, LINE_U8};
 use crate::store::VectorStore;
 
 /// Row stride of the quantized layout: `dim` rounded up to a whole number
 /// of cache lines (64 codes).
-fn quant_stride(dim: usize) -> usize {
+pub(crate) fn quant_stride(dim: usize) -> usize {
     dim.next_multiple_of(LINE_U8)
 }
 
@@ -61,7 +61,7 @@ pub struct QuantizedStore {
     len: usize,
     mins: Vec<f32>,
     deltas: Vec<f32>,
-    codes: Vec<CodeLine>,
+    codes: CodeBuf,
 }
 
 impl QuantizedStore {
@@ -91,7 +91,7 @@ impl QuantizedStore {
             len: 0,
             mins,
             deltas,
-            codes: Vec::with_capacity(store.len() * stride / LINE_U8),
+            codes: CodeBuf::Heap(Vec::with_capacity(store.len() * stride / LINE_U8)),
         };
         for (_, row) in store.iter() {
             out.push_row(row);
@@ -122,7 +122,7 @@ impl QuantizedStore {
             len: 0,
             mins,
             deltas,
-            codes: Vec::with_capacity(n * stride / LINE_U8),
+            codes: CodeBuf::Heap(Vec::with_capacity(n * stride / LINE_U8)),
         };
         for row in packed.chunks_exact(dim) {
             let mut rest = row;
@@ -200,7 +200,7 @@ impl QuantizedStore {
 
     #[inline]
     fn raw(&self) -> &[u8] {
-        lines_as_bytes(&self.codes)
+        self.codes.bytes()
     }
 
     /// The full padded code row of vector `id` (`stride` bytes; padding
@@ -231,12 +231,13 @@ impl QuantizedStore {
     /// re-encoding the permuted vectors.
     pub fn permute(&self, map: &crate::reorder::IdRemap) -> QuantizedStore {
         assert_eq!(map.len(), self.len, "remap covers a different vector count");
-        let lines_per_row = self.stride / LINE_U8;
-        let mut codes = Vec::with_capacity(self.len * lines_per_row);
-        for new in 0..self.len as u32 {
-            let old = map.to_old(new) as usize;
-            codes
-                .extend_from_slice(&self.codes[old * lines_per_row..(old + 1) * lines_per_row]);
+        let mut codes = vec![CodeLine([0u8; LINE_U8]); self.len * self.stride / LINE_U8];
+        let dst = super::lines_as_bytes_mut(&mut codes);
+        let src = self.raw();
+        for new in 0..self.len {
+            let old = map.to_old(new as u32) as usize;
+            dst[new * self.stride..(new + 1) * self.stride]
+                .copy_from_slice(&src[old * self.stride..(old + 1) * self.stride]);
         }
         Self {
             dim: self.dim,
@@ -244,7 +245,7 @@ impl QuantizedStore {
             len: self.len,
             mins: self.mins.clone(),
             deltas: self.deltas.clone(),
-            codes,
+            codes: CodeBuf::Heap(codes),
         }
     }
 
@@ -348,8 +349,29 @@ impl QuantizedStore {
     /// Heap bytes held by the codes and affine parameters (the quantized
     /// serving path's memory cost, reported by index footprint harnesses).
     pub fn heap_bytes(&self) -> usize {
-        self.codes.capacity() * std::mem::size_of::<CodeLine>()
+        self.codes.heap_bytes()
             + (self.mins.capacity() + self.deltas.capacity()) * std::mem::size_of::<f32>()
+    }
+
+    /// Wraps a memory-mapped code area (aligned geometry: rows `stride`
+    /// bytes apart, 64-byte-aligned start) with the given affine
+    /// parameters — the mapped counterpart of [`Self::from_parts`].
+    ///
+    /// # Panics
+    /// Panics on shape mismatch between the region and `len` rows.
+    pub fn from_parts_mapped(
+        dim: usize,
+        mins: Vec<f32>,
+        deltas: Vec<f32>,
+        len: usize,
+        region: crate::mmap::MmapRegion,
+    ) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert_eq!(mins.len(), dim, "mins length mismatch");
+        assert_eq!(deltas.len(), dim, "deltas length mismatch");
+        let stride = quant_stride(dim);
+        assert_eq!(region.len(), len * stride, "mapped code area size mismatch");
+        Self { dim, stride, len, mins, deltas, codes: CodeBuf::from_mapped(region) }
     }
 }
 

@@ -1,0 +1,719 @@
+//! Sharded serving: IVF-on-top-of-graphs for datasets past the
+//! last-level cache (and past RAM, with mapped stores).
+//!
+//! A [`ShardedIndex`] partitions the vectors with balanced k-means
+//! ([`crate::kmeans::balanced_kmeans`], trained on a stride sample, then
+//! one capacity-capped assignment round over the full dataset), builds an
+//! independent proximity graph per shard, and at query time ranks shards
+//! by query-to-centroid distance and searches only the nearest `nprobe`
+//! of them — the classic inverted-file pattern with a graph traversal
+//! inside each cell. Per-shard top-`k` lists merge through one bounded
+//! neighbor heap with local→global id translation.
+//!
+//! Why shard a graph index at all: a monolithic graph's beam search
+//! scatters reads across the entire dataset, so past the LLC almost every
+//! hop is a cache (or page) miss. A shard confines the traversal to a
+//! working set `shards×` smaller — when a shard's rows fit in cache the
+//! per-hop cost drops, and with mapped stores the untouched shards never
+//! fault in at all. The price is recall: the true neighbors of a query
+//! near a partition boundary may live in a shard that was not probed.
+//! `nprobe` trades that risk back — `nprobe = shards` searches every
+//! shard and is exactly the merged union of all per-shard searches.
+//!
+//! Each shard is a full [`PrebuiltIndex`], so the entire serving ladder
+//! (freeze → quantize → reorder) applies per shard unchanged. Sharded
+//! state persists through [`crate::persist`] as a shard table (centroids
+//! and per-shard global id lists) plus per-shard store/graph sections
+//! in the mapped layout; see [`ShardedIndex::save`].
+
+use crate::distance::{l2_sq, DistCounter, Space};
+use crate::graph::FlatGraph;
+use crate::index::{AnnIndex, IndexStats, PrebuiltIndex, QueryParams};
+use crate::kmeans;
+use crate::neighbor::{BoundedMaxHeap, Neighbor};
+use crate::par::par_map;
+use crate::persist::{self, PersistError, ShardTable};
+use crate::search::{SearchResult, SearchStats};
+use crate::seed::{RandomSeeds, SeedProvider};
+use crate::store::VectorStore;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Partitioning parameters for [`ShardedIndex::build_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedParams {
+    /// Number of partitions (clamped to the dataset size; shards left
+    /// empty by the balanced assignment are dropped).
+    pub shards: usize,
+    /// Default shards searched per query (clamped to `1..=shards`;
+    /// adjustable later via [`ShardedIndex::set_nprobe`]).
+    pub nprobe: usize,
+    /// Balanced k-means refinement rounds over the training sample.
+    pub kmeans_iters: usize,
+    /// Training sample cap: k-means sees every `ceil(n / train_sample)`-th
+    /// row, the full dataset only joins for the final assignment round.
+    pub train_sample: usize,
+    /// RNG seed for the k-means initialization.
+    pub seed: u64,
+}
+
+impl ShardedParams {
+    /// `shards` partitions with the defaults the extension benches use:
+    /// probe a quarter of the shards, 10 Lloyd rounds over at most 64Ki
+    /// training rows.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        Self {
+            shards,
+            nprobe: shards.div_ceil(4),
+            kmeans_iters: 10,
+            train_sample: 65_536,
+            seed: 42,
+        }
+    }
+
+    /// Overrides the default probe count.
+    pub fn with_nprobe(mut self, nprobe: usize) -> Self {
+        self.nprobe = nprobe.clamp(1, self.shards);
+        self
+    }
+
+    /// Overrides the k-means seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One partition: a full per-shard index plus the translation from
+/// shard-local ids back to dataset ids.
+struct Shard {
+    index: PrebuiltIndex,
+    /// `to_global[local] = global`; local ids are positions in the
+    /// shard's own store, which [`PrebuiltIndex`] already reports in
+    /// *original* (pre-reorder) local space.
+    to_global: Vec<u32>,
+}
+
+/// A balanced-k-means-partitioned collection of per-shard graph indexes
+/// with centroid-routed `nprobe` search — see the module docs.
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+    /// Aligned `shards × dim` store of partition centroids.
+    centroids: VectorStore,
+    dim: usize,
+    total: usize,
+    /// Shards searched per query. Atomic so serving threads can share the
+    /// index immutably while benches sweep the recall/QPS ladder without
+    /// rebuilding.
+    nprobe: AtomicUsize,
+}
+
+impl ShardedIndex {
+    /// Partitions `store` and builds one graph per shard through `build`,
+    /// which receives the shard number and the shard's (shard-local)
+    /// store and returns its traversal graph and seed provider. Shards
+    /// build in parallel across the worker pool; `build` itself may also
+    /// parallelize internally.
+    ///
+    /// # Panics
+    /// Panics if `store` is empty or a `build` result disagrees with its
+    /// shard's store.
+    pub fn build_with<F>(
+        store: &VectorStore,
+        params: &ShardedParams,
+        counter: &DistCounter,
+        build: F,
+    ) -> Self
+    where
+        F: Fn(usize, &VectorStore) -> (FlatGraph, Box<dyn SeedProvider>) + Sync,
+    {
+        let total = store.len();
+        let (centroid_rows, shard_ids) = partition(store, params, counter);
+        let centroids =
+            VectorStore::from_rows(store.dim(), centroid_rows.iter().map(Vec::as_slice))
+                .to_aligned();
+        let shards: Vec<Shard> = par_map(0, shard_ids.len(), |s| {
+            let ids = &shard_ids[s];
+            let sub = store.subset(ids);
+            let (graph, seeds) = build(s, &sub);
+            Shard {
+                index: PrebuiltIndex::new(sub, graph, seeds, format!("shard-{s}")),
+                to_global: ids.clone(),
+            }
+        });
+        let nprobe = AtomicUsize::new(params.nprobe.clamp(1, shards.len()));
+        Self { shards, centroids, dim: store.dim(), total, nprobe }
+    }
+
+    /// Builds the sharded state **one shard at a time**, persisting each
+    /// to `dir` and dropping it before the next — peak heap stays near a
+    /// single shard's footprint plus the (possibly mapped) source store.
+    /// This is the build path for tiers past RAM: pair it with a mapped
+    /// source store and reload the result with [`Self::load`], which maps
+    /// the per-shard stores back in on fault.
+    ///
+    /// Layout matches [`Self::save`] exactly (`shards.gass` + per-shard
+    /// mapped store and graph files).
+    pub fn build_to_dir<F>(
+        store: &VectorStore,
+        params: &ShardedParams,
+        counter: &DistCounter,
+        dir: &Path,
+        build: F,
+    ) -> Result<(), PersistError>
+    where
+        F: Fn(usize, &VectorStore) -> (FlatGraph, Box<dyn SeedProvider>),
+    {
+        std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
+        let (centroid_rows, shard_ids) = partition(store, params, counter);
+        let table = ShardTable {
+            nprobe: params.nprobe.clamp(1, shard_ids.len()),
+            dim: store.dim(),
+            centroids: centroid_rows.into_iter().flatten().collect(),
+            shard_ids: shard_ids.clone(),
+        };
+        persist::save_shard_table(&table, &dir.join("shards.gass"))?;
+        for (s, ids) in shard_ids.iter().enumerate() {
+            let sub = store.subset(ids);
+            let (graph, _seeds) = build(s, &sub);
+            persist::save_store_mapped(&sub, &dir.join(format!("shard-{s:03}.store.gass")))?;
+            persist::save_flat_graph(&graph, &dir.join(format!("shard-{s:03}.graph.gass")))?;
+        }
+        Ok(())
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shards searched per query.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe.load(Ordering::Relaxed)
+    }
+
+    /// Sets the shards searched per query (clamped to `1..=shards`).
+    /// Takes `&self`: serving threads may share the index while a
+    /// controller sweeps the recall/QPS ladder.
+    pub fn set_nprobe(&self, nprobe: usize) {
+        self.nprobe.store(nprobe.clamp(1, self.shards.len()), Ordering::Relaxed);
+    }
+
+    /// The partition centroids (`num_shards` rows).
+    pub fn centroids(&self) -> &VectorStore {
+        &self.centroids
+    }
+
+    /// The global ids shard `s` holds, in shard-local order.
+    pub fn shard_ids(&self, s: usize) -> &[u32] {
+        &self.shards[s].to_global
+    }
+
+    /// Shard `s`'s index (the full per-shard ladder applies through the
+    /// [`AnnIndex`] forwarding methods; this accessor serves inspection
+    /// and per-shard rebuild flows).
+    pub fn shard(&self, s: usize) -> &PrebuiltIndex {
+        &self.shards[s].index
+    }
+
+    /// Re-aligns every shard's store rows to the SIMD stride (forwarded
+    /// [`PrebuiltIndex::align_store`]; part of the serving configuration).
+    pub fn align_store(&mut self) {
+        for shard in &mut self.shards {
+            shard.index.align_store();
+        }
+    }
+
+    /// Reassembles the full dataset in global id order by gathering every
+    /// shard's rows — the inverse of the partition. Used where a consumer
+    /// needs the base vectors (exact ground truth, re-partitioning).
+    ///
+    /// # Panics
+    /// Panics after [`AnnIndex::reorder`]: reordered shard stores are in
+    /// permuted local order and no longer gatherable by original id.
+    pub fn gather_store(&self) -> VectorStore {
+        assert!(
+            !self.shards.iter().any(|s| s.index.is_reordered()),
+            "gather_store requires pre-reorder shard stores"
+        );
+        let mut flat = vec![0.0f32; self.total * self.dim];
+        for shard in &self.shards {
+            let store = shard.index.store();
+            for (local, &global) in shard.to_global.iter().enumerate() {
+                let dst = global as usize * self.dim;
+                flat[dst..dst + self.dim].copy_from_slice(store.get(local as u32));
+            }
+        }
+        VectorStore::from_flat(self.dim, flat)
+    }
+
+    /// Shard indices in ascending query-to-centroid distance (ties by
+    /// shard number). Centroid evaluations go through `counter`.
+    fn ranked_shards(&self, query: &[f32], counter: &DistCounter) -> Vec<usize> {
+        let mut order: Vec<(f32, usize)> = (0..self.shards.len())
+            .map(|s| {
+                counter.bump();
+                (l2_sq(query, self.centroids.get(s as u32)), s)
+            })
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        order.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Merges one shard's result into the shared heap, translating local
+    /// ids to dataset ids.
+    fn merge(
+        &self,
+        s: usize,
+        res: SearchResult,
+        heap: &mut BoundedMaxHeap,
+        stats: &mut SearchStats,
+    ) {
+        stats.hops += res.stats.hops;
+        stats.evaluated += res.stats.evaluated;
+        for n in res.neighbors {
+            heap.push(Neighbor::new(self.shards[s].to_global[n.id as usize], n.dist));
+        }
+    }
+
+    /// Writes the sharded state under directory `dir`: `shards.gass` (the
+    /// routing table) plus per-shard `shard-NNN.store.gass` (mapped
+    /// layout, so huge tiers reload without heap residency) and
+    /// `shard-NNN.graph.gass`.
+    ///
+    /// Persists the **pre-ladder** state, mirroring the CLI's convention
+    /// for monolithic indexes: freeze/quantize/reorder are cheap,
+    /// deterministic re-applications on load, and seed structures are
+    /// rebuilt rather than shipped.
+    ///
+    /// # Panics
+    /// Panics if a shard has been reordered (its store rows would no
+    /// longer line up with the saved graph's ids).
+    pub fn save(&self, dir: &Path) -> Result<(), PersistError> {
+        std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
+        let table = ShardTable {
+            nprobe: self.nprobe(),
+            dim: self.dim,
+            centroids: (0..self.centroids.len() as u32)
+                .flat_map(|s| self.centroids.get(s).iter().copied())
+                .collect(),
+            shard_ids: self.shards.iter().map(|s| s.to_global.clone()).collect(),
+        };
+        persist::save_shard_table(&table, &dir.join("shards.gass"))?;
+        for (s, shard) in self.shards.iter().enumerate() {
+            assert!(
+                !shard.index.is_reordered(),
+                "save sharded state before reordering (the ladder re-applies on load)"
+            );
+            persist::save_store_mapped(
+                shard.index.store(),
+                &dir.join(format!("shard-{s:03}.store.gass")),
+            )?;
+            persist::save_flat_graph(
+                shard.index.graph(),
+                &dir.join(format!("shard-{s:03}.graph.gass")),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reloads sharded state saved by [`Self::save`]. Shard stores come
+    /// back through [`persist::open_store`] — memory-mapped when enabled,
+    /// parsed onto the heap otherwise — and each shard is served through
+    /// a [`PrebuiltIndex`] with K-sampled random seeds, exactly like the
+    /// CLI's monolithic load path.
+    pub fn load(dir: &Path) -> Result<Self, PersistError> {
+        let table = persist::load_shard_table(&dir.join("shards.gass"))?;
+        let dim = table.dim;
+        let total: usize = table.shard_ids.iter().map(Vec::len).sum();
+        let centroid_count = table.centroids.len() / dim.max(1);
+        if centroid_count != table.shard_ids.len()
+            || centroid_count * dim != table.centroids.len()
+        {
+            return Err(PersistError::Truncated);
+        }
+        let centroids = VectorStore::from_flat(dim, table.centroids).to_aligned();
+        let mut shards = Vec::with_capacity(table.shard_ids.len());
+        for (s, ids) in table.shard_ids.into_iter().enumerate() {
+            let store = persist::open_store(&dir.join(format!("shard-{s:03}.store.gass")))?;
+            let graph =
+                persist::load_flat_graph(&dir.join(format!("shard-{s:03}.graph.gass")))?;
+            if store.len() != ids.len() || store.dim() != dim {
+                return Err(PersistError::Truncated);
+            }
+            // Per-query-keyed draws: coalesced bucketing visits shards in
+            // a different order than the sequential loop, and only an
+            // order-independent provider keeps the two bit-identical.
+            let seeds = Box::new(RandomSeeds::per_query(store.len(), 7));
+            shards.push(Shard {
+                index: PrebuiltIndex::new(store, graph, seeds, format!("shard-{s}")),
+                to_global: ids,
+            });
+        }
+        let nprobe = AtomicUsize::new(table.nprobe.clamp(1, shards.len()));
+        Ok(Self { shards, centroids, dim, total, nprobe })
+    }
+}
+
+impl AnnIndex for ShardedIndex {
+    fn name(&self) -> String {
+        format!("Sharded({}x)", self.shards.len())
+    }
+
+    fn num_vectors(&self) -> usize {
+        self.total
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> SearchResult {
+        let nprobe = self.nprobe().min(self.shards.len());
+        let ranked = self.ranked_shards(query, counter);
+        let mut heap = BoundedMaxHeap::new(params.k);
+        let mut stats = SearchStats { hops: 0, evaluated: self.shards.len() };
+        for &s in &ranked[..nprobe] {
+            let res = self.shards[s].index.search(query, params, counter);
+            self.merge(s, res, &mut heap, &mut stats);
+        }
+        SearchResult { neighbors: heap.into_sorted(), stats }
+    }
+
+    fn search_coalesced(
+        &self,
+        queries: &[&[f32]],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> Vec<SearchResult> {
+        if queries.len() < 2 {
+            return queries.iter().map(|q| self.search(q, params, counter)).collect();
+        }
+        // Bucket queries by probed shard so each shard's engine coalesces
+        // its own visitors, then merge per query in that query's ranked
+        // shard order — bit-identical to the sequential loop (each shard
+        // search is, and the heap sees pushes in the same order).
+        let nprobe = self.nprobe().min(self.shards.len());
+        let ranked: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| {
+                let mut r = self.ranked_shards(q, counter);
+                r.truncate(nprobe);
+                r
+            })
+            .collect();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (qi, probes) in ranked.iter().enumerate() {
+            for &s in probes {
+                buckets[s].push(qi);
+            }
+        }
+        let mut slots: Vec<Vec<Option<SearchResult>>> =
+            ranked.iter().map(|r| vec![None; r.len()]).collect();
+        for (s, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let qs: Vec<&[f32]> = bucket.iter().map(|&qi| queries[qi]).collect();
+            let res = self.shards[s].index.search_coalesced(&qs, params, counter);
+            for (&qi, r) in bucket.iter().zip(res) {
+                let rank = ranked[qi].iter().position(|&x| x == s).unwrap();
+                slots[qi][rank] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(qi, per_shard)| {
+                let mut heap = BoundedMaxHeap::new(params.k);
+                let mut stats = SearchStats { hops: 0, evaluated: self.shards.len() };
+                for (rank, res) in per_shard.into_iter().enumerate() {
+                    let res = res.expect("every probed shard answered");
+                    self.merge(ranked[qi][rank], res, &mut heap, &mut stats);
+                }
+                SearchResult { neighbors: heap.into_sorted(), stats }
+            })
+            .collect()
+    }
+
+    fn freeze(&mut self) {
+        for shard in &mut self.shards {
+            shard.index.freeze();
+        }
+    }
+
+    fn is_frozen(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(|s| s.index.is_frozen())
+    }
+
+    fn quantize(&mut self, spec: crate::quant::CodecSpec) {
+        for shard in &mut self.shards {
+            shard.index.quantize(spec);
+        }
+    }
+
+    fn is_quantized(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(|s| s.index.is_quantized())
+    }
+
+    fn reorder(&mut self, strategy: crate::reorder::ReorderStrategy) {
+        for shard in &mut self.shards {
+            shard.index.reorder(strategy);
+        }
+    }
+
+    fn is_reordered(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(|s| s.index.is_reordered())
+    }
+
+    fn reorder_strategy(&self) -> crate::reorder::ReorderStrategy {
+        self.shards
+            .first()
+            .map(|s| s.index.reorder_strategy())
+            .unwrap_or(crate::reorder::ReorderStrategy::None)
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut out = IndexStats::default();
+        for shard in &self.shards {
+            let s = shard.index.stats();
+            out.nodes += s.nodes;
+            out.edges += s.edges;
+            out.max_degree = out.max_degree.max(s.max_degree);
+            out.graph_bytes += s.graph_bytes;
+            out.aux_bytes += s.aux_bytes;
+            // The routing structures are auxiliary state.
+            out.aux_bytes += shard.to_global.capacity() * std::mem::size_of::<u32>();
+        }
+        out.aux_bytes += self.centroids.heap_bytes();
+        out.avg_degree = if out.nodes > 0 { out.edges as f64 / out.nodes as f64 } else { 0.0 };
+        out
+    }
+}
+
+/// Balanced partition shared by the in-memory and to-disk build paths:
+/// train on a stride sample, then one capacity-capped assignment round
+/// over the full dataset (capacity exactly `ceil(n/k)`, so no shard
+/// exceeds its fair share). Shards the capped greedy round starved are
+/// dropped rather than carried as unroutable centroids.
+fn partition(
+    store: &VectorStore,
+    params: &ShardedParams,
+    counter: &DistCounter,
+) -> (Vec<Vec<f32>>, Vec<Vec<u32>>) {
+    assert!(!store.is_empty(), "cannot shard an empty store");
+    let total = store.len();
+    let k = params.shards.min(total);
+    let step = total.div_ceil(params.train_sample.max(1)).max(1);
+    let train: Vec<u32> = (0..total as u32).step_by(step).collect();
+    let clustering =
+        kmeans::balanced_kmeans(store, &train, k, params.kmeans_iters, params.seed, counter);
+    let all: Vec<u32> = (0..total as u32).collect();
+    let mut assignment = vec![0usize; total];
+    let cap = total.div_ceil(clustering.centroids.len());
+    kmeans::balanced_assign_round(
+        store,
+        &all,
+        &clustering.centroids,
+        cap,
+        counter,
+        &mut assignment,
+    );
+    let mut shard_ids: Vec<Vec<u32>> = vec![Vec::new(); clustering.centroids.len()];
+    for (pos, &c) in assignment.iter().enumerate() {
+        shard_ids[c].push(pos as u32);
+    }
+    clustering.centroids.into_iter().zip(shard_ids).filter(|(_, ids)| !ids.is_empty()).unzip()
+}
+
+/// Builds a sharded index whose shards use the same graph construction as
+/// the CLI's `--method` dispatch is free to provide; here as a
+/// convenience for tests and benches: a Vamana-style graph via the
+/// workspace's default prebuilt path is *not* constructible from core
+/// (methods live above core), so this helper builds each shard as a
+/// brute-force k-NN graph — exact, deterministic, and adequate for the
+/// observational-equivalence tests. Real builds inject their method
+/// through [`ShardedIndex::build_with`].
+pub fn build_knn_sharded(
+    store: &VectorStore,
+    params: &ShardedParams,
+    degree: usize,
+    counter: &DistCounter,
+) -> ShardedIndex {
+    ShardedIndex::build_with(store, params, counter, |_, sub| {
+        let n = sub.len();
+        let mut adj = crate::graph::AdjacencyGraph::new(n);
+        let space = Space::new(sub, counter);
+        for v in 0..n as u32 {
+            let mut heap = BoundedMaxHeap::new(degree.min(n.saturating_sub(1)).max(1));
+            for u in 0..n as u32 {
+                if u != v {
+                    heap.push(Neighbor::new(u, space.dist(v, u)));
+                }
+            }
+            adj.set_neighbors(v, heap.into_sorted().into_iter().map(|nb| nb.id).collect());
+        }
+        let graph = FlatGraph::from_adjacency(&adj, None);
+        let seeds: Box<dyn SeedProvider> = Box::new(RandomSeeds::per_query(n, 7));
+        (graph, seeds)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn blobs(n: usize, dim: usize, seed: u64) -> VectorStore {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = VectorStore::new(dim);
+        for i in 0..n {
+            let center = (i % 4) as f32 * 10.0;
+            let row: Vec<f32> =
+                (0..dim).map(|_| center + rng.random_range(-1.0f32..1.0)).collect();
+            store.push(&row);
+        }
+        store
+    }
+
+    #[test]
+    fn partitions_are_balanced_and_cover_everything() {
+        let store = blobs(200, 8, 1);
+        let counter = DistCounter::default();
+        let idx = build_knn_sharded(&store, &ShardedParams::new(4), 8, &counter);
+        let cap = 200usize.div_ceil(idx.num_shards());
+        let mut seen = [false; 200];
+        for s in 0..idx.num_shards() {
+            let ids = idx.shard_ids(s);
+            assert!(ids.len() <= cap, "shard {s} over capacity: {}", ids.len());
+            for &id in ids {
+                assert!(!std::mem::replace(&mut seen[id as usize], true), "id {id} twice");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some id unassigned");
+    }
+
+    #[test]
+    fn full_probe_equals_merged_per_shard_searches() {
+        let store = blobs(160, 6, 2);
+        let counter = DistCounter::default();
+        let idx = build_knn_sharded(&store, &ShardedParams::new(4), 10, &counter);
+        idx.set_nprobe(idx.num_shards());
+        let params = QueryParams::new(5, 20);
+        let query: Vec<f32> = vec![5.0; 6];
+        let res = idx.search(&query, &params, &counter);
+        // Reference: search every shard directly and merge by hand.
+        let mut heap = BoundedMaxHeap::new(params.k);
+        for s in 0..idx.num_shards() {
+            let r = idx.shard(s).search(&query, &params, &counter);
+            for n in r.neighbors {
+                heap.push(Neighbor::new(idx.shard_ids(s)[n.id as usize], n.dist));
+            }
+        }
+        let want = heap.into_sorted();
+        assert_eq!(
+            res.neighbors.iter().map(|n| (n.id, n.dist.to_bits())).collect::<Vec<_>>(),
+            want.iter().map(|n| (n.id, n.dist.to_bits())).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn coalesced_matches_sequential() {
+        let store = blobs(120, 6, 3);
+        let counter = DistCounter::default();
+        let mut idx =
+            build_knn_sharded(&store, &ShardedParams::new(3).with_nprobe(2), 8, &counter);
+        idx.freeze();
+        idx.quantize(crate::quant::CodecSpec::Sq8);
+        let params = QueryParams::new(4, 16);
+        let queries: Vec<Vec<f32>> =
+            (0..7).map(|i| (0..6).map(|d| (i * 7 + d) as f32 * 0.3).collect()).collect();
+        let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        let coalesced = idx.search_coalesced(&refs, &params, &counter);
+        let sequential: Vec<SearchResult> =
+            refs.iter().map(|q| idx.search(q, &params, &counter)).collect();
+        for (c, s) in coalesced.iter().zip(&sequential) {
+            assert_eq!(
+                c.neighbors.iter().map(|n| (n.id, n.dist.to_bits())).collect::<Vec<_>>(),
+                s.neighbors.iter().map(|n| (n.id, n.dist.to_bits())).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn build_to_dir_matches_in_memory_build_then_save() {
+        let store = blobs(100, 4, 9);
+        let counter = DistCounter::default();
+        let params = ShardedParams::new(3);
+        let dir_mem = std::env::temp_dir().join("gass_sharded_mem_save");
+        let dir_disk = std::env::temp_dir().join("gass_sharded_disk_build");
+        build_knn_sharded(&store, &params, 6, &counter).save(&dir_mem).unwrap();
+        ShardedIndex::build_to_dir(&store, &params, &counter, &dir_disk, |_, sub| {
+            let n = sub.len();
+            let mut adj = crate::graph::AdjacencyGraph::new(n);
+            let space = Space::new(sub, &counter);
+            for v in 0..n as u32 {
+                let mut heap = BoundedMaxHeap::new(6.min(n - 1).max(1));
+                for u in 0..n as u32 {
+                    if u != v {
+                        heap.push(Neighbor::new(u, space.dist(v, u)));
+                    }
+                }
+                adj.set_neighbors(v, heap.into_sorted().into_iter().map(|nb| nb.id).collect());
+            }
+            let seeds: Box<dyn SeedProvider> = Box::new(RandomSeeds::per_query(n, 7));
+            (FlatGraph::from_adjacency(&adj, None), seeds)
+        })
+        .unwrap();
+        for entry in std::fs::read_dir(&dir_mem).unwrap() {
+            let name = entry.unwrap().file_name();
+            let a = std::fs::read(dir_mem.join(&name)).unwrap();
+            let b = std::fs::read(dir_disk.join(&name)).unwrap();
+            assert_eq!(a, b, "{name:?} differs between build paths");
+        }
+    }
+
+    #[test]
+    fn gather_store_inverts_the_partition() {
+        let store = blobs(70, 5, 11);
+        let counter = DistCounter::default();
+        let idx = build_knn_sharded(&store, &ShardedParams::new(4), 6, &counter);
+        let back = idx.gather_store();
+        assert_eq!(back.len(), store.len());
+        for i in 0..store.len() as u32 {
+            assert_eq!(back.get(i), store.get(i), "row {i} differs");
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_byte_stable() {
+        let store = blobs(90, 5, 4);
+        let counter = DistCounter::default();
+        let idx = build_knn_sharded(&store, &ShardedParams::new(3), 6, &counter);
+        let dir = std::env::temp_dir().join("gass_sharded_roundtrip");
+        let dir2 = std::env::temp_dir().join("gass_sharded_roundtrip_2");
+        idx.save(&dir).unwrap();
+        let back = ShardedIndex::load(&dir).unwrap();
+        assert_eq!(back.num_shards(), idx.num_shards());
+        assert_eq!(back.num_vectors(), idx.num_vectors());
+        back.save(&dir2).unwrap();
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            let a = std::fs::read(dir.join(&name)).unwrap();
+            let b = std::fs::read(dir2.join(&name)).unwrap();
+            assert_eq!(a, b, "{name:?} differs after a save/load/save cycle");
+        }
+        // Loaded index answers, and full-probe answers are exact merges.
+        back.set_nprobe(back.num_shards());
+        let params = QueryParams::new(3, 12);
+        let res = back.search(&[5.0; 5], &params, &counter);
+        assert_eq!(res.neighbors.len(), 3);
+    }
+}

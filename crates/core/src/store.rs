@@ -20,6 +20,15 @@
 //! identity: both layouts serialize identically, compare by content, and
 //! convert freely via [`VectorStore::to_aligned`] /
 //! [`VectorStore::to_packed`].
+//!
+//! A third, read-only backing exists for datasets that overflow RAM:
+//! **mapped** — rows live in a memory-mapped persisted section
+//! ([`crate::mmap::MmapRegion`]) using the aligned layout's exact
+//! geometry (64-byte data area, rows padded to whole cache lines), so the
+//! kernel faults pages in on first touch and evicts cold rows under
+//! pressure. Mapped stores are immutable ([`VectorStore::push`] /
+//! [`VectorStore::get_mut`] panic); every copying operation (`subset`,
+//! `permute`, `to_aligned`) produces an ordinary heap store.
 
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +49,9 @@ enum Storage {
     Packed(Vec<f32>),
     /// Rows `stride` floats apart in cache-line units.
     Aligned(Vec<CacheLine>),
+    /// Read-only rows in a memory-mapped persisted section (aligned
+    /// geometry). Clones share the mapping.
+    Mapped(crate::mmap::MmapRegion),
 }
 
 impl Default for Storage {
@@ -64,7 +76,7 @@ pub struct VectorStore {
 
 /// Row stride of the aligned layout: `dim` rounded up to a whole number of
 /// cache lines (16 floats).
-fn aligned_stride(dim: usize) -> usize {
+pub(crate) fn aligned_stride(dim: usize) -> usize {
     dim.next_multiple_of(LINE_F32)
 }
 
@@ -130,6 +142,34 @@ impl VectorStore {
         store
     }
 
+    /// Wraps a memory-mapped data area as a read-only store. The region
+    /// must hold `len` rows in the aligned geometry: rows
+    /// `aligned_stride(dim)` floats apart, zero-padded, starting at a
+    /// 64-byte-aligned offset (persisted mapped sections guarantee this).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or the region size disagrees with
+    /// `len * stride` floats.
+    pub fn from_mapped(dim: usize, len: usize, region: crate::mmap::MmapRegion) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        let stride = aligned_stride(dim);
+        assert_eq!(
+            region.len(),
+            len * stride * std::mem::size_of::<f32>(),
+            "mapped region size disagrees with {len} rows of stride {stride}"
+        );
+        // Fail fast on misaligned sections rather than on first access.
+        let _ = region.as_f32s();
+        Self { dim, stride, len, data: Storage::Mapped(region) }
+    }
+
+    /// `true` when rows live in a memory-mapped (or file-backed fallback)
+    /// region rather than on the heap.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.data, Storage::Mapped(_))
+    }
+
     /// Copies this store into the aligned layout (same vectors, same ids).
     pub fn to_aligned(&self) -> VectorStore {
         let mut out = Self::aligned_with_capacity(self.dim, self.len);
@@ -148,10 +188,11 @@ impl VectorStore {
         out
     }
 
-    /// `true` when rows are cache-line aligned and padded.
+    /// `true` when rows are cache-line aligned and padded (the aligned
+    /// heap layout and the mapped backing share this geometry).
     #[inline]
     pub fn is_aligned(&self) -> bool {
-        matches!(self.data, Storage::Aligned(_))
+        matches!(self.data, Storage::Aligned(_) | Storage::Mapped(_))
     }
 
     /// Floats between consecutive row starts (`== dim()` when packed).
@@ -172,6 +213,7 @@ impl VectorStore {
                 // floats.
                 std::slice::from_raw_parts(lines.as_ptr().cast::<f32>(), lines.len() * LINE_F32)
             },
+            Storage::Mapped(region) => region.as_f32s(),
         }
     }
 
@@ -186,6 +228,7 @@ impl VectorStore {
                     lines.len() * LINE_F32,
                 )
             },
+            Storage::Mapped(_) => panic!("mapped stores are read-only"),
         }
     }
 
@@ -200,6 +243,7 @@ impl VectorStore {
         assert!(id < u32::MAX as usize, "vector store exceeds u32 id space");
         match &mut self.data {
             Storage::Packed(data) => data.extend_from_slice(v),
+            Storage::Mapped(_) => panic!("mapped stores are read-only"),
             Storage::Aligned(lines) => {
                 let mut rest = v;
                 for _ in 0..self.stride / LINE_F32 {
@@ -326,6 +370,17 @@ impl VectorStore {
         match &self.data {
             Storage::Packed(v) => v.capacity() * std::mem::size_of::<f32>(),
             Storage::Aligned(lines) => lines.capacity() * std::mem::size_of::<CacheLine>(),
+            // Kernel-managed: resident share is demand-faulted, not heap.
+            Storage::Mapped(_) => 0,
+        }
+    }
+
+    /// Bytes of the mapped backing file region (zero for heap stores):
+    /// the demand-faulted counterpart of [`Self::heap_bytes`].
+    pub fn mapped_bytes(&self) -> usize {
+        match &self.data {
+            Storage::Mapped(region) => region.len(),
+            _ => 0,
         }
     }
 

@@ -16,6 +16,7 @@
 pub mod datasets;
 pub mod ground_truth;
 pub mod queries;
+pub mod stream;
 pub mod synth;
 pub mod util;
 

@@ -1,0 +1,101 @@
+//! Streaming dataset writers for tiers that must never be heap-resident.
+//!
+//! The beyond-RAM harnesses (the paper's 25GB and 1B tiers, fig13/fig16)
+//! need a base dataset on disk in the mapped `KIND_MSTORE` layout so
+//! [`gass_core::persist::open_store`] can serve it by page fault instead
+//! of loading it. The writers here drive the row-streaming generator
+//! cores in [`crate::synth`] straight into a
+//! [`gass_core::persist::MappedStoreWriter`]: peak heap is one row,
+//! and the rows are bit-identical to the in-memory generators (same RNG
+//! stream, same order), so scaled-down in-memory runs and full mapped
+//! runs describe the same distribution.
+
+use gass_core::persist::{MappedStoreWriter, PersistError};
+use std::path::Path;
+
+/// Streams `n` [`crate::synth::deep_like`] rows into a mapped store file
+/// at `path`, bit-identical to the in-memory generator. Returns the
+/// number of bytes written.
+pub fn write_deep_like_mapped(path: &Path, n: usize, seed: u64) -> Result<u64, PersistError> {
+    let mut writer = MappedStoreWriter::create(path, 96, n)?;
+    let mut err = None;
+    crate::synth::deep_like_rows(n, seed, |row| {
+        if err.is_none() {
+            if let Err(e) = writer.push_row(row) {
+                err = Some(e);
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    writer.finish()?;
+    std::fs::metadata(path).map(|m| m.len()).map_err(PersistError::Io)
+}
+
+/// Streams an arbitrary [`crate::synth::manifold_mixture`] configuration
+/// into a mapped store file (see [`write_deep_like_mapped`]).
+#[allow(clippy::too_many_arguments)]
+pub fn write_manifold_mixture_mapped(
+    path: &Path,
+    n: usize,
+    dim: usize,
+    intrinsic_dim: usize,
+    n_clusters: usize,
+    cluster_spread: f32,
+    noise: f32,
+    seed: u64,
+) -> Result<u64, PersistError> {
+    let mut writer = MappedStoreWriter::create(path, dim, n)?;
+    let mut err = None;
+    crate::synth::manifold_mixture_rows(
+        n,
+        dim,
+        intrinsic_dim,
+        n_clusters,
+        cluster_spread,
+        noise,
+        seed,
+        |row| {
+            if err.is_none() {
+                if let Err(e) = writer.push_row(row) {
+                    err = Some(e);
+                }
+            }
+        },
+    );
+    if let Some(e) = err {
+        return Err(e);
+    }
+    writer.finish()?;
+    std::fs::metadata(path).map(|m| m.len()).map_err(PersistError::Io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streamed_mapped_file_matches_in_memory_generator() {
+        let path = std::env::temp_dir().join("gass_stream_deep.store.gass");
+        let bytes = write_deep_like_mapped(&path, 60, 5).unwrap();
+        assert!(bytes > 0);
+        let opened = gass_core::persist::open_store(&path).unwrap();
+        let want = crate::synth::deep_like(60, 5);
+        assert_eq!(opened.len(), want.len());
+        assert_eq!(opened.dim(), want.dim());
+        for i in 0..want.len() as u32 {
+            assert_eq!(opened.get(i), want.get(i), "row {i} differs");
+        }
+    }
+
+    #[test]
+    fn streamed_file_is_byte_identical_to_save_store_mapped() {
+        let a = std::env::temp_dir().join("gass_stream_a.store.gass");
+        let b = std::env::temp_dir().join("gass_stream_b.store.gass");
+        write_manifold_mixture_mapped(&a, 40, 24, 8, 4, 1.5, 0.1, 9).unwrap();
+        let store = crate::synth::manifold_mixture(40, 24, 8, 4, 1.5, 0.1, 9);
+        gass_core::persist::save_store_mapped(&store, &b).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    }
+}

@@ -36,6 +36,37 @@ pub fn manifold_mixture(
     noise: f32,
     seed: u64,
 ) -> VectorStore {
+    let mut store = VectorStore::with_capacity(dim, n);
+    manifold_mixture_rows(
+        n,
+        dim,
+        intrinsic_dim,
+        n_clusters,
+        cluster_spread,
+        noise,
+        seed,
+        |v| {
+            store.push(v);
+        },
+    );
+    store
+}
+
+/// Row-streaming core of [`manifold_mixture`]: generates the *same*
+/// vectors in the same order but hands each row to `emit` instead of
+/// accumulating a store — the generator behind the mapped-file dataset
+/// writers in [`crate::stream`], where the full tier never fits in RAM.
+#[allow(clippy::too_many_arguments)]
+pub fn manifold_mixture_rows(
+    n: usize,
+    dim: usize,
+    intrinsic_dim: usize,
+    n_clusters: usize,
+    cluster_spread: f32,
+    noise: f32,
+    seed: u64,
+    mut emit: impl FnMut(&[f32]),
+) {
     assert!(n > 0 && dim > 0 && intrinsic_dim > 0 && n_clusters > 0);
     let intrinsic_dim = intrinsic_dim.min(dim);
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -50,7 +81,6 @@ pub fn manifold_mixture(
         *c = gaussian(&mut rng) * 4.0;
     }
 
-    let mut store = VectorStore::with_capacity(dim, n);
     let mut z = vec![0.0f32; intrinsic_dim];
     let mut v = vec![0.0f32; dim];
     for _ in 0..n {
@@ -65,9 +95,8 @@ pub fn manifold_mixture(
             }
             *vd = acc * scale + gaussian(&mut rng) * noise;
         }
-        store.push(&v);
+        emit(&v);
     }
-    store
 }
 
 /// Deep-like (96-d CNN embeddings): low intrinsic dimensionality, mild
@@ -77,6 +106,12 @@ pub fn deep_like(n: usize, seed: u64) -> VectorStore {
     // paper's Deep, while staying navigable for k-NN-graph methods (the
     // paper's 1M-tier has NSG/SSG among the leaders on Deep).
     manifold_mixture(n, 96, 16, 16, 2.2, 0.1, seed)
+}
+
+/// Streaming [`deep_like`]: identical rows in identical order, emitted one
+/// at a time (see [`manifold_mixture_rows`]).
+pub fn deep_like_rows(n: usize, seed: u64, emit: impl FnMut(&[f32])) {
+    manifold_mixture_rows(n, 96, 16, 16, 2.2, 0.1, seed, emit)
 }
 
 /// Sift-like (128-d local descriptors): non-negative, clustered, slightly

@@ -1,127 +1,25 @@
 //! Lloyd's k-means and the *balanced* variant used by Balanced K-means
 //! Trees (SPTAG-BKT's seed-selection structure).
 //!
-//! Operates over an id subset of a [`VectorStore`] so divide-and-conquer
-//! methods can cluster recursively without copying vectors. All point ↔
-//! centroid distance evaluations are counted through the provided
-//! [`Space`], so clustering cost shows up in construction accounting.
+//! The implementation lives in [`gass_core::kmeans`] — the workspace's
+//! single k-means home, shared with PQ codebook training and
+//! `ShardedIndex` partitioning. These wrappers keep the tree-substrate
+//! signature: they operate over an id subset of a `VectorStore` through a
+//! [`Space`] so divide-and-conquer methods can cluster recursively without
+//! copying vectors, and every point ↔ centroid distance is counted through
+//! the space's counter so clustering cost shows up in construction
+//! accounting.
 
-use gass_core::distance::{l2_sq, Space};
-use gass_core::store::VectorStore;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use gass_core::distance::Space;
 
-/// Result of a clustering run.
-#[derive(Clone, Debug)]
-pub struct Clustering {
-    /// `k` centroid vectors (row-major, `dim` floats each).
-    pub centroids: Vec<Vec<f32>>,
-    /// For each input id (parallel to the `ids` argument), the index of its
-    /// assigned cluster.
-    pub assignment: Vec<usize>,
-}
-
-impl Clustering {
-    /// Groups the input ids by cluster.
-    pub fn groups(&self, ids: &[u32]) -> Vec<Vec<u32>> {
-        let k = self.centroids.len();
-        let mut groups = vec![Vec::new(); k];
-        for (pos, &c) in self.assignment.iter().enumerate() {
-            groups[c].push(ids[pos]);
-        }
-        groups
-    }
-}
-
-fn init_centroids(
-    store: &VectorStore,
-    ids: &[u32],
-    k: usize,
-    rng: &mut SmallRng,
-) -> Vec<Vec<f32>> {
-    // k-means++ style seeding, but with a fixed candidate sample to keep it
-    // O(k·sample) rather than O(k·n).
-    let mut picks: Vec<u32> = ids.to_vec();
-    picks.shuffle(rng);
-    picks.truncate(k.max(1));
-    // If fewer ids than k, repeat.
-    while picks.len() < k {
-        picks.push(ids[rng.random_range(0..ids.len())]);
-    }
-    picks.iter().map(|&id| store.get(id).to_vec()).collect()
-}
+pub use gass_core::kmeans::Clustering;
 
 /// Standard Lloyd's k-means over `ids`, `iters` refinement rounds.
 ///
 /// # Panics
 /// Panics if `ids` is empty or `k == 0`.
 pub fn kmeans(space: Space<'_>, ids: &[u32], k: usize, iters: usize, seed: u64) -> Clustering {
-    assert!(!ids.is_empty(), "k-means over empty id set");
-    assert!(k > 0, "k must be positive");
-    let store = space.store();
-    let dim = store.dim();
-    let k = k.min(ids.len());
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut centroids = init_centroids(store, ids, k, &mut rng);
-    let mut assignment = vec![0usize; ids.len()];
-
-    for _ in 0..iters.max(1) {
-        // Assign.
-        for (pos, &id) in ids.iter().enumerate() {
-            let v = store.get(id);
-            let mut best = 0usize;
-            let mut best_d = f32::INFINITY;
-            for (c, cent) in centroids.iter().enumerate() {
-                space.counter().bump();
-                let d = l2_sq(v, cent);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            assignment[pos] = best;
-        }
-        // Update.
-        let mut sums = vec![vec![0.0f64; dim]; k];
-        let mut counts = vec![0usize; k];
-        for (pos, &id) in ids.iter().enumerate() {
-            let c = assignment[pos];
-            counts[c] += 1;
-            for (s, x) in sums[c].iter_mut().zip(store.get(id)) {
-                *s += *x as f64;
-            }
-        }
-        for c in 0..k {
-            if counts[c] == 0 {
-                // Re-seed empty cluster at a random point.
-                let id = ids[rng.random_range(0..ids.len())];
-                centroids[c] = store.get(id).to_vec();
-            } else {
-                for (dst, s) in centroids[c].iter_mut().zip(&sums[c]) {
-                    *dst = (*s / counts[c] as f64) as f32;
-                }
-            }
-        }
-    }
-
-    // Final assignment against the last centroid update.
-    for (pos, &id) in ids.iter().enumerate() {
-        let v = store.get(id);
-        let mut best = 0usize;
-        let mut best_d = f32::INFINITY;
-        for (c, cent) in centroids.iter().enumerate() {
-            space.counter().bump();
-            let d = l2_sq(v, cent);
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
-        assignment[pos] = best;
-    }
-
-    Clustering { centroids, assignment }
+    gass_core::kmeans::kmeans(space.store(), ids, k, iters, seed, space.counter())
 }
 
 /// Balanced k-means (Malinen & Fränti style, greedy approximation): like
@@ -136,76 +34,16 @@ pub fn balanced_kmeans(
     iters: usize,
     seed: u64,
 ) -> Clustering {
-    assert!(!ids.is_empty(), "balanced k-means over empty id set");
-    assert!(k > 0, "k must be positive");
-    let store = space.store();
-    let dim = store.dim();
-    let k = k.min(ids.len());
-    let cap = ids.len().div_ceil(k);
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut centroids = init_centroids(store, ids, k, &mut rng);
-    let mut assignment = vec![0usize; ids.len()];
-
-    for _ in 0..iters.max(1) {
-        // Compute all point->centroid distances and a confidence score:
-        // (confidence, position, sorted (distance, centroid) preferences).
-        type Pref = (f32, usize, Vec<(f32, usize)>);
-        let mut prefs: Vec<Pref> = Vec::with_capacity(ids.len());
-        for (pos, &id) in ids.iter().enumerate() {
-            let v = store.get(id);
-            let mut ds: Vec<(f32, usize)> = centroids
-                .iter()
-                .enumerate()
-                .map(|(c, cent)| {
-                    space.counter().bump();
-                    (l2_sq(v, cent), c)
-                })
-                .collect();
-            ds.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let confidence = if ds.len() > 1 { ds[1].0 - ds[0].0 } else { f32::INFINITY };
-            prefs.push((confidence, pos, ds));
-        }
-        // Most-confident points assign first.
-        prefs.sort_by(|a, b| b.0.total_cmp(&a.0));
-        let mut loads = vec![0usize; k];
-        for (_, pos, ds) in &prefs {
-            let mut placed = false;
-            for &(_, c) in ds {
-                if loads[c] < cap {
-                    assignment[*pos] = c;
-                    loads[c] += 1;
-                    placed = true;
-                    break;
-                }
-            }
-            debug_assert!(placed, "capacity sums to >= n, a slot must exist");
-        }
-        // Update centroids.
-        let mut sums = vec![vec![0.0f64; dim]; k];
-        let mut counts = vec![0usize; k];
-        for (pos, &id) in ids.iter().enumerate() {
-            let c = assignment[pos];
-            counts[c] += 1;
-            for (s, x) in sums[c].iter_mut().zip(store.get(id)) {
-                *s += *x as f64;
-            }
-        }
-        for c in 0..k {
-            if counts[c] > 0 {
-                for (dst, s) in centroids[c].iter_mut().zip(&sums[c]) {
-                    *dst = (*s / counts[c] as f64) as f32;
-                }
-            }
-        }
-    }
-
-    Clustering { centroids, assignment }
+    gass_core::kmeans::balanced_kmeans(space.store(), ids, k, iters, seed, space.counter())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gass_core::distance::DistCounter;
+    use gass_core::store::VectorStore;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
 
     /// Two well-separated 2-d blobs of 20 points each.
     fn blobs() -> VectorStore {
@@ -275,5 +113,18 @@ mod tests {
         let mut all: Vec<u32> = groups.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, ids);
+    }
+
+    #[test]
+    fn wrapper_matches_core_implementation() {
+        // The dedup contract: trees' k-means IS gass_core's k-means.
+        let store = blobs();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let ids: Vec<u32> = (0..40).collect();
+        let a = balanced_kmeans(space, &ids, 4, 6, 9);
+        let b = gass_core::kmeans::balanced_kmeans(&store, &ids, 4, 6, 9, &DistCounter::new());
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.centroids, b.centroids);
     }
 }
