@@ -26,6 +26,14 @@
 //! routing tradeoff legible: each added probe buys recall and costs
 //! QPS.
 //!
+//! The run also sweeps the **intra-query fan-out ladder** on the
+//! 16-shard configuration: workers 1/2/4/8 × nprobe 1/2/4 at each
+//! nprobe's equal-recall beam, reporting p50/p99 latency and QPS.
+//! Fan-out runs one query's probes concurrently on shard-affine workers
+//! (`gass_core::fanout`); answers are bit-identical at every width, so
+//! the ladder moves latency only — and only on hosts with spare cores
+//! (a `notes` field flags constrained hosts).
+//!
 //! ```sh
 //! cargo run --release -p gass-bench --bin ext_sharded
 //! ```
@@ -91,6 +99,19 @@ struct ShardConfigRecord {
 }
 
 #[derive(Serialize)]
+struct FanoutPoint {
+    workers: usize,
+    nprobe: usize,
+    beam_width: usize,
+    recall_at_10: f64,
+    qps_1t: f64,
+    p50_us_1t: f64,
+    p99_us_1t: f64,
+    /// p50 latency at `workers = 1` over p50 at this width (>1 = faster).
+    latency_speedup_vs_1w: f64,
+}
+
+#[derive(Serialize)]
 struct Headline {
     shards: usize,
     nprobe: usize,
@@ -113,9 +134,14 @@ struct Record {
     simd_backend: &'static str,
     baseline: BaselineRecord,
     configs: Vec<ShardConfigRecord>,
+    /// Intra-query fan-out ladder (workers x nprobe) on the
+    /// `fanout_shards` configuration, at each nprobe's equal-recall beam.
+    fanout_shards: usize,
+    fanout: Vec<FanoutPoint>,
     speedup_target: f64,
     meets_target: bool,
     headline: Headline,
+    notes: String,
 }
 
 /// One deterministic, single-threaded pass over the queries in order.
@@ -234,6 +260,10 @@ fn main() {
         "yes".into(),
     ]);
 
+    // Fan-out ladder host: the middle shard count (16), whose build the
+    // loop below reuses rather than rebuilding.
+    const FANOUT_SHARDS: usize = 16;
+    let mut fanout: Vec<FanoutPoint> = Vec::new();
     let counter = DistCounter::new();
     let mut configs: Vec<ShardConfigRecord> = Vec::new();
     for shards in [8usize, 16, 32] {
@@ -298,6 +328,49 @@ fn main() {
                 at_parity,
             });
         }
+        // Intra-query fan-out ladder: workers 1/2/4/8 x nprobe 1/2/4 at
+        // each nprobe's equal-recall beam from the sweep above. Fan-out
+        // never changes answers (the recall column re-verifies that per
+        // cell); what moves is single-query latency, and only when the
+        // host has spare cores to run probes on.
+        if shards == FANOUT_SHARDS {
+            eprintln!("shards={shards}: fan-out ladder (workers x nprobe)...");
+            for nprobe in [1usize, 2, 4] {
+                idx.set_nprobe(nprobe);
+                let beam = points
+                    .iter()
+                    .find(|p| p.nprobe == nprobe)
+                    .map(|p| p.beam_width)
+                    .expect("nprobe swept above");
+                let params = QueryParams::new(K, beam).with_seed_count(16);
+                let mut base_p50 = 0.0f64;
+                for workers in [1usize, 2, 4, 8] {
+                    gass_core::set_fanout_enabled(true);
+                    gass_core::set_fanout_workers(workers);
+                    let (recall, _) = deterministic_pass(&idx, &queries, &truth, &params);
+                    let t = best_throughput(&idx, &queries, &params);
+                    if workers == 1 {
+                        base_p50 = t.p50_us;
+                    }
+                    eprintln!(
+                        "  workers={workers} nprobe={nprobe} beam={beam}: recall \
+                         {recall:.4}, p50 {:.1}us p99 {:.1}us, {:.0} QPS",
+                        t.p50_us, t.p99_us, t.qps
+                    );
+                    fanout.push(FanoutPoint {
+                        workers,
+                        nprobe,
+                        beam_width: beam,
+                        recall_at_10: recall,
+                        qps_1t: t.qps,
+                        p50_us_1t: t.p50_us,
+                        p99_us_1t: t.p99_us,
+                        latency_speedup_vs_1w: base_p50 / t.p50_us.max(1e-12),
+                    });
+                }
+                gass_core::set_fanout_workers(1);
+            }
+        }
         configs.push(ShardConfigRecord { shards, build_seconds, points });
     }
 
@@ -315,6 +388,18 @@ fn main() {
         speedup_vs_monolithic: best_point.speedup_vs_monolithic,
     };
     let meets_target = headline.speedup_vs_monolithic >= SPEEDUP_TARGET;
+    let notes = if host_cores < 4 {
+        format!(
+            "fan-out ladder measured on a {host_cores}-core host: intra-query \
+             parallelism needs spare cores to run probes on, so widths > 1 only add \
+             pool overhead here and the >=1.3x latency target at workers >= 4 is \
+             unattainable on this hardware. Answers are bit-identical at every width \
+             (property-tested in tests/sharded.rs); the ladder records the \
+             constrained-host overhead floor."
+        )
+    } else {
+        String::new()
+    };
 
     let record = Record {
         experiment: "ext_sharded",
@@ -328,9 +413,12 @@ fn main() {
         simd_backend: gass_core::simd_backend(),
         baseline,
         configs,
+        fanout_shards: FANOUT_SHARDS,
+        fanout,
         speedup_target: SPEEDUP_TARGET,
         meets_target,
         headline,
+        notes,
     };
 
     println!("{}", table.render());

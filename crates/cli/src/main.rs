@@ -58,6 +58,7 @@ COMMANDS:
 
   query     --store <file> --graph <file> --queries <file>
             | --sharded <dir> --queries <file> [--nprobe <K>]
+              [--fanout-workers <1>]
             [--k <10>] [--beam <80>] [--seeds <16>]
             [--layout <packed|aligned>] [--graph-layout <flat|csr>]
             [--simd <on|off>] [--prefetch <on|off>]
@@ -89,10 +90,15 @@ COMMANDS:
             --nprobe (overriding the table's default), and merge the
             per-shard top-k. Recall trades against speed through --nprobe;
             --nprobe N over N shards is exactly the merged union of all
-            per-shard searches.
+            per-shard searches. --fanout-workers W runs each query's
+            probes on W executors (0 = all cores; 1, the default, keeps
+            the sequential loop) pinned NUMA-node-affine to the shards
+            they probe; answers are identical at every W — only latency
+            changes. Absent defers to GASS_FANOUT_WORKERS, and
+            GASS_NO_FANOUT=1 forces the sequential loop.
 
   serve     --store <file> [--graph <file>] [--method <hnsw|...>]
-            | --sharded <dir> [--nprobe <K>]
+            | --sharded <dir> [--nprobe <K>] [--fanout-workers <1>]
             [--host <127.0.0.1>] [--port <0>] [--workers <0>]
             [--max-batch <16>] [--max-wait-us <200>] [--queue-depth <1024>]
             [--seed <u64>] [--threads <t>]
@@ -114,7 +120,11 @@ COMMANDS:
             With --sharded, serves a `build --shards` directory through
             centroid-routed nprobe search; shard stores saved in the
             mapped layout fault in per page, so untouched shards cost no
-            resident memory (disable with GASS_NO_MMAP=1).
+            resident memory (disable with GASS_NO_MMAP=1). Executors pin
+            to NUMA nodes round-robin, matching the shards' home-node
+            placement; --fanout-workers W additionally fans each query's
+            probes out across W shard-affine executors (identical
+            answers, lower single-query latency).
 
   info      --file <file>
             Describe a saved store (packed or mapped), graph, or shard
@@ -450,6 +460,14 @@ fn run(args: Args) -> Result<(), String> {
             if nprobe == Some(0) {
                 return Err("--nprobe must be at least 1".to_string());
             }
+            let fanout: Option<usize> =
+                args.get_opt("fanout-workers").map_err(|e| e.to_string())?;
+            if fanout.is_some() && sharded_dir.is_none() {
+                return Err("--fanout-workers requires --sharded".to_string());
+            }
+            if let Some(w) = fanout {
+                gass_core::set_fanout_workers(w);
+            }
             let queries = persist::open_store(Path::new(
                 args.require("queries").map_err(|e| e.to_string())?,
             ))
@@ -639,6 +657,14 @@ fn run(args: Args) -> Result<(), String> {
             }
             if nprobe == Some(0) {
                 return Err("--nprobe must be at least 1".to_string());
+            }
+            let fanout: Option<usize> =
+                args.get_opt("fanout-workers").map_err(|e| e.to_string())?;
+            if fanout.is_some() && sharded_dir.is_none() {
+                return Err("--fanout-workers requires --sharded".to_string());
+            }
+            if let Some(w) = fanout {
+                gass_core::set_fanout_workers(w);
             }
 
             let (mut index, label): (Box<dyn AnnIndex>, String) = match &sharded_dir {

@@ -287,6 +287,80 @@ fn serve_sharded_smoke() {
     assert_clean_exit(child, reader);
 }
 
+/// The intra-query fan-out leg: the same sharded directory served twice —
+/// once with the sequential probe loop, once with `--fanout-workers 2` —
+/// must produce byte-identical answers (ids and f32 distance bits) for
+/// every query. Exercises the fan-out pool end to end through the wire
+/// protocol, micro-batching, and the coalesced engine.
+#[test]
+fn serve_sharded_fanout_answers_identically() {
+    let dir = std::env::temp_dir().join("gass_cli_serve_e2e_fanout");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_path = dir.join("base.store.gass");
+    let sharded = dir.join("sharded_idx");
+    run_ok(gass().args([
+        "generate",
+        "--dataset",
+        "deep",
+        "--n",
+        "700",
+        "--seed",
+        "11",
+        "--out",
+        store_path.to_str().unwrap(),
+    ]));
+    run_ok(gass().args([
+        "build",
+        "--method",
+        "hnsw",
+        "--store",
+        store_path.to_str().unwrap(),
+        "--out",
+        sharded.to_str().unwrap(),
+        "--shards",
+        "4",
+        "--nprobe",
+        "3",
+    ]));
+
+    let queries = gass_data::DatasetKind::Deep.generate_base(16, 13);
+    let (beam, rerank) = recall_params();
+    let mut answers: Vec<Vec<Vec<(u32, u32)>>> = Vec::new();
+    for fanout in ["1", "2"] {
+        let (child, reader, addr) = spawn_server(&[
+            "--sharded",
+            sharded.to_str().unwrap(),
+            "--fanout-workers",
+            fanout,
+            "--workers",
+            "2",
+        ]);
+        let mut client = Client::connect(addr).unwrap();
+        let mut per_query = Vec::new();
+        for qi in 0..queries.len() as u32 {
+            match client
+                .query(QueryRequest {
+                    k: K,
+                    beam_width: beam,
+                    seed_count: 16,
+                    rerank_factor: rerank,
+                    deadline_us: 0,
+                    query: queries.get(qi).to_vec(),
+                })
+                .unwrap()
+            {
+                Response::Neighbors(ns) => per_query
+                    .push(ns.iter().map(|(id, d)| (*id, d.to_bits())).collect::<Vec<_>>()),
+                other => panic!("expected neighbors, got {other:?}"),
+            }
+        }
+        answers.push(per_query);
+        client.shutdown().unwrap();
+        assert_clean_exit(child, reader);
+    }
+    assert_eq!(answers[0], answers[1], "fan-out changed served answers");
+}
+
 #[test]
 fn serve_overload_fast_rejects_instead_of_queueing() {
     let dir = std::env::temp_dir().join("gass_cli_serve_e2e_overload");

@@ -1,0 +1,403 @@
+//! Intra-query parallel fan-out: a resident worker pool that runs the
+//! `nprobe` per-shard probes of **one** query concurrently.
+//!
+//! [`crate::par`] covers throughput parallelism — spawn scoped threads,
+//! split a batch, join. A single query's probe fan-out is the opposite
+//! regime: a handful of ~100µs tasks where thread spawn/join would cost
+//! more than the work. [`FanoutPool`] keeps its workers resident and
+//! parked on a condvar; submitting a fan-out is one queue push + wake,
+//! and the **caller participates in claiming**, so every probe completes
+//! even if pool workers are busy elsewhere (no handoff deadlock, and
+//! `workers = 1` degenerates to exactly the sequential loop).
+//!
+//! Determinism contract (the same one every optimization since PR 1
+//! carries): fan-out only reorders *which thread* runs each probe.
+//! Per-shard searches are independent and internally deterministic,
+//! [`crate::distance::DistCounter`] bumps are shared relaxed atomics
+//! whose totals commute, and the caller merges results in ranked-centroid
+//! order after the barrier — so neighbors, distance bits, and counter
+//! totals are bit-identical to the sequential loop at any worker count.
+//!
+//! Work is claimed **node-affine**: submissions present one index list
+//! per NUMA node, each worker drains its own node's list before stealing
+//! from the next ([`crate::numa`] pins pool worker `w` to node
+//! `w % num_nodes`), so probes run on the socket that holds the shard's
+//! memory when placement is available — and degrade to plain work
+//! stealing when it is not.
+//!
+//! Toggles mirror the SIMD/mmap pattern: `GASS_NO_FANOUT=1` /
+//! [`set_fanout_enabled`] for A/B runs, and `GASS_FANOUT_WORKERS` /
+//! [`set_fanout_workers`] for the executor count (`0` = all cores;
+//! unset defaults to `1`, i.e. fan-out stays off unless asked for —
+//! per-query parallelism spends the same cores inter-query serving
+//! would, so it is an explicit latency-over-throughput choice).
+
+use crate::numa;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+const FANOUT_UNINIT: u8 = 0;
+const FANOUT_ON: u8 = 1;
+const FANOUT_OFF: u8 = 2;
+
+static FANOUT_MODE: AtomicU8 = AtomicU8::new(FANOUT_UNINIT);
+
+#[cold]
+fn init_fanout_mode() -> u8 {
+    let off = std::env::var("GASS_NO_FANOUT").is_ok_and(|v| !v.is_empty() && v != "0");
+    let m = if off { FANOUT_OFF } else { FANOUT_ON };
+    FANOUT_MODE.store(m, Ordering::Relaxed);
+    m
+}
+
+/// Whether fan-out is allowed at all (not disabled via `GASS_NO_FANOUT=1`
+/// or [`set_fanout_enabled`]). Even when enabled, fan-out only engages
+/// once [`set_fanout_workers`] (or `GASS_FANOUT_WORKERS`) asks for more
+/// than one executor.
+#[inline]
+pub fn fanout_enabled() -> bool {
+    let m = FANOUT_MODE.load(Ordering::Relaxed);
+    let m = if m == FANOUT_UNINIT { init_fanout_mode() } else { m };
+    m == FANOUT_ON
+}
+
+/// In-process override for A/B runs: `false` forces the sequential probe
+/// loop regardless of the worker knob.
+pub fn set_fanout_enabled(on: bool) {
+    FANOUT_MODE.store(if on { FANOUT_ON } else { FANOUT_OFF }, Ordering::Relaxed);
+}
+
+/// Requested executor count. `usize::MAX` = unset (consult the
+/// environment on first read), `0` = all cores, else the literal count.
+static FANOUT_WORKERS: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Sets the fan-out executor count: `0` means "all available cores",
+/// `1` disables fan-out (the sequential loop), `n > 1` runs probes on
+/// `n` executors — the calling thread plus `n - 1` resident pool workers.
+pub fn set_fanout_workers(n: usize) {
+    FANOUT_WORKERS.store(n, Ordering::Relaxed);
+}
+
+#[cold]
+fn init_fanout_workers() -> usize {
+    let n = std::env::var("GASS_FANOUT_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+    FANOUT_WORKERS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// The executor count a fan-out would use right now, after resolving the
+/// knob, the environment default, and the A/B toggle. `1` means the
+/// sequential loop runs.
+pub fn fanout_workers() -> usize {
+    if !fanout_enabled() {
+        return 1;
+    }
+    let n = FANOUT_WORKERS.load(Ordering::Relaxed);
+    let n = if n == usize::MAX { init_fanout_workers() } else { n };
+    crate::par::effective_threads(n)
+}
+
+/// One submitted fan-out: a lifetime-erased closure plus per-node work
+/// lists and the completion barrier. The submitting caller blocks in
+/// [`FanoutPool::run`] until `pending` drains, which is what makes the
+/// raw `ctx` pointer sound — the closure (and everything it borrows)
+/// provably outlives every execution.
+struct TaskState {
+    ctx: *const (),
+    run: unsafe fn(*const (), usize),
+    /// Work indices grouped by preferred NUMA node.
+    lists: Vec<Vec<usize>>,
+    /// Per-node claim cursors; claims past a list's end spill to the
+    /// next node (work stealing in node order).
+    cursors: Vec<AtomicUsize>,
+    /// Executions not yet finished; the last decrement signals `done`.
+    pending: AtomicUsize,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+// SAFETY: `ctx` points at a closure the submitting thread keeps alive
+// until `pending` reaches zero (it blocks on `done` in `run`), and the
+// closure is required to be `Sync` at the only construction site.
+unsafe impl Send for TaskState {}
+unsafe impl Sync for TaskState {}
+
+impl TaskState {
+    /// Claims one not-yet-run index, preferring `node`'s list and
+    /// stealing from subsequent nodes in order. `None` once exhausted.
+    fn claim(&self, node: usize) -> Option<usize> {
+        let nodes = self.lists.len();
+        for off in 0..nodes {
+            let n = (node + off) % nodes;
+            let c = self.cursors[n].fetch_add(1, Ordering::Relaxed);
+            if c < self.lists[n].len() {
+                return Some(self.lists[n][c]);
+            }
+        }
+        None
+    }
+
+    /// Whether every index has been claimed (not necessarily finished).
+    fn exhausted(&self) -> bool {
+        self.cursors.iter().zip(&self.lists).all(|(c, l)| c.load(Ordering::Relaxed) >= l.len())
+    }
+
+    /// Runs one claimed index and signals the barrier on the last one.
+    fn execute(&self, idx: usize) {
+        // SAFETY: see the Send/Sync justification — ctx is live and Sync.
+        unsafe { (self.run)(self.ctx, idx) };
+        // AcqRel: release this execution's writes into the counter's RMW
+        // chain; the final decrementer acquires them all before signaling.
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *self.done.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+    }
+}
+
+struct Queue {
+    tasks: VecDeque<Arc<TaskState>>,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    queue: Mutex<Queue>,
+    cv: Condvar,
+}
+
+/// The resident intra-query fan-out pool — see the module docs. Holds
+/// `executors - 1` parked worker threads; the submitting caller is the
+/// remaining executor.
+pub struct FanoutPool {
+    inner: Arc<PoolInner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    executors: usize,
+}
+
+impl FanoutPool {
+    /// A pool presenting `executors` total executors (clamped to ≥ 1):
+    /// the caller plus `executors - 1` resident workers, each pinned to
+    /// NUMA node `w % num_nodes` where placement is available.
+    pub fn new(executors: usize) -> Self {
+        let executors = executors.max(1);
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(Queue { tasks: VecDeque::new(), shutdown: false }),
+            cv: Condvar::new(),
+        });
+        let threads = (1..executors)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("gass-fanout-{w}"))
+                    .spawn(move || {
+                        let node = numa::node_of_worker(w);
+                        numa::pin_to_node(node);
+                        worker_loop(&inner, node);
+                    })
+                    .expect("spawn fan-out worker")
+            })
+            .collect();
+        Self { inner, threads, executors }
+    }
+
+    /// Total executors (caller included).
+    pub fn executors(&self) -> usize {
+        self.executors
+    }
+
+    /// Runs `f(i)` once for every index in `lists` (one list per NUMA
+    /// node; workers prefer their own node's list) and returns after all
+    /// executions finish. The caller claims work too, so completion never
+    /// waits on pool scheduling.
+    pub fn run<F>(&self, lists: Vec<Vec<usize>>, f: &F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        if total == 0 {
+            return;
+        }
+        unsafe fn call<F: Fn(usize)>(ctx: *const (), i: usize) {
+            // SAFETY: ctx was erased from an `&F` that outlives the task.
+            unsafe { (*(ctx as *const F))(i) }
+        }
+        let cursors = lists.iter().map(|_| AtomicUsize::new(0)).collect();
+        let task = Arc::new(TaskState {
+            ctx: f as *const F as *const (),
+            run: call::<F>,
+            lists,
+            cursors,
+            pending: AtomicUsize::new(total),
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        {
+            let mut q = self.inner.queue.lock().unwrap();
+            q.tasks.push_back(Arc::clone(&task));
+        }
+        self.inner.cv.notify_all();
+        // The caller is executor 0: drain from node 0's list first.
+        while let Some(idx) = task.claim(0) {
+            task.execute(idx);
+        }
+        let mut done = task.done.lock().unwrap();
+        while !*done {
+            done = task.cv.wait(done).unwrap();
+        }
+    }
+
+    /// [`Self::run`] returning per-index results: slot `i` of the output
+    /// holds `Some(f(i))` for every `i` in `lists` (`None` for indices
+    /// `< n` the lists skip).
+    pub fn map<R, F>(&self, lists: Vec<Vec<usize>>, n: usize, f: F) -> Vec<Option<R>>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        use std::cell::UnsafeCell;
+        struct Slots<'a, R>(&'a [UnsafeCell<Option<R>>]);
+        // SAFETY: each slot is written by exactly one claimant (claim
+        // hands out every index once), and reads happen only after the
+        // run barrier.
+        unsafe impl<R: Send> Sync for Slots<'_, R> {}
+        impl<R> Slots<'_, R> {
+            fn set(&self, i: usize, v: R) {
+                // SAFETY: unique writer per slot, see the Sync impl.
+                unsafe { *self.0[i].get() = Some(v) };
+            }
+        }
+        let slots: Vec<UnsafeCell<Option<R>>> = (0..n).map(|_| UnsafeCell::new(None)).collect();
+        let view = Slots(&slots);
+        let view = &view;
+        self.run(lists, &|i| view.set(i, f(i)));
+        slots.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+impl Drop for FanoutPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.inner.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.inner.cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner, node: usize) {
+    loop {
+        let task = {
+            let mut q = inner.queue.lock().unwrap();
+            loop {
+                while q.tasks.front().is_some_and(|t| t.exhausted()) {
+                    q.tasks.pop_front();
+                }
+                if let Some(t) = q.tasks.front() {
+                    break Arc::clone(t);
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = inner.cv.wait(q).unwrap();
+            }
+        };
+        while let Some(idx) = task.claim(node) {
+            task.execute(idx);
+        }
+    }
+}
+
+/// The process-wide pool serving [`crate::sharded::ShardedIndex`]
+/// fan-outs, rebuilt whenever the resolved executor count changes (the
+/// bench ladder sweeps worker counts in one process). `None` when the
+/// resolved count is ≤ 1 — callers run their sequential loop.
+pub fn shared_pool() -> Option<Arc<FanoutPool>> {
+    static POOL: Mutex<Option<(usize, Arc<FanoutPool>)>> = Mutex::new(None);
+    let want = fanout_workers();
+    if want <= 1 {
+        return None;
+    }
+    let mut slot = POOL.lock().unwrap();
+    match &*slot {
+        Some((have, pool)) if *have == want => Some(Arc::clone(pool)),
+        _ => {
+            // Drop the stale pool (joining its workers) before standing
+            // up the resized one.
+            *slot = None;
+            let pool = Arc::new(FanoutPool::new(want));
+            *slot = Some((want, Arc::clone(&pool)));
+            Some(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_covers_every_index_once_at_any_width() {
+        for executors in [1, 2, 3, 8] {
+            let pool = FanoutPool::new(executors);
+            let lists = vec![vec![0, 2, 4, 6], vec![1, 3, 5]];
+            let out = pool.map(lists, 8, |i| i * i);
+            for (i, got) in out.iter().enumerate().take(7) {
+                assert_eq!(*got, Some(i * i), "executors={executors}");
+            }
+            assert_eq!(out[7], None, "index outside the lists stays empty");
+        }
+    }
+
+    #[test]
+    fn caller_completes_work_alone_and_pool_is_reusable() {
+        let pool = FanoutPool::new(1); // no pool threads: caller drains all
+        for round in 0..3 {
+            let hits = AtomicUsize::new(0);
+            pool.run(vec![(0..50).collect()], &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 50, "round={round}");
+        }
+        assert_eq!(pool.executors(), 1);
+    }
+
+    #[test]
+    fn many_submissions_through_one_pool() {
+        let pool = FanoutPool::new(4);
+        for n in [0usize, 1, 5, 33] {
+            let sum = AtomicUsize::new(0);
+            pool.run(vec![(0..n).collect()], &|i| {
+                sum.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn knobs_resolve_and_gate_the_shared_pool() {
+        set_fanout_enabled(true);
+        set_fanout_workers(1);
+        assert_eq!(fanout_workers(), 1);
+        assert!(shared_pool().is_none(), "one executor means the sequential loop");
+
+        set_fanout_workers(3);
+        let a = shared_pool().expect("pool at 3 executors");
+        assert_eq!(a.executors(), 3);
+        let b = shared_pool().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same count reuses the pool");
+
+        set_fanout_workers(2);
+        let c = shared_pool().unwrap();
+        assert_eq!(c.executors(), 2, "count change rebuilds the pool");
+
+        set_fanout_enabled(false);
+        assert_eq!(fanout_workers(), 1);
+        assert!(shared_pool().is_none(), "A/B toggle forces sequential");
+        set_fanout_enabled(true);
+        set_fanout_workers(1);
+    }
+}

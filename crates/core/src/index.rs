@@ -435,6 +435,61 @@ impl PrebuiltIndex {
     pub fn graph(&self) -> &crate::graph::FlatGraph {
         &self.graph
     }
+
+    /// [`AnnIndex::search`] through a caller-owned scratch instead of the
+    /// index's [`ScratchPool`]. The sharded fan-out path keeps one
+    /// scratch per executor thread and reuses it across probes, shards,
+    /// and batches — no per-probe pool borrow/return, and identical
+    /// results (scratch contents never influence the traversal; they are
+    /// epoch-cleared and reset by `prepare`).
+    pub fn search_with_scratch(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+        scratch: &mut SearchScratch,
+    ) -> SearchResult {
+        scratch.prepare(self.store.len(), params.beam_width);
+        self.search_prepared(query, params, counter, scratch)
+    }
+
+    /// The search body shared by the pool and caller-scratch entry
+    /// points; expects `scratch` already prepared for this index's size.
+    fn search_prepared(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+        scratch: &mut SearchScratch,
+    ) -> SearchResult {
+        let space =
+            Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
+        let mut seeds = Vec::new();
+        self.seeds.seeds(space, query, params.seed_count, &mut seeds);
+        // Match on the frozen layout outside the traversal so both
+        // arms monomorphize (no virtual dispatch per neighbor list).
+        let res = match self.serving.csr() {
+            Some(csr) => crate::search::beam_search(
+                csr,
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            ),
+            None => crate::search::beam_search(
+                &self.graph,
+                space,
+                query,
+                &seeds,
+                params.k,
+                params.beam_width,
+                scratch,
+            ),
+        };
+        self.serving.finish(res)
+    }
 }
 
 impl AnnIndex for PrebuiltIndex {
@@ -456,35 +511,9 @@ impl AnnIndex for PrebuiltIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let space =
-            Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
-        let mut seeds = Vec::new();
-        self.seeds.seeds(space, query, params.seed_count, &mut seeds);
-        let res = self.scratch.with(self.store.len(), params.beam_width, |scratch| {
-            // Match on the frozen layout outside the traversal so both
-            // arms monomorphize (no virtual dispatch per neighbor list).
-            match self.serving.csr() {
-                Some(csr) => crate::search::beam_search(
-                    csr,
-                    space,
-                    query,
-                    &seeds,
-                    params.k,
-                    params.beam_width,
-                    scratch,
-                ),
-                None => crate::search::beam_search(
-                    &self.graph,
-                    space,
-                    query,
-                    &seeds,
-                    params.k,
-                    params.beam_width,
-                    scratch,
-                ),
-            }
-        });
-        self.serving.finish(res)
+        self.scratch.with(self.store.len(), params.beam_width, |scratch| {
+            self.search_prepared(query, params, counter, scratch)
+        })
     }
 
     fn search_coalesced(

@@ -27,12 +27,14 @@
 #![warn(clippy::all)]
 
 pub mod distance;
+pub mod fanout;
 pub mod graph;
 pub mod index;
 pub mod kmeans;
 pub mod mmap;
 pub mod nd;
 pub mod neighbor;
+pub mod numa;
 pub mod par;
 pub mod persist;
 pub mod quant;
@@ -48,6 +50,9 @@ pub use distance::{
     dot, l2, l2_sq, l2_sq_batch, prefetch_enabled, set_prefetch_enabled, set_simd_enabled,
     simd_backend, DistCounter, QuantView, Space,
 };
+pub use fanout::{
+    fanout_enabled, fanout_workers, set_fanout_enabled, set_fanout_workers, FanoutPool,
+};
 pub use graph::{AdjacencyGraph, CsrGraph, FlatGraph, GraphView};
 pub use index::{
     pin_scratch_home, search_batch_parallel, AnnIndex, IndexStats, PrebuiltIndex, QueryParams,
@@ -57,6 +62,7 @@ pub use kmeans::{balanced_kmeans, kmeans as kmeans_cluster, maximin_lloyd, Clust
 pub use mmap::{mmap_enabled, MmapBuf, MmapRegion};
 pub use nd::NdStrategy;
 pub use neighbor::{BoundedMaxHeap, Neighbor, SortedBuffer};
+pub use numa::{num_nodes, numa_enabled, pin_to_node, run_on_node, set_numa_enabled};
 pub use par::{
     bounded_prefix_batches, effective_threads, par_for, par_map, par_map_with, par_workers,
     prefix_doubling_batches, ConcurrentAdjacency,

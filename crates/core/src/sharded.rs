@@ -20,6 +20,14 @@
 //! `nprobe` trades that risk back — `nprobe = shards` searches every
 //! shard and is exactly the merged union of all per-shard searches.
 //!
+//! At query time the planned probes either run sequentially on the
+//! caller or fan out across the resident [`crate::fanout::FanoutPool`]
+//! (when `--fanout-workers`/[`crate::fanout::set_fanout_workers`] asks
+//! for more than one executor), with workers pinned to each shard's home
+//! NUMA node ([`crate::numa`]). Both paths merge per-shard results in
+//! ranked-centroid order and are observationally identical — same
+//! neighbors, same distance bits, same counter totals.
+//!
 //! Each shard is a full [`PrebuiltIndex`], so the entire serving ladder
 //! (freeze → quantize → reorder) applies per shard unchanged. Sharded
 //! state persists through [`crate::persist`] as a shard table (centroids
@@ -27,17 +35,30 @@
 //! in the mapped layout; see [`ShardedIndex::save`].
 
 use crate::distance::{l2_sq, DistCounter, Space};
+use crate::fanout;
 use crate::graph::FlatGraph;
 use crate::index::{AnnIndex, IndexStats, PrebuiltIndex, QueryParams};
 use crate::kmeans;
 use crate::neighbor::{BoundedMaxHeap, Neighbor};
+use crate::numa;
 use crate::par::par_map;
 use crate::persist::{self, PersistError, ShardTable};
-use crate::search::{SearchResult, SearchStats};
+use crate::search::{SearchResult, SearchScratch, SearchStats};
 use crate::seed::{RandomSeeds, SeedProvider};
 use crate::store::VectorStore;
+use std::cell::RefCell;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// One reusable probe scratch per executor thread. Both the
+    /// sequential probe loop and every fan-out worker search through this
+    /// slot, so the visited-set/candidate allocations persist across
+    /// probes, shards, and batches instead of being re-borrowed from (or
+    /// freshly allocated by) each shard's [`crate::index::ScratchPool`]
+    /// per probe.
+    static PROBE_SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::new(0, 1));
+}
 
 /// Partitioning parameters for [`ShardedIndex::build_with`].
 #[derive(Clone, Copy, Debug)]
@@ -93,6 +114,10 @@ struct Shard {
     /// shard's own store, which [`PrebuiltIndex`] already reports in
     /// *original* (pre-reorder) local space.
     to_global: Vec<u32>,
+    /// The NUMA node this shard's serving state was first-touched on
+    /// (`shard % num_nodes`); fan-out workers prefer probes whose shard
+    /// lives on their node. `0` everywhere placement is a no-op.
+    home_node: usize,
 }
 
 /// A balanced-k-means-partitioned collection of per-shard graph indexes
@@ -134,13 +159,19 @@ impl ShardedIndex {
             VectorStore::from_rows(store.dim(), centroid_rows.iter().map(Vec::as_slice))
                 .to_aligned();
         let shards: Vec<Shard> = par_map(0, shard_ids.len(), |s| {
-            let ids = &shard_ids[s];
-            let sub = store.subset(ids);
-            let (graph, seeds) = build(s, &sub);
-            Shard {
-                index: PrebuiltIndex::new(sub, graph, seeds, format!("shard-{s}")),
-                to_global: ids.clone(),
-            }
+            // First-touch the shard's store and graph arenas on its home
+            // node (no-op off multi-node Linux; see `crate::numa`).
+            let home = numa::node_of_worker(s);
+            numa::run_on_node(home, || {
+                let ids = &shard_ids[s];
+                let sub = store.subset(ids);
+                let (graph, seeds) = build(s, &sub);
+                Shard {
+                    index: PrebuiltIndex::new(sub, graph, seeds, format!("shard-{s}")),
+                    to_global: ids.clone(),
+                    home_node: home,
+                }
+            })
         });
         let nprobe = AtomicUsize::new(params.nprobe.clamp(1, shards.len()));
         Self { shards, centroids, dim: store.dim(), total, nprobe }
@@ -219,9 +250,12 @@ impl ShardedIndex {
 
     /// Re-aligns every shard's store rows to the SIMD stride (forwarded
     /// [`PrebuiltIndex::align_store`]; part of the serving configuration).
+    /// The re-laid rows are first-touched on each shard's home node, like
+    /// every other ladder step.
     pub fn align_store(&mut self) {
         for shard in &mut self.shards {
-            shard.index.align_store();
+            let home = shard.home_node;
+            numa::run_on_node(home, || shard.index.align_store());
         }
     }
 
@@ -259,6 +293,65 @@ impl ShardedIndex {
             .collect();
         order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         order.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// The probe plan every search path shares: shard indices in ranked
+    /// centroid order, truncated to the current `nprobe`. Merging in plan
+    /// order is what keeps sequential, coalesced, and fanned-out serving
+    /// observationally identical.
+    fn probe_plan(&self, query: &[f32], counter: &DistCounter) -> Vec<usize> {
+        let nprobe = self.nprobe().min(self.shards.len());
+        let mut ranked = self.ranked_shards(query, counter);
+        ranked.truncate(nprobe);
+        ranked
+    }
+
+    /// One shard probe through the calling thread's reusable scratch slot
+    /// (see [`PROBE_SCRATCH`]).
+    fn probe(
+        &self,
+        s: usize,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> SearchResult {
+        PROBE_SCRATCH.with(|cell| {
+            self.shards[s].index.search_with_scratch(
+                query,
+                params,
+                counter,
+                &mut cell.borrow_mut(),
+            )
+        })
+    }
+
+    /// Runs `f` once per shard in `plan`, returning results in plan
+    /// order. With a configured fan-out pool and more than one planned
+    /// shard, the jobs run concurrently, grouped by each shard's home
+    /// node so pinned workers probe local memory; otherwise this is the
+    /// plain sequential loop. Either way the output order (and therefore
+    /// every downstream merge) is identical — per-shard work is
+    /// independent and deterministic, and `DistCounter` totals commute.
+    fn for_each_planned<R, F>(&self, plan: &[usize], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if plan.len() > 1 {
+            if let Some(pool) = fanout::shared_pool() {
+                let nodes = numa::num_nodes();
+                let mut lists: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+                for (rank, &s) in plan.iter().enumerate() {
+                    lists[self.shards[s].home_node % nodes].push(rank);
+                }
+                return pool
+                    .map(lists, plan.len(), |rank| f(plan[rank]))
+                    .into_iter()
+                    .map(|r| r.expect("every planned shard job ran"))
+                    .collect();
+            }
+        }
+        plan.iter().map(|&s| f(s)).collect()
     }
 
     /// Merges one shard's result into the shared heap, translating local
@@ -336,20 +429,28 @@ impl ShardedIndex {
         let centroids = VectorStore::from_flat(dim, table.centroids).to_aligned();
         let mut shards = Vec::with_capacity(table.shard_ids.len());
         for (s, ids) in table.shard_ids.into_iter().enumerate() {
-            let store = persist::open_store(&dir.join(format!("shard-{s:03}.store.gass")))?;
-            let graph =
-                persist::load_flat_graph(&dir.join(format!("shard-{s:03}.graph.gass")))?;
-            if store.len() != ids.len() || store.dim() != dim {
-                return Err(PersistError::Truncated);
-            }
-            // Per-query-keyed draws: coalesced bucketing visits shards in
-            // a different order than the sequential loop, and only an
-            // order-independent provider keeps the two bit-identical.
-            let seeds = Box::new(RandomSeeds::per_query(store.len(), 7));
-            shards.push(Shard {
-                index: PrebuiltIndex::new(store, graph, seeds, format!("shard-{s}")),
-                to_global: ids,
-            });
+            // Parse (or map) each shard's serving state pinned to its
+            // home node so heap-parsed pages land locally; mapped stores
+            // fault in later from the node-pinned probe workers instead.
+            let home = numa::node_of_worker(s);
+            let shard = numa::run_on_node(home, || -> Result<Shard, PersistError> {
+                let store = persist::open_store(&dir.join(format!("shard-{s:03}.store.gass")))?;
+                let graph =
+                    persist::load_flat_graph(&dir.join(format!("shard-{s:03}.graph.gass")))?;
+                if store.len() != ids.len() || store.dim() != dim {
+                    return Err(PersistError::Truncated);
+                }
+                // Per-query-keyed draws: coalesced bucketing visits shards in
+                // a different order than the sequential loop, and only an
+                // order-independent provider keeps the two bit-identical.
+                let seeds = Box::new(RandomSeeds::per_query(store.len(), 7));
+                Ok(Shard {
+                    index: PrebuiltIndex::new(store, graph, seeds, format!("shard-{s}")),
+                    to_global: ids,
+                    home_node: home,
+                })
+            })?;
+            shards.push(shard);
         }
         let nprobe = AtomicUsize::new(table.nprobe.clamp(1, shards.len()));
         Ok(Self { shards, centroids, dim, total, nprobe })
@@ -375,12 +476,11 @@ impl AnnIndex for ShardedIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let nprobe = self.nprobe().min(self.shards.len());
-        let ranked = self.ranked_shards(query, counter);
+        let plan = self.probe_plan(query, counter);
+        let results = self.for_each_planned(&plan, |s| self.probe(s, query, params, counter));
         let mut heap = BoundedMaxHeap::new(params.k);
         let mut stats = SearchStats { hops: 0, evaluated: self.shards.len() };
-        for &s in &ranked[..nprobe] {
-            let res = self.shards[s].index.search(query, params, counter);
+        for (&s, res) in plan.iter().zip(results) {
             self.merge(s, res, &mut heap, &mut stats);
         }
         SearchResult { neighbors: heap.into_sorted(), stats }
@@ -399,30 +499,27 @@ impl AnnIndex for ShardedIndex {
         // its own visitors, then merge per query in that query's ranked
         // shard order — bit-identical to the sequential loop (each shard
         // search is, and the heap sees pushes in the same order).
-        let nprobe = self.nprobe().min(self.shards.len());
-        let ranked: Vec<Vec<usize>> = queries
-            .iter()
-            .map(|q| {
-                let mut r = self.ranked_shards(q, counter);
-                r.truncate(nprobe);
-                r
-            })
-            .collect();
+        let ranked: Vec<Vec<usize>> =
+            queries.iter().map(|q| self.probe_plan(q, counter)).collect();
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (qi, probes) in ranked.iter().enumerate() {
             for &s in probes {
                 buckets[s].push(qi);
             }
         }
+        // Each non-empty bucket is an independent per-shard batch; the
+        // fan-out pool runs them shard-affine, and results scatter back
+        // into rank slots exactly as the serial bucket loop would.
+        let active: Vec<usize> =
+            (0..buckets.len()).filter(|&s| !buckets[s].is_empty()).collect();
+        let per_shard = self.for_each_planned(&active, |s| {
+            let qs: Vec<&[f32]> = buckets[s].iter().map(|&qi| queries[qi]).collect();
+            self.shards[s].index.search_coalesced(&qs, params, counter)
+        });
         let mut slots: Vec<Vec<Option<SearchResult>>> =
             ranked.iter().map(|r| vec![None; r.len()]).collect();
-        for (s, bucket) in buckets.iter().enumerate() {
-            if bucket.is_empty() {
-                continue;
-            }
-            let qs: Vec<&[f32]> = bucket.iter().map(|&qi| queries[qi]).collect();
-            let res = self.shards[s].index.search_coalesced(&qs, params, counter);
-            for (&qi, r) in bucket.iter().zip(res) {
+        for (&s, res) in active.iter().zip(per_shard) {
+            for (&qi, r) in buckets[s].iter().zip(res) {
                 let rank = ranked[qi].iter().position(|&x| x == s).unwrap();
                 slots[qi][rank] = Some(r);
             }
@@ -443,8 +540,12 @@ impl AnnIndex for ShardedIndex {
     }
 
     fn freeze(&mut self) {
+        // Ladder steps allocate fresh serving arenas (CSR slabs, codec
+        // rows, permuted stores); building them pinned to the shard's
+        // home node is what places the pages the probes will walk.
         for shard in &mut self.shards {
-            shard.index.freeze();
+            let home = shard.home_node;
+            numa::run_on_node(home, || shard.index.freeze());
         }
     }
 
@@ -454,7 +555,8 @@ impl AnnIndex for ShardedIndex {
 
     fn quantize(&mut self, spec: crate::quant::CodecSpec) {
         for shard in &mut self.shards {
-            shard.index.quantize(spec);
+            let home = shard.home_node;
+            numa::run_on_node(home, || shard.index.quantize(spec));
         }
     }
 
@@ -464,7 +566,8 @@ impl AnnIndex for ShardedIndex {
 
     fn reorder(&mut self, strategy: crate::reorder::ReorderStrategy) {
         for shard in &mut self.shards {
-            shard.index.reorder(strategy);
+            let home = shard.home_node;
+            numa::run_on_node(home, || shard.index.reorder(strategy));
         }
     }
 
@@ -645,6 +748,43 @@ mod tests {
                 s.neighbors.iter().map(|n| (n.id, n.dist.to_bits())).collect::<Vec<_>>()
             );
         }
+    }
+
+    /// Fan-out at several executors against a reference that never takes
+    /// the fan path: the plan probed shard-by-shard through the public
+    /// per-shard API and merged by hand in ranked order. Neighbors,
+    /// distance bits, and distance-counter totals must all agree.
+    #[test]
+    fn fanout_probing_is_observationally_sequential() {
+        let store = blobs(180, 6, 7);
+        let counter = DistCounter::default();
+        let idx = build_knn_sharded(&store, &ShardedParams::new(4).with_nprobe(3), 8, &counter);
+        let params = QueryParams::new(4, 16);
+        let query: Vec<f32> = (0..6).map(|d| d as f32 * 1.7).collect();
+
+        let c_ref = DistCounter::new();
+        let plan = idx.probe_plan(&query, &c_ref);
+        let mut heap = BoundedMaxHeap::new(params.k);
+        let mut stats = SearchStats { hops: 0, evaluated: idx.shards.len() };
+        for &s in &plan {
+            let res = idx.shards[s].index.search(&query, &params, &c_ref);
+            idx.merge(s, res, &mut heap, &mut stats);
+        }
+        let want = heap.into_sorted();
+
+        for workers in [2, 4] {
+            crate::fanout::set_fanout_enabled(true);
+            crate::fanout::set_fanout_workers(workers);
+            let c_fan = DistCounter::new();
+            let got = idx.search(&query, &params, &c_fan);
+            assert_eq!(
+                got.neighbors.iter().map(|n| (n.id, n.dist.to_bits())).collect::<Vec<_>>(),
+                want.iter().map(|n| (n.id, n.dist.to_bits())).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+            assert_eq!(c_fan.get(), c_ref.get(), "counter totals at workers={workers}");
+        }
+        crate::fanout::set_fanout_workers(1);
     }
 
     #[test]

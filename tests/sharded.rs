@@ -4,6 +4,7 @@
 //! round-trips, and heap/mapped observational equivalence at the index
 //! level.
 
+use gass_core::fanout::{set_fanout_enabled, set_fanout_workers};
 use gass_core::mmap::set_mmap_enabled;
 use gass_core::quant::CodecSpec;
 use gass_core::sharded::{build_knn_sharded, ShardedIndex, ShardedParams};
@@ -52,6 +53,50 @@ proptest! {
             }
         }
         prop_assert_eq!(key(&got.neighbors), key(&heap.into_sorted()));
+    }
+
+    /// The fan-out determinism contract: at every worker count (1 = the
+    /// degenerate pool, 2, 8 = more executors than probes) and every
+    /// nprobe from 1 to shards — including the `nprobe = shards`
+    /// brute-force-merge invariant the first property pins down — the
+    /// fanned-out search returns the same neighbors, the same distance
+    /// bits, and the same DistCounter totals (full-precision and
+    /// quantized lanes separately) as the sequential probe loop.
+    #[test]
+    fn fanout_is_bit_identical_to_sequential_at_any_worker_count(
+        points in prop::collection::vec(
+            prop::collection::vec(-8.0f32..8.0, 6..=6), 24..=80),
+        shards in 2usize..5,
+        k in 1usize..8,
+        query in prop::collection::vec(-8.0f32..8.0, 6..=6),
+    ) {
+        let store = store_of(&points);
+        let counter = DistCounter::new();
+        let idx = build_knn_sharded(&store, &ShardedParams::new(shards), 8, &counter);
+        let params = QueryParams::new(k, 24);
+        for nprobe in 1..=idx.num_shards() {
+            idx.set_nprobe(nprobe);
+            set_fanout_enabled(false);
+            let c_seq = DistCounter::new();
+            let seq = idx.search(&query, &params, &c_seq);
+            for workers in [1usize, 2, 8] {
+                set_fanout_enabled(true);
+                set_fanout_workers(workers);
+                let c_fan = DistCounter::new();
+                let fan = idx.search(&query, &params, &c_fan);
+                set_fanout_workers(1);
+                prop_assert_eq!(
+                    key(&seq.neighbors), key(&fan.neighbors),
+                    "answers diverged at nprobe={} workers={}", nprobe, workers
+                );
+                prop_assert_eq!(
+                    (c_seq.get_f32(), c_seq.get_u8()),
+                    (c_fan.get_f32(), c_fan.get_u8()),
+                    "distance accounting diverged at nprobe={} workers={}", nprobe, workers
+                );
+            }
+        }
+        set_fanout_enabled(true);
     }
 
     /// Recall is monotone in the probed set: every neighbor the
@@ -121,6 +166,31 @@ fn sharded_persist_roundtrip_is_byte_stable_and_observationally_equal() {
         }
         let got = back.search(q, &params, &counter);
         assert_eq!(key(&got.neighbors), key(&heap.into_sorted()), "query {qi}");
+    }
+}
+
+/// The fan-out contract holds through the full serving ladder and the
+/// coalesced batch engine: frozen + quantized shards, searched through
+/// `search_coalesced`, answer bit-identically with the probe fan-out on
+/// (8 executors) and off.
+#[test]
+fn fanout_coalesced_ladder_matches_sequential() {
+    let store = gass_data::synth::deep_like(300, 29);
+    let counter = DistCounter::new();
+    let mut idx = build_knn_sharded(&store, &ShardedParams::new(4).with_nprobe(2), 8, &counter);
+    idx.freeze();
+    idx.quantize(CodecSpec::Sq8);
+    let queries = gass_data::synth::deep_like(9, 55);
+    let params = QueryParams::new(5, 32);
+    let qs: Vec<&[f32]> = (0..queries.len() as u32).map(|i| queries.get(i)).collect();
+    set_fanout_enabled(false);
+    let seq = idx.search_coalesced(&qs, &params, &counter);
+    set_fanout_enabled(true);
+    set_fanout_workers(8);
+    let fan = idx.search_coalesced(&qs, &params, &counter);
+    set_fanout_workers(1);
+    for (qi, (a, b)) in seq.iter().zip(&fan).enumerate() {
+        assert_eq!(key(&a.neighbors), key(&b.neighbors), "query {qi}");
     }
 }
 
