@@ -10,8 +10,9 @@
 //! ```
 
 use gass_bench::{num_queries, results_dir, small_tiers};
+use gass_core::{QueryParams, TerminationPolicy};
 use gass_data::DatasetKind;
-use gass_eval::{cost_to_reach, Table};
+use gass_eval::{cost_to_reach, evaluate_params, Table};
 use gass_graphs::{build_method, MethodKind};
 
 fn main() {
@@ -45,6 +46,34 @@ fn main() {
         }
         table.row(cells);
         eprintln!("done: {}", kind.name());
+    }
+
+    // Adaptive-termination rows: the same ladder on HNSW under each
+    // policy. The qualifying L is the *cap* the search was given; the
+    // parenthesised number is the distance calculations actually spent
+    // per query — adaptive policies qualify from a wide cap while paying
+    // well under its fixed-beam cost.
+    let built = build_method(MethodKind::Hnsw, base.clone(), 5);
+    for (label, term) in [
+        ("hnsw fixed", TerminationPolicy::Fixed),
+        ("hnsw sat:8", TerminationPolicy::Saturation { patience: 8 }),
+        ("hnsw dr:0.2", TerminationPolicy::DistRatio { eps: 0.2 }),
+    ] {
+        let mut cells = vec![label.to_string()];
+        for &t in &targets {
+            let mut cell = format!(">{}", ls.last().unwrap());
+            for &l in &ls {
+                let params = QueryParams::new(k, l).with_seed_count(16).with_term(term);
+                let p = evaluate_params(built.index.as_ref(), &queries, &truth, &params);
+                if p.recall >= t {
+                    cell = format!("{} ({})", l, p.dist_calcs / queries.len() as u64);
+                    break;
+                }
+            }
+            cells.push(cell);
+        }
+        table.row(cells);
+        eprintln!("done: {label}");
     }
     table.emit(&results_dir(), "fig11_beam_width").expect("write results");
 }

@@ -10,8 +10,9 @@
 //! ```
 
 use gass_bench::{beam_sweep, num_queries, results_dir, tiers};
+use gass_core::{QueryParams, TerminationPolicy};
 use gass_data::{noisy_queries, DatasetKind};
-use gass_eval::{sweep, Table};
+use gass_eval::{evaluate_params, sweep, Table};
 use gass_graphs::{build_method, MethodKind};
 
 fn main() {
@@ -45,6 +46,28 @@ fn main() {
                 ]);
             }
             eprintln!("done: {:.0}% {}", sigma2 * 100.0, m.name());
+        }
+        // Adaptive-termination rows (HNSW at the widest cap in the
+        // sweep): per-query cost now tracks difficulty — at low noise
+        // the policy retires early and spends far less than the fixed
+        // beam; at high noise it keeps searching and converges to the
+        // fixed-beam cost. The L column shows the cap it ran under.
+        let cap = *beam_sweep().last().unwrap();
+        let hnsw = &built[0].1;
+        for (label, term) in [
+            ("HNSW sat:8", TerminationPolicy::Saturation { patience: 8 }),
+            ("HNSW dr:0.2", TerminationPolicy::DistRatio { eps: 0.2 }),
+        ] {
+            let params = QueryParams::new(k, cap).with_seed_count(16).with_term(term);
+            let p = evaluate_params(hnsw.index.as_ref(), &queries, &truth, &params);
+            table.row(vec![
+                format!("{:.0}%", sigma2 * 100.0),
+                label.to_string(),
+                format!("<={cap}"),
+                format!("{:.4}", p.recall),
+                (p.dist_calcs / queries.len() as u64).to_string(),
+            ]);
+            eprintln!("done: {:.0}% {label}", sigma2 * 100.0);
         }
     }
     table.emit(&results_dir(), "fig15_hardness").expect("write results");

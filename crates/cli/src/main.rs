@@ -64,6 +64,7 @@ COMMANDS:
             [--simd <on|off>] [--prefetch <on|off>]
             [--quant <sq8|sq4|pq|none>] [--pq-m <m>] [--rerank-factor <4>]
             [--reorder <none|degree|bfs|rcm|hub>]
+            [--term <fixed|saturation[:p]|distratio[:e]>] [--max-dists <n>]
             Answer k-NN queries from a saved graph; reports recall against
             exact ground truth and distance calculations per query.
             The fast-path flags default to the serving configuration
@@ -85,6 +86,18 @@ COMMANDS:
             results are identical under every strategy — only speed
             changes. Absent defers to the GASS_REORDER environment
             override.
+            --term picks the per-query termination policy: fixed (the
+            default) expands until the beam is exhausted — bit-identical
+            to every earlier release; saturation:p stops once the top-k
+            heap has been unchanged for p consecutive expansions
+            (default p=8); distratio:e stops once the best unexpanded
+            candidate is farther than (1+e)x the current k-th result
+            (default e=0.2). --max-dists n additionally caps the
+            distance computations spent per query (0 = unlimited).
+            Adaptive policies trade a little recall for fewer distance
+            computations; quantized rungs still re-score their candidate
+            pool exactly. Absent, both defer to the GASS_TERM /
+            GASS_MAX_DISTS environment overrides.
             With --sharded, queries route through the shard table: rank
             shards by query-to-centroid distance, search the nearest
             --nprobe (overriding the table's default), and merge the
@@ -104,6 +117,7 @@ COMMANDS:
             [--seed <u64>] [--threads <t>]
             [--quant <sq8|sq4|pq|none>] [--pq-m <m>] [--rerank-factor <4>]
             [--reorder <none|degree|bfs|rcm|hub>]
+            [--term <fixed|saturation[:p]|distratio[:e]>] [--max-dists <n>]
             Serve k-NN queries over TCP (length-prefixed binary frames).
             With --graph, serves the saved graph; without it, builds
             --method (default hnsw) over the store in-process first.
@@ -115,7 +129,12 @@ COMMANDS:
             fast-rejects queries beyond --queue-depth with `overloaded`
             instead of queueing without bound. --workers 0 uses all cores.
             --quant/--reorder absent defer to the GASS_QUANT / GASS_REORDER
-            environment overrides. Stop with a Shutdown frame (the server
+            environment overrides. --term/--max-dists force a server-side
+            termination policy onto every query (see `query`); absent
+            they defer to GASS_TERM / GASS_MAX_DISTS. Queries carrying a
+            deadline are additionally budget-clamped mid-search when the
+            remaining deadline cannot cover a mean query's distance
+            computations. Stop with a Shutdown frame (the server
             drains admitted queries, then exits) or Ctrl-C.
             With --sharded, serves a `build --shards` directory through
             centroid-routed nprobe search; shard stores saved in the
@@ -436,6 +455,16 @@ fn run(args: Args) -> Result<(), String> {
                         .to_string(),
                 );
             }
+            // Explicit --term/--max-dists win; absent they leave the
+            // GASS_TERM / GASS_MAX_DISTS overrides (already folded into
+            // `QueryParams::new`) in charge.
+            let term: Option<gass_core::TerminationPolicy> =
+                match args.get_opt::<String>("term").map_err(|e| e.to_string())? {
+                    Some(v) => Some(v.parse().map_err(|e: String| format!("--term: {e}"))?),
+                    None => None,
+                };
+            let max_dists: Option<usize> =
+                args.get_opt("max-dists").map_err(|e| e.to_string())?;
             // Codec family resolves here; the --pq-m divisibility check
             // needs the store's dimensionality and runs after loading.
             let family: Option<gass_core::CodecSpec> = match quant.as_str() {
@@ -574,8 +603,14 @@ fn run(args: Args) -> Result<(), String> {
                 index.reorder(strategy);
             }
             let counter = DistCounter::new();
-            let params =
+            let mut params =
                 QueryParams::new(k, beam).with_seed_count(seeds).with_rerank_factor(rerank);
+            if let Some(t) = term {
+                params = params.with_term(t);
+            }
+            if let Some(d) = max_dists {
+                params = params.with_max_dists(d);
+            }
             let t = std::time::Instant::now();
             let mut recall = 0.0;
             for (qi, row) in truth.iter().enumerate() {
@@ -585,12 +620,14 @@ fn run(args: Args) -> Result<(), String> {
             let nq = truth.len().max(1);
             println!(
                 "queries={} k={k} L={beam}  kernel={} store={layout} graph={graph_layout} \
-                 prefetch={} quant={} reorder={}",
+                 prefetch={} quant={} reorder={} term={} max-dists={}",
                 nq,
                 gass_core::simd_backend(),
                 if gass_core::prefetch_enabled() { "on" } else { "off" },
                 spec.map_or_else(|| "none".to_string(), |s| s.to_string()),
                 reorder.unwrap_or_default(),
+                params.term,
+                params.max_dists,
             );
             println!(
                 "recall@{k}={:.4}  dists/query={} (u8={} f32={})  ms/query={:.3}",
@@ -647,6 +684,25 @@ fn run(args: Args) -> Result<(), String> {
                 match args.get_opt::<String>("reorder").map_err(|e| e.to_string())? {
                     Some(v) => Some(v.parse().map_err(|e: String| format!("--reorder: {e}"))?),
                     None => gass_core::reorder_forced(),
+                };
+            // --term/--max-dists force a server-side termination policy on
+            // every query; absent both, clients keep whatever GASS_TERM /
+            // GASS_MAX_DISTS dictate (folded in at QueryParams::new).
+            let term_policy: Option<gass_core::TerminationPolicy> =
+                match args.get_opt::<String>("term").map_err(|e| e.to_string())? {
+                    Some(v) => Some(v.parse().map_err(|e: String| format!("--term: {e}"))?),
+                    None => None,
+                };
+            let term_max_dists: Option<usize> =
+                args.get_opt("max-dists").map_err(|e| e.to_string())?;
+            let term: Option<gass_core::Termination> =
+                if term_policy.is_some() || term_max_dists.is_some() {
+                    Some(gass_core::Termination {
+                        policy: term_policy.unwrap_or_default(),
+                        max_dists: term_max_dists.unwrap_or(0),
+                    })
+                } else {
+                    None
                 };
 
             let sharded_dir: Option<String> =
@@ -758,6 +814,7 @@ fn run(args: Args) -> Result<(), String> {
                 max_batch,
                 max_wait_us,
                 queue_depth,
+                term,
             };
             let handle = gass_serve::serve(std::sync::Arc::from(index), cfg)
                 .map_err(|e| format!("bind failed: {e}"))?;

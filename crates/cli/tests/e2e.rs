@@ -340,6 +340,121 @@ fn sharded_build_query_roundtrip() {
 }
 
 #[test]
+fn adaptive_termination_query_flags() {
+    let dir = std::env::temp_dir().join("gass_cli_e2e_term");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("base.store.gass");
+    let graph = dir.join("base.hnsw.gass");
+    let queries = dir.join("q.store.gass");
+    run_ok(gass().args([
+        "generate",
+        "--dataset",
+        "deep",
+        "--n",
+        "800",
+        "--seed",
+        "5",
+        "--out",
+        store.to_str().unwrap(),
+    ]));
+    run_ok(gass().args([
+        "generate",
+        "--dataset",
+        "deep",
+        "--n",
+        "10",
+        "--seed",
+        "9",
+        "--out",
+        queries.to_str().unwrap(),
+    ]));
+    run_ok(gass().args([
+        "build",
+        "--method",
+        "hnsw",
+        "--store",
+        store.to_str().unwrap(),
+        "--out",
+        graph.to_str().unwrap(),
+    ]));
+    let query = |extra: &[&str]| {
+        let mut args = vec![
+            "query",
+            "--store",
+            store.to_str().unwrap(),
+            "--graph",
+            graph.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "5",
+            "--beam",
+            "64",
+        ];
+        args.extend_from_slice(extra);
+        run_ok(gass().args(&args))
+    };
+    let stat = |out: &str, tag: &str| -> f64 {
+        out.split(tag)
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.split('(').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no {tag} in output: {out}"))
+    };
+
+    // Pinned fixed baseline (immune to a GASS_TERM in the environment,
+    // e.g. the CI adaptive-smoke leg).
+    let fixed = query(&["--term", "fixed"]);
+    assert!(fixed.contains("term=fixed"), "{fixed}");
+    let fixed_dists = stat(&fixed, "dists/query=");
+    let fixed_recall = stat(&fixed, "recall@5=");
+    assert!(fixed_recall > 0.8, "fixed recall too low: {fixed}");
+
+    // Each adaptive policy is echoed back and never spends more than the
+    // fixed beam (a terminated run is a prefix of the fixed run).
+    for (flag, tag) in
+        [("saturation:4", "term=saturation:4"), ("distratio:0.3", "term=distratio")]
+    {
+        let out = query(&["--term", flag]);
+        assert!(out.contains(tag), "{out}");
+        assert!(
+            stat(&out, "dists/query=") <= fixed_dists,
+            "--term {flag} spent more than fixed: {out}\nvs fixed: {fixed}"
+        );
+        assert!(stat(&out, "recall@5=") > 0.5, "--term {flag} recall collapsed: {out}");
+    }
+
+    // A hard budget is respected to within seeds + one neighbor list.
+    let out = query(&["--term", "fixed", "--max-dists", "150"]);
+    assert!(out.contains("max-dists=150"), "{out}");
+    let budget_dists = stat(&out, "dists/query=");
+    assert!(
+        budget_dists <= 150.0 + 100.0,
+        "--max-dists 150 overshot: {budget_dists} dists/query ({out})"
+    );
+
+    // Gibberish policies are rejected with a pointer at the flag.
+    let out = gass()
+        .args([
+            "query",
+            "--store",
+            "x",
+            "--graph",
+            "y",
+            "--queries",
+            "z",
+            "--term",
+            "sometimes",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--term"), "unhelpful --term error: {err}");
+}
+
+#[test]
 fn rejects_zero_rerank_factor() {
     // Validation fires before any file is touched, so bogus paths are fine.
     let out = gass()

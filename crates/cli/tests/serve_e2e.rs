@@ -204,6 +204,22 @@ fn serve_smoke_recall_batching_and_shutdown() {
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("no batches field in {json}"));
     assert!(batches < 50, "no cross-request coalescing happened: {json}");
+    // The per-query compute histogram saw every completed query and
+    // records real work (its p50 is a positive distance-evaluation
+    // count) — this is the live scoreboard for adaptive termination.
+    let dist_hist = json
+        .split("\"dists_per_query\":{")
+        .nth(1)
+        .and_then(|s| s.split('}').next())
+        .unwrap_or_else(|| panic!("no dists_per_query histogram in {json}"));
+    assert!(dist_hist.contains("\"count\":50"), "dists histogram incomplete: {json}");
+    let dist_p50: u64 = dist_hist
+        .split("\"p50\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no p50 in dists histogram: {json}"));
+    assert!(dist_p50 > 0, "dists-per-query p50 is zero: {json}");
 
     // Phase 3: orderly shutdown over the wire.
     client.shutdown().unwrap();

@@ -24,12 +24,31 @@ pub struct QueryParams {
     /// rerank pool is `rerank_factor * k` candidates (values below 1
     /// behave as 1). Ignored on full-precision indexes.
     pub rerank_factor: usize,
+    /// When the traversal stops expanding candidates
+    /// ([`crate::term::TerminationPolicy::Fixed`] = the paper's fixed-beam
+    /// behavior, bit-identical by construction). Adaptive policies let
+    /// easy queries stop as soon as their own top-`k` converges, so
+    /// `beam_width` becomes a cap instead of a constant cost.
+    pub term: crate::term::TerminationPolicy,
+    /// Hard per-query distance-evaluation budget (`0` = unlimited); see
+    /// [`crate::term::Termination::max_dists`].
+    pub max_dists: usize,
 }
 
 impl QueryParams {
     /// `k`-NN with beam width `l`, `k` seeds and a 4× rerank pool.
+    /// Termination defaults to `Fixed` unless a `GASS_TERM` /
+    /// `GASS_MAX_DISTS` override is set (see [`crate::term::term_forced`]).
     pub fn new(k: usize, l: usize) -> Self {
-        Self { k, beam_width: l.max(k), seed_count: k, rerank_factor: 4 }
+        let forced = crate::term::term_forced().unwrap_or(crate::term::Termination::FIXED);
+        Self {
+            k,
+            beam_width: l.max(k),
+            seed_count: k,
+            rerank_factor: 4,
+            term: forced.policy,
+            max_dists: forced.max_dists,
+        }
     }
 
     /// Overrides the seed count.
@@ -42,6 +61,23 @@ impl QueryParams {
     pub fn with_rerank_factor(mut self, rerank_factor: usize) -> Self {
         self.rerank_factor = rerank_factor;
         self
+    }
+
+    /// Overrides the termination policy.
+    pub fn with_term(mut self, term: crate::term::TerminationPolicy) -> Self {
+        self.term = term;
+        self
+    }
+
+    /// Overrides the hard distance-evaluation budget (`0` = unlimited).
+    pub fn with_max_dists(mut self, max_dists: usize) -> Self {
+        self.max_dists = max_dists;
+        self
+    }
+
+    /// The policy + budget pair the traversal variants consume.
+    pub fn termination(&self) -> crate::term::Termination {
+        crate::term::Termination { policy: self.term, max_dists: self.max_dists }
     }
 }
 
@@ -469,7 +505,7 @@ impl PrebuiltIndex {
         // Match on the frozen layout outside the traversal so both
         // arms monomorphize (no virtual dispatch per neighbor list).
         let res = match self.serving.csr() {
-            Some(csr) => crate::search::beam_search(
+            Some(csr) => crate::search::beam_search_terminated(
                 csr,
                 space,
                 query,
@@ -477,8 +513,9 @@ impl PrebuiltIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             ),
-            None => crate::search::beam_search(
+            None => crate::search::beam_search_terminated(
                 &self.graph,
                 space,
                 query,
@@ -486,6 +523,7 @@ impl PrebuiltIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             ),
         };
         self.serving.finish(res)
@@ -558,6 +596,7 @@ impl AnnIndex for PrebuiltIndex {
                         params.k,
                         params.beam_width,
                         &mut lanes[..chunk.len()],
+                        params.termination(),
                     ),
                     None => crate::search::beam_search_coalesced(
                         &self.graph,
@@ -567,6 +606,7 @@ impl AnnIndex for PrebuiltIndex {
                         params.k,
                         params.beam_width,
                         &mut lanes[..chunk.len()],
+                        params.termination(),
                     ),
                 };
                 for r in res {

@@ -44,6 +44,7 @@ pub mod seed;
 pub mod sharded;
 pub mod stats;
 pub mod store;
+pub mod term;
 pub mod visited;
 
 pub use distance::{
@@ -81,12 +82,13 @@ pub use reorder::{
     compute_permutation, mean_edge_span, reorder_forced, IdRemap, ReorderStrategy, ServingState,
 };
 pub use search::{
-    beam_search, beam_search_coalesced, beam_search_frozen, beam_search_with_sink,
-    greedy_search, greedy_search_with, serial_scan, SearchResult, SearchScratch, SearchStats,
-    COALESCE_LANES,
+    beam_search, beam_search_coalesced, beam_search_frozen, beam_search_terminated,
+    beam_search_with_sink, greedy_search, greedy_search_budgeted, greedy_search_with,
+    serial_scan, SearchResult, SearchScratch, SearchStats, COALESCE_LANES,
 };
 pub use seed::{FixedSeed, MedoidSeed, RandomSeeds, SeedProvider, StaticSeeds};
 pub use sharded::{ShardedIndex, ShardedParams};
 pub use stats::Histogram;
 pub use store::VectorStore;
+pub use term::{term_forced, TermState, Termination, TerminationPolicy};
 pub use visited::VisitedSet;

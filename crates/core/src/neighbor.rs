@@ -130,6 +130,19 @@ impl SortedBuffer {
         self.entries.iter().take(k).map(|(n, _)| *n).collect()
     }
 
+    /// The `k`-th closest retained candidate (1-indexed), or `None` when
+    /// fewer than `k` are retained. `kth(k)` is the current worst of the
+    /// would-be result set — the reference distance adaptive termination
+    /// policies compare the frontier against.
+    #[inline]
+    pub fn kth(&self, k: usize) -> Option<Neighbor> {
+        if k == 0 || self.entries.len() < k {
+            None
+        } else {
+            Some(self.entries[k - 1].0)
+        }
+    }
+
     /// All retained candidates, closest first.
     pub fn as_neighbors(&self) -> Vec<Neighbor> {
         self.entries.iter().map(|(n, _)| *n).collect()

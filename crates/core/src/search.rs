@@ -11,6 +11,7 @@ use crate::distance::Space;
 use crate::graph::GraphView;
 use crate::neighbor::{Neighbor, SortedBuffer};
 use crate::quant::PreparedQuery;
+use crate::term::{TermState, Termination};
 use crate::visited::VisitedSet;
 
 /// Counters describing one beam-search invocation.
@@ -96,10 +97,45 @@ pub fn beam_search<G: GraphView + ?Sized>(
     beam_width: usize,
     scratch: &mut SearchScratch,
 ) -> SearchResult {
+    beam_search_terminated(
+        graph,
+        space,
+        query,
+        seeds,
+        k,
+        beam_width,
+        scratch,
+        Termination::FIXED,
+    )
+}
+
+/// [`beam_search`] with an adaptive [`Termination`] attached. With
+/// [`Termination::FIXED`] this *is* `beam_search` — the policy hooks are
+/// emission-time only (one check per expansion, right after the buffer
+/// pops its best unexpanded candidate), so the visited-filter + 4-wide
+/// kernel hot loop is untouched and the fixed path stays bit-identical
+/// by construction.
+///
+/// Any other policy may stop the traversal early; because expansion
+/// order is deterministic, an early-stopped run's work is a prefix of
+/// the fixed run's, so relaxing `patience`/`eps`/`max_dists` can only
+/// improve the result. On the quantized path the exact rerank always
+/// runs, even after a budget stop — returned distances stay exact.
+#[allow(clippy::too_many_arguments)]
+pub fn beam_search_terminated<G: GraphView + ?Sized>(
+    graph: &G,
+    space: Space<'_>,
+    query: &[f32],
+    seeds: &[u32],
+    k: usize,
+    beam_width: usize,
+    scratch: &mut SearchScratch,
+    term: Termination,
+) -> SearchResult {
     if space.quant().is_some() {
-        return beam_search_quantized(graph, space, query, seeds, k, beam_width, scratch);
+        return beam_search_quantized(graph, space, query, seeds, k, beam_width, scratch, term);
     }
-    beam_search_with_sink(graph, space, query, seeds, k, beam_width, scratch, None)
+    beam_search_full(graph, space, query, seeds, k, beam_width, scratch, None, term)
 }
 
 /// Two-phase quantized beam search: the traversal is the exact shape of
@@ -113,6 +149,7 @@ pub fn beam_search<G: GraphView + ?Sized>(
 ///
 /// `stats.evaluated` (and the [`DistCounter`](crate::distance::DistCounter)
 /// total) counts both phases — the `u8`/`f32` split is on the counter.
+#[allow(clippy::too_many_arguments)]
 fn beam_search_quantized<G: GraphView + ?Sized>(
     graph: &G,
     space: Space<'_>,
@@ -121,6 +158,7 @@ fn beam_search_quantized<G: GraphView + ?Sized>(
     k: usize,
     beam_width: usize,
     scratch: &mut SearchScratch,
+    term: Termination,
 ) -> SearchResult {
     let qv = space.quant().expect("quantized beam search without a quant view");
     let n = graph.num_nodes();
@@ -132,6 +170,7 @@ fn beam_search_quantized<G: GraphView + ?Sized>(
     let pool = beam_width.max(k.saturating_mul(rerank));
     scratch.prepare(n, pool);
     qv.store().prepare_into(query, &mut scratch.prepared);
+    let mut tstate = TermState::new(term, k);
 
     for &s in seeds {
         if (s as usize) < n && scratch.visited.insert(s) {
@@ -142,6 +181,12 @@ fn beam_search_quantized<G: GraphView + ?Sized>(
     }
 
     while let Some(current) = scratch.buffer.next_unexpanded() {
+        // Emission-time termination: `current` is the closest unexpanded
+        // candidate, so the DistRatio margin and the budget are checked
+        // once per expansion, never per distance.
+        if tstate.should_stop(current.dist, &scratch.buffer, stats.evaluated) {
+            break;
+        }
         stats.hops += 1;
         let mut pending = [0u32; 4];
         let mut fill = 0usize;
@@ -165,6 +210,7 @@ fn beam_search_quantized<G: GraphView + ?Sized>(
             stats.evaluated += 1;
             scratch.buffer.insert(Neighbor::new(id, d));
         }
+        tstate.note_expansion(&scratch.buffer);
     }
 
     // Phase 2: exact rerank. Re-score the `rerank_factor * k` best
@@ -207,7 +253,36 @@ pub fn beam_search_with_sink<G: GraphView + ?Sized>(
     k: usize,
     beam_width: usize,
     scratch: &mut SearchScratch,
+    sink: Option<&mut Vec<Neighbor>>,
+) -> SearchResult {
+    // Construction must see the complete visited list, so the sink path
+    // is always Fixed: adaptive termination is a query-time knob only.
+    beam_search_full(
+        graph,
+        space,
+        query,
+        seeds,
+        k,
+        beam_width,
+        scratch,
+        sink,
+        Termination::FIXED,
+    )
+}
+
+/// Full-precision traversal shared by [`beam_search_with_sink`] (always
+/// Fixed) and the non-quantized arm of [`beam_search_terminated`].
+#[allow(clippy::too_many_arguments)]
+fn beam_search_full<G: GraphView + ?Sized>(
+    graph: &G,
+    space: Space<'_>,
+    query: &[f32],
+    seeds: &[u32],
+    k: usize,
+    beam_width: usize,
+    scratch: &mut SearchScratch,
     mut sink: Option<&mut Vec<Neighbor>>,
+    term: Termination,
 ) -> SearchResult {
     let n = graph.num_nodes();
     let mut stats = SearchStats::default();
@@ -215,6 +290,7 @@ pub fn beam_search_with_sink<G: GraphView + ?Sized>(
         return SearchResult { neighbors: Vec::new(), stats };
     }
     scratch.prepare(n, beam_width.max(k));
+    let mut tstate = TermState::new(term, k);
 
     for &s in seeds {
         if (s as usize) < n && scratch.visited.insert(s) {
@@ -228,6 +304,9 @@ pub fn beam_search_with_sink<G: GraphView + ?Sized>(
     }
 
     while let Some(current) = scratch.buffer.next_unexpanded() {
+        if tstate.should_stop(current.dist, &scratch.buffer, stats.evaluated) {
+            break;
+        }
         stats.hops += 1;
         // First-visit neighbors are evaluated four at a time through the
         // batched kernel (`l2_sq_batch`, bit-identical per vector), with a
@@ -266,6 +345,7 @@ pub fn beam_search_with_sink<G: GraphView + ?Sized>(
             }
             scratch.buffer.insert(Neighbor::new(id, d));
         }
+        tstate.note_expansion(&scratch.buffer);
     }
 
     SearchResult { neighbors: scratch.buffer.top_k(k), stats }
@@ -306,9 +386,16 @@ pub const COALESCE_LANES: usize = 8;
 /// `seeds` holds one seed set per query; `scratches` one scratch per
 /// lane (prepared internally).
 ///
+/// A lane whose [`Termination`] fires is *retired* — dropped from both
+/// stages while the remaining lanes keep interleaving — so a batch mixing
+/// easy and hard queries stops paying for its easy lanes as soon as each
+/// converges. With [`Termination::FIXED`] behavior and results are
+/// bit-identical to the pre-policy coalesced search.
+///
 /// # Panics
 /// Panics if `queries`, `seeds` and `scratches` lengths disagree
 /// (`scratches` may be longer).
+#[allow(clippy::too_many_arguments)]
 pub fn beam_search_coalesced<G: GraphView + ?Sized>(
     graph: &G,
     space: Space<'_>,
@@ -317,6 +404,7 @@ pub fn beam_search_coalesced<G: GraphView + ?Sized>(
     k: usize,
     beam_width: usize,
     scratches: &mut [SearchScratch],
+    term: Termination,
 ) -> Vec<SearchResult> {
     assert_eq!(queries.len(), seeds.len(), "one seed set per query");
     assert!(scratches.len() >= queries.len(), "one scratch per lane");
@@ -326,7 +414,16 @@ pub fn beam_search_coalesced<G: GraphView + ?Sized>(
             .zip(seeds)
             .enumerate()
             .map(|(i, (q, s))| {
-                beam_search(graph, space, q, s, k, beam_width, &mut scratches[i])
+                beam_search_terminated(
+                    graph,
+                    space,
+                    q,
+                    s,
+                    k,
+                    beam_width,
+                    &mut scratches[i],
+                    term,
+                )
             })
             .collect();
     };
@@ -337,6 +434,12 @@ pub fn beam_search_coalesced<G: GraphView + ?Sized>(
     let pool = beam_width.max(k.saturating_mul(rerank));
     let mut stats = vec![SearchStats::default(); lanes];
     let mut active = vec![false; lanes];
+    let mut tstates = vec![TermState::new(term, k); lanes];
+    // Lanes that expanded a candidate this round: they owe a
+    // `note_expansion` after stage B even when the expansion produced no
+    // first-visit neighbors, matching the sequential search's
+    // per-expansion fingerprint updates exactly.
+    let mut expanded = vec![false; lanes];
     // Per-lane first-visit neighbors awaiting evaluation (prefetch issued).
     let mut pend: Vec<Vec<u32>> = vec![Vec::new(); lanes];
 
@@ -379,7 +482,17 @@ pub fn beam_search_coalesced<G: GraphView + ?Sized>(
             let scratch = &mut scratches[li];
             match scratch.buffer.next_unexpanded() {
                 Some(current) => {
+                    // Per-lane emission-time termination → lane retirement.
+                    if tstates[li].should_stop(
+                        current.dist,
+                        &scratch.buffer,
+                        stats[li].evaluated,
+                    ) {
+                        active[li] = false;
+                        continue;
+                    }
                     stats[li].hops += 1;
+                    expanded[li] = true;
                     for &nb in graph.neighbors(current.id) {
                         if scratch.visited.insert(nb) {
                             space.qprefetch(nb);
@@ -395,11 +508,12 @@ pub fn beam_search_coalesced<G: GraphView + ?Sized>(
             break;
         }
         for li in 0..lanes {
-            let p = &mut pend[li];
-            if p.is_empty() {
+            if !expanded[li] {
                 continue;
             }
+            expanded[li] = false;
             let scratch = &mut scratches[li];
+            let p = &mut pend[li];
             // Same 4-wide grouping (and scalar tail) as the sequential
             // quantized search — bit-identical distances in both arms.
             let m = p.len();
@@ -420,6 +534,7 @@ pub fn beam_search_coalesced<G: GraphView + ?Sized>(
                 i += 1;
             }
             p.clear();
+            tstates[li].note_expansion(&scratch.buffer);
         }
     }
 
@@ -482,10 +597,13 @@ pub fn beam_search_frozen<G: GraphView + ?Sized>(
     k: usize,
     beam_width: usize,
     scratch: &mut SearchScratch,
+    term: Termination,
 ) -> SearchResult {
     match csr {
-        Some(c) => beam_search(c, space, query, seeds, k, beam_width, scratch),
-        None => beam_search(graph, space, query, seeds, k, beam_width, scratch),
+        Some(c) => beam_search_terminated(c, space, query, seeds, k, beam_width, scratch, term),
+        None => {
+            beam_search_terminated(graph, space, query, seeds, k, beam_width, scratch, term)
+        }
     }
 }
 
@@ -523,8 +641,26 @@ pub fn greedy_search_with<G: GraphView + ?Sized>(
     entry: u32,
     visited: &mut VisitedSet,
 ) -> (Neighbor, SearchStats) {
+    greedy_search_budgeted(graph, space, query, entry, visited, 0)
+}
+
+/// [`greedy_search_with`] under a hard `max_dists` evaluation budget
+/// (`0` = unlimited, exactly [`greedy_search_with`]). The budget is
+/// checked once per hop — before the neighbor list is touched — so an
+/// exhausted descent returns the best node found so far instead of
+/// finishing the climb. Routing (HNSW's upper-layer descent) degrades
+/// gracefully: a mid-quality entry point costs recall far less than a
+/// dropped query.
+pub fn greedy_search_budgeted<G: GraphView + ?Sized>(
+    graph: &G,
+    space: Space<'_>,
+    query: &[f32],
+    entry: u32,
+    visited: &mut VisitedSet,
+    max_dists: usize,
+) -> (Neighbor, SearchStats) {
     if space.quant().is_some() {
-        return greedy_search_quantized(graph, space, query, entry, visited);
+        return greedy_search_quantized(graph, space, query, entry, visited, max_dists);
     }
     let mut stats = SearchStats::default();
     visited.resize(graph.num_nodes());
@@ -533,6 +669,9 @@ pub fn greedy_search_with<G: GraphView + ?Sized>(
     let mut best = Neighbor::new(entry, space.dist_to(query, entry));
     stats.evaluated += 1;
     loop {
+        if max_dists > 0 && stats.evaluated >= max_dists {
+            return (best, stats);
+        }
         stats.hops += 1;
         let mut improved = false;
         let mut pending = [0u32; 4];
@@ -577,6 +716,7 @@ fn greedy_search_quantized<G: GraphView + ?Sized>(
     query: &[f32],
     entry: u32,
     visited: &mut VisitedSet,
+    max_dists: usize,
 ) -> (Neighbor, SearchStats) {
     let qv = space.quant().expect("quantized greedy search without a quant view");
     let mut stats = SearchStats::default();
@@ -588,6 +728,13 @@ fn greedy_search_quantized<G: GraphView + ?Sized>(
     let mut best = Neighbor::new(entry, space.qdist_to(&pq, entry));
     stats.evaluated += 1;
     loop {
+        if max_dists > 0 && stats.evaluated >= max_dists {
+            // Exhausted mid-climb: re-score the running best exactly so
+            // the returned distance stays exact like the converged path.
+            let exact = space.dist_to(query, best.id);
+            stats.evaluated += 1;
+            return (Neighbor::new(best.id, exact), stats);
+        }
         stats.hops += 1;
         let mut improved = false;
         let mut pending = [0u32; 4];
@@ -868,8 +1015,16 @@ mod tests {
             Space::new(&store, &counter_co).with_quant(Some(crate::QuantView::new(&qs, 3)));
         let mut lane_scratch: Vec<SearchScratch> =
             (0..7).map(|_| SearchScratch::new(n, 12)).collect();
-        let co =
-            beam_search_coalesced(&g, space_co, &query_refs, &seeds, 4, 12, &mut lane_scratch);
+        let co = beam_search_coalesced(
+            &g,
+            space_co,
+            &query_refs,
+            &seeds,
+            4,
+            12,
+            &mut lane_scratch,
+            Termination::FIXED,
+        );
 
         assert_eq!(seq.len(), co.len());
         for (s, c) in seq.iter().zip(&co) {
@@ -891,8 +1046,16 @@ mod tests {
         let seeds = vec![vec![0u32], vec![9u32]];
         let mut lane_scratch: Vec<SearchScratch> =
             (0..2).map(|_| SearchScratch::new(10, 4)).collect();
-        let res =
-            beam_search_coalesced(&g, space, &query_refs, &seeds, 2, 4, &mut lane_scratch);
+        let res = beam_search_coalesced(
+            &g,
+            space,
+            &query_refs,
+            &seeds,
+            2,
+            4,
+            &mut lane_scratch,
+            Termination::FIXED,
+        );
         assert_eq!(res[0].neighbors[0].id, 7);
         assert_eq!(res[1].neighbors[0].id, 1);
     }
@@ -910,11 +1073,95 @@ mod tests {
         let seeds = vec![vec![0u32], vec![], vec![99u32]];
         let mut lane_scratch: Vec<SearchScratch> =
             (0..3).map(|_| SearchScratch::new(10, 4)).collect();
-        let res =
-            beam_search_coalesced(&g, space, &query_refs, &seeds, 2, 4, &mut lane_scratch);
+        let res = beam_search_coalesced(
+            &g,
+            space,
+            &query_refs,
+            &seeds,
+            2,
+            4,
+            &mut lane_scratch,
+            Termination::FIXED,
+        );
         assert_eq!(res[0].neighbors[0].id, 3);
         assert!(res[1].neighbors.is_empty());
         assert!(res[2].neighbors.is_empty());
+    }
+
+    #[test]
+    fn terminated_fixed_is_bit_identical_to_beam_search() {
+        let (store, g) = line_world();
+        let c1 = DistCounter::new();
+        let mut scratch = SearchScratch::new(10, 8);
+        let base = beam_search(&g, Space::new(&store, &c1), &[6.3], &[0], 3, 8, &mut scratch);
+        let c2 = DistCounter::new();
+        let fixed = beam_search_terminated(
+            &g,
+            Space::new(&store, &c2),
+            &[6.3],
+            &[0],
+            3,
+            8,
+            &mut scratch,
+            Termination::FIXED,
+        );
+        assert_eq!(base.neighbors, fixed.neighbors);
+        assert_eq!(base.stats, fixed.stats);
+        assert_eq!(c1.get(), c2.get());
+    }
+
+    #[test]
+    fn budget_caps_traversal_work() {
+        let (store, g) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut scratch = SearchScratch::new(10, 8);
+        // From node 0 toward 9.0: a budget of 3 stops the walk long
+        // before the far end; the partial result is the best prefix.
+        let term = Termination { policy: crate::term::TerminationPolicy::Fixed, max_dists: 3 };
+        let res = beam_search_terminated(&g, space, &[9.0], &[0], 2, 8, &mut scratch, term);
+        assert!(res.stats.evaluated <= 4, "budget overshoot is at most one expansion");
+        assert!(!res.neighbors.is_empty(), "budgeted search still returns its best prefix");
+    }
+
+    #[test]
+    fn saturation_stops_after_convergence() {
+        let (store, g) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut scratch = SearchScratch::new(10, 10);
+        let fixed = beam_search(&g, space, &[0.1], &[0], 1, 10, &mut scratch);
+        let c2 = DistCounter::new();
+        let space2 = Space::new(&store, &c2);
+        let term = Termination {
+            policy: crate::term::TerminationPolicy::Saturation { patience: 2 },
+            max_dists: 0,
+        };
+        let sat = beam_search_terminated(&g, space2, &[0.1], &[0], 1, 10, &mut scratch, term);
+        // Query sits on node 0: the top-1 never changes, so saturation
+        // stops after `patience` expansions while fixed walks the beam out.
+        assert_eq!(sat.neighbors[0], fixed.neighbors[0]);
+        assert!(sat.stats.evaluated < fixed.stats.evaluated);
+    }
+
+    #[test]
+    fn greedy_budget_returns_partial_descent() {
+        let (store, g) = line_world();
+        let counter = DistCounter::new();
+        let space = Space::new(&store, &counter);
+        let mut visited = crate::visited::VisitedSet::new(10);
+        let (full, full_stats) = greedy_search_with(&g, space, &[6.1], 0, &mut visited);
+        assert_eq!(full.id, 6);
+        let (capped, capped_stats) =
+            greedy_search_budgeted(&g, space, &[6.1], 0, &mut visited, 3);
+        assert!(capped_stats.evaluated <= full_stats.evaluated);
+        assert!(capped_stats.evaluated <= 4, "budget stops the climb early");
+        assert!(capped.dist >= full.dist, "partial descent can only be farther");
+        // Unlimited budget is exactly the plain descent.
+        let (unlimited, unlimited_stats) =
+            greedy_search_budgeted(&g, space, &[6.1], 0, &mut visited, 0);
+        assert_eq!(unlimited, full);
+        assert_eq!(unlimited_stats, full_stats);
     }
 
     #[test]

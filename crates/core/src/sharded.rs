@@ -285,6 +285,16 @@ impl ShardedIndex {
     /// Shard indices in ascending query-to-centroid distance (ties by
     /// shard number). Centroid evaluations go through `counter`.
     fn ranked_shards(&self, query: &[f32], counter: &DistCounter) -> Vec<usize> {
+        self.ranked_shards_with_dists(query, counter).into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// [`Self::ranked_shards`] keeping each shard's centroid distance —
+    /// the margin adaptive probing compares against the merged top-`k`.
+    fn ranked_shards_with_dists(
+        &self,
+        query: &[f32],
+        counter: &DistCounter,
+    ) -> Vec<(f32, usize)> {
         let mut order: Vec<(f32, usize)> = (0..self.shards.len())
             .map(|s| {
                 counter.bump();
@@ -292,7 +302,7 @@ impl ShardedIndex {
             })
             .collect();
         order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        order.into_iter().map(|(_, s)| s).collect()
+        order
     }
 
     /// The probe plan every search path shares: shard indices in ranked
@@ -355,19 +365,119 @@ impl ShardedIndex {
     }
 
     /// Merges one shard's result into the shared heap, translating local
-    /// ids to dataset ids.
+    /// ids to dataset ids. Returns `true` when the probe improved the
+    /// merged top-`k` (any push was retained) — the saturation signal
+    /// adaptive probing watches across probes.
     fn merge(
         &self,
         s: usize,
         res: SearchResult,
         heap: &mut BoundedMaxHeap,
         stats: &mut SearchStats,
-    ) {
+    ) -> bool {
         stats.hops += res.stats.hops;
         stats.evaluated += res.stats.evaluated;
+        let mut improved = false;
         for n in res.neighbors {
-            heap.push(Neighbor::new(self.shards[s].to_global[n.id as usize], n.dist));
+            improved |=
+                heap.push(Neighbor::new(self.shards[s].to_global[n.id as usize], n.dist));
         }
+        improved
+    }
+
+    /// [`AnnIndex::search`] also reporting how many shards were probed.
+    ///
+    /// With a fixed [`crate::term::Termination`] this is the classic
+    /// plan-then-probe path (always exactly `nprobe` probes, fanned out
+    /// across the pool when configured). With an adaptive policy,
+    /// `nprobe` becomes a **cap**: shards are probed sequentially in
+    /// centroid-distance order and the loop stops early when
+    ///
+    /// * `DistRatio { eps }` — the next shard's centroid is farther than
+    ///   `(1+eps)×` the *nearest* centroid's distance (the IVF routing
+    ///   margin: only shards competitively close to the query get
+    ///   probed; a query deep inside one partition probes few, a query
+    ///   on a partition boundary probes many), or
+    /// * `Saturation { patience }` — `patience` consecutive probes
+    ///   retained nothing in the merged heap, or
+    /// * `max_dists` — the accumulated evaluation budget is spent
+    ///   (each probe's sub-search receives the remaining budget, so the
+    ///   cap holds across shard boundaries too).
+    ///
+    /// The policy governs **routing**: each probed shard still runs its
+    /// traversal under `Fixed` (plus any remaining budget), so every
+    /// probe contributes its full-quality slice answer and early
+    /// stopping only skips whole shards — recall holds while mean
+    /// probes drop.
+    ///
+    /// The adaptive loop is inherently sequential — whether to issue
+    /// probe `i+1` depends on probe `i`'s merge — so it bypasses the
+    /// fan-out pool; the saved probes are the point.
+    pub fn search_with_probes(
+        &self,
+        query: &[f32],
+        params: &QueryParams,
+        counter: &DistCounter,
+    ) -> (SearchResult, usize) {
+        let term = params.termination();
+        let mut heap = BoundedMaxHeap::new(params.k);
+        let mut stats = SearchStats { hops: 0, evaluated: self.shards.len() };
+        if term.is_fixed() {
+            let plan = self.probe_plan(query, counter);
+            let results =
+                self.for_each_planned(&plan, |s| self.probe(s, query, params, counter));
+            for (&s, res) in plan.iter().zip(results) {
+                self.merge(s, res, &mut heap, &mut stats);
+            }
+            let probes = plan.len();
+            return (SearchResult { neighbors: heap.into_sorted(), stats }, probes);
+        }
+
+        let cap = self.nprobe().min(self.shards.len());
+        let ranked = self.ranked_shards_with_dists(query, counter);
+        let nearest = ranked.first().map_or(0.0, |&(d, _)| d);
+        let mut probes = 0usize;
+        let mut stale = 0usize;
+        for &(cdist, s) in ranked.iter().take(cap) {
+            if probes > 0 {
+                if term.max_dists > 0 && stats.evaluated >= term.max_dists {
+                    break;
+                }
+                match term.policy {
+                    crate::term::TerminationPolicy::DistRatio { eps } => {
+                        if cdist > (1.0 + eps) * nearest {
+                            break;
+                        }
+                    }
+                    crate::term::TerminationPolicy::Saturation { patience } => {
+                        if stale >= patience.max(1) {
+                            break;
+                        }
+                    }
+                    crate::term::TerminationPolicy::Fixed => {}
+                }
+            }
+            // Routing is adaptive; the traversal inside a probed shard is
+            // not — it runs `Fixed` so the shard contributes its
+            // full-quality slice answer. Only the hard budget crosses the
+            // boundary (floor 1 so a probe can always at least seed):
+            // the whole query obeys `max_dists`, not each probe
+            // independently.
+            let mut sub = *params;
+            sub.term = crate::term::TerminationPolicy::Fixed;
+            sub.max_dists = 0;
+            if term.max_dists > 0 {
+                sub.max_dists = term.max_dists.saturating_sub(stats.evaluated).max(1);
+            }
+            let res = self.probe(s, query, &sub, counter);
+            if self.merge(s, res, &mut heap, &mut stats) {
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+            probes += 1;
+        }
+        (SearchResult { neighbors: heap.into_sorted(), stats }, probes)
     }
 
     /// Writes the sharded state under directory `dir`: `shards.gass` (the
@@ -476,14 +586,7 @@ impl AnnIndex for ShardedIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> SearchResult {
-        let plan = self.probe_plan(query, counter);
-        let results = self.for_each_planned(&plan, |s| self.probe(s, query, params, counter));
-        let mut heap = BoundedMaxHeap::new(params.k);
-        let mut stats = SearchStats { hops: 0, evaluated: self.shards.len() };
-        for (&s, res) in plan.iter().zip(results) {
-            self.merge(s, res, &mut heap, &mut stats);
-        }
-        SearchResult { neighbors: heap.into_sorted(), stats }
+        self.search_with_probes(query, params, counter).0
     }
 
     fn search_coalesced(
@@ -492,7 +595,10 @@ impl AnnIndex for ShardedIndex {
         params: &QueryParams,
         counter: &DistCounter,
     ) -> Vec<SearchResult> {
-        if queries.len() < 2 {
+        if queries.len() < 2 || !params.termination().is_fixed() {
+            // Adaptive probing decides each query's next probe from its
+            // own merged heap — there is no shared plan to bucket by, so
+            // non-fixed batches run the per-query adaptive loop.
             return queries.iter().map(|q| self.search(q, params, counter)).collect();
         }
         // Bucket queries by probed shard so each shard's engine coalesces

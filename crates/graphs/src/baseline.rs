@@ -258,6 +258,7 @@ impl IiGraph {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

@@ -154,6 +154,7 @@ impl AnnIndex for DpgIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

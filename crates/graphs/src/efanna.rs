@@ -162,6 +162,7 @@ impl AnnIndex for EfannaIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

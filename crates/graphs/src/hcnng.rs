@@ -192,6 +192,7 @@ impl AnnIndex for HcnngIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

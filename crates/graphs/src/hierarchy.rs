@@ -200,9 +200,37 @@ impl Hierarchy {
     /// counted through `space` — SN's seed-selection overhead is real work
     /// the paper measures.
     pub fn descend(&self, space: Space<'_>, query: &[f32]) -> Option<u32> {
+        self.descend_budgeted(space, query, 0)
+    }
+
+    /// [`Self::descend`] under a hard `max_dists` evaluation budget
+    /// (`0` = unlimited, exactly `descend`). An exhausted descent
+    /// returns its best node so far from whatever layer it reached: a
+    /// mid-hierarchy entry point still seeds the base search usefully,
+    /// which is how deadline-squeezed queries degrade gracefully instead
+    /// of being dropped.
+    pub fn descend_budgeted(
+        &self,
+        space: Space<'_>,
+        query: &[f32],
+        max_dists: usize,
+    ) -> Option<u32> {
         let (mut cur, top) = self.entry?;
+        let mut spent = 0usize;
         for l in (0..=top).rev() {
-            cur = greedy_on_layer(&self.layers[l], space, query, cur);
+            let (node, used) = greedy_on_layer_budgeted(
+                &self.layers[l],
+                space,
+                query,
+                cur,
+                max_dists.saturating_sub(spent),
+                max_dists > 0,
+            );
+            cur = node;
+            spent += used;
+            if max_dists > 0 && spent >= max_dists {
+                break;
+            }
         }
         Some(cur)
     }
@@ -252,12 +280,32 @@ impl Hierarchy {
 }
 
 fn greedy_on_layer(layer: &SparseLayer, space: Space<'_>, query: &[f32], entry: u32) -> u32 {
+    greedy_on_layer_budgeted(layer, space, query, entry, 0, false).0
+}
+
+/// Budgeted per-layer hill climb: stops once `budget` evaluations were
+/// spent (when `budgeted`), returning the best node found and the
+/// evaluation count. With `budgeted == false` the loop runs to the local
+/// minimum — exactly the historical `greedy_on_layer`.
+fn greedy_on_layer_budgeted(
+    layer: &SparseLayer,
+    space: Space<'_>,
+    query: &[f32],
+    entry: u32,
+    budget: usize,
+    budgeted: bool,
+) -> (u32, usize) {
     let mut best = entry;
     let mut best_d = space.dist_to(query, entry);
+    let mut spent = 1usize;
     loop {
+        if budgeted && spent >= budget {
+            return (best, spent);
+        }
         let mut improved = false;
         for &nb in layer.neighbors(best) {
             let d = space.dist_to(query, nb);
+            spent += 1;
             if d < best_d {
                 best = nb;
                 best_d = d;
@@ -265,7 +313,7 @@ fn greedy_on_layer(layer: &SparseLayer, space: Space<'_>, query: &[f32], entry: 
             }
         }
         if !improved {
-            return best;
+            return (best, spent);
         }
     }
 }

@@ -322,8 +322,12 @@ impl AnnIndex for HnswIndex {
             Space::new(&self.store, counter).with_quant(self.serving.quant_view(params));
         // The SN descent stays at full precision (upper layers are a few
         // dozen nodes; quantizing them saves nothing and costs accuracy).
-        let entry =
-            self.hierarchy.descend(space, query).unwrap_or_else(|| self.serving.to_new(0));
+        // A `max_dists` budget covers routing too: a budget-squeezed
+        // descent hands the base search its best node so far.
+        let entry = self
+            .hierarchy
+            .descend_budgeted(space, query, params.max_dists)
+            .unwrap_or_else(|| self.serving.to_new(0));
         let res = self.scratch.with(self.store.len(), params.beam_width, |scratch| {
             beam_search_frozen(
                 &self.base,
@@ -334,6 +338,7 @@ impl AnnIndex for HnswIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

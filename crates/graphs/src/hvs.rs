@@ -291,6 +291,7 @@ impl AnnIndex for HvsIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

@@ -130,6 +130,7 @@ impl AnnIndex for KGraphIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

@@ -135,6 +135,7 @@ impl AnnIndex for NgtIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

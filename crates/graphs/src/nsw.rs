@@ -136,6 +136,7 @@ impl AnnIndex for NswIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

@@ -206,6 +206,7 @@ impl AnnIndex for SptagIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

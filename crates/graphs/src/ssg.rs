@@ -194,6 +194,7 @@ impl AnnIndex for SsgIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

@@ -248,6 +248,7 @@ impl AnnIndex for VamanaIndex {
                 params.k,
                 params.beam_width,
                 scratch,
+                params.termination(),
             )
         });
         self.serving.finish(res)

@@ -22,9 +22,17 @@ use gass_core::index::{AnnIndex, QueryParams};
 use gass_core::search::SearchResult;
 
 /// Key of a coalescing group: every field of [`QueryParams`] that alters
-/// the search.
-fn params_key(p: &QueryParams) -> (usize, usize, usize, usize) {
-    (p.k, p.beam_width, p.seed_count, p.rerank_factor)
+/// the search, including the termination policy (a deadline-clamped
+/// `max_dists` must not be grouped with unclamped jobs — they would run
+/// under the wrong budget).
+fn params_key(p: &QueryParams) -> (usize, usize, usize, usize, u8, u32, usize) {
+    use gass_core::TerminationPolicy as Tp;
+    let (policy, arg) = match p.term {
+        Tp::Fixed => (0u8, 0u32),
+        Tp::Saturation { patience } => (1, patience as u32),
+        Tp::DistRatio { eps } => (2, eps.to_bits()),
+    };
+    (p.k, p.beam_width, p.seed_count, p.rerank_factor, policy, arg, p.max_dists)
 }
 
 /// Answers `jobs` (query vector + params each) against `index`,

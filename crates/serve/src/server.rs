@@ -65,6 +65,11 @@ pub struct ServeConfig {
     pub max_wait_us: u64,
     /// Admission bound: jobs queued beyond this are fast-rejected.
     pub queue_depth: usize,
+    /// Server-side termination policy applied to every admitted query
+    /// (the wire format carries no policy — the operator chooses it).
+    /// `None` defers to [`gass_core::term_forced`] via the
+    /// [`QueryParams::new`] default.
+    pub term: Option<gass_core::Termination>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +81,7 @@ impl Default for ServeConfig {
             max_batch: 16,
             max_wait_us: 200,
             queue_depth: 1024,
+            term: None,
         }
     }
 }
@@ -196,6 +202,14 @@ struct StatsInner {
     /// (index 0 unused; sized `max_batch + 1`).
     batch_size_counts: Vec<AtomicU64>,
     latency_us: Mutex<Histogram>,
+    /// Distance computations per completed query — the observable for
+    /// adaptive-termination savings (and the deadline clamp's input).
+    dists_per_query: Mutex<Histogram>,
+    /// Accumulated wall time spent inside `execute_coalesced` and the
+    /// evaluations it performed: their ratio is the live ns-per-distance
+    /// estimate the deadline→budget conversion uses.
+    search_ns: AtomicU64,
+    search_dists: AtomicU64,
     dist_counter: DistCounter,
 }
 
@@ -236,6 +250,18 @@ pub struct StatsSnapshot {
     pub qps: f64,
     /// Total distance computations across all queries.
     pub dist_calcs: u64,
+    /// Queries in the distance-computations-per-query histogram.
+    pub dists_count: u64,
+    /// Mean distance computations per completed query.
+    pub dists_mean: f64,
+    /// Median distance computations per query.
+    pub dists_p50: u64,
+    /// 95th percentile distance computations per query.
+    pub dists_p95: u64,
+    /// 99th percentile distance computations per query.
+    pub dists_p99: u64,
+    /// Worst distance computations for a single query.
+    pub dists_max: u64,
     /// Jobs queued right now.
     pub queue_depth: usize,
 }
@@ -252,6 +278,8 @@ impl StatsSnapshot {
                 "\"deadline_expired\":{},\"bad_requests\":{},",
                 "\"batches\":{},\"mean_batch\":{:.2},\"batch_size_counts\":[{}],",
                 "\"latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},",
+                "\"p95\":{},\"p99\":{},\"max\":{}}},",
+                "\"dists_per_query\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},",
                 "\"p95\":{},\"p99\":{},\"max\":{}}},",
                 "\"dist_calcs\":{},\"queue_depth\":{}}}"
             ),
@@ -271,6 +299,12 @@ impl StatsSnapshot {
             self.lat_p95_us,
             self.lat_p99_us,
             self.lat_max_us,
+            self.dists_count,
+            self.dists_mean,
+            self.dists_p50,
+            self.dists_p95,
+            self.dists_p99,
+            self.dists_max,
             self.dist_calcs,
             self.queue_depth,
         )
@@ -289,6 +323,9 @@ impl StatsInner {
             batches: AtomicU64::new(0),
             batch_size_counts: (0..=max_batch.max(1)).map(|_| AtomicU64::new(0)).collect(),
             latency_us: Mutex::new(Histogram::new()),
+            dists_per_query: Mutex::new(Histogram::new()),
+            search_ns: AtomicU64::new(0),
+            search_dists: AtomicU64::new(0),
             dist_counter: DistCounter::new(),
         }
     }
@@ -308,6 +345,7 @@ impl StatsInner {
             .collect();
         let weighted: u64 = batch_size_counts.iter().map(|(s, c)| *s as u64 * c).sum();
         let lat = self.latency_us.lock().unwrap();
+        let dists = self.dists_per_query.lock().unwrap();
         StatsSnapshot {
             uptime_s,
             admitted: self.admitted.load(Ordering::Relaxed),
@@ -326,6 +364,12 @@ impl StatsInner {
             lat_max_us: lat.max(),
             qps: completed as f64 / uptime_s,
             dist_calcs: self.dist_counter.get(),
+            dists_count: dists.count(),
+            dists_mean: dists.mean(),
+            dists_p50: dists.quantile(0.50),
+            dists_p95: dists.quantile(0.95),
+            dists_p99: dists.quantile(0.99),
+            dists_max: dists.max(),
             queue_depth,
         }
     }
@@ -418,6 +462,7 @@ pub fn serve(index: Arc<dyn AnnIndex>, cfg: ServeConfig) -> io::Result<ServerHan
         // max_batch = 1 is the per-request configuration: no
         // cross-request coalescing on the reply path either.
         let coalesce = cfg.max_batch > 1;
+        let term = cfg.term;
         std::thread::Builder::new().name("gass-serve-acceptor".to_string()).spawn(
             move || {
                 let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -431,7 +476,7 @@ pub fn serve(index: Arc<dyn AnnIndex>, cfg: ServeConfig) -> io::Result<ServerHan
                             handlers.retain(|h| !h.is_finished());
                             handlers.push(std::thread::spawn(move || {
                                 let _ = handle_connection(
-                                    stream, &index, &queue, &stats, &shutdown, coalesce,
+                                    stream, &index, &queue, &stats, &shutdown, coalesce, term,
                                 );
                             }));
                         }
@@ -458,7 +503,12 @@ pub fn serve(index: Arc<dyn AnnIndex>, cfg: ServeConfig) -> io::Result<ServerHan
     })
 }
 
-/// Worker executor: drain → expire → coalesce → reply → account.
+/// Floor for deadline-derived compute budgets: enough evaluations to
+/// seed and take a few hops, so even a nearly expired query returns
+/// *something* ranked rather than noise.
+const MIN_DEADLINE_DISTS: usize = 64;
+
+/// Worker executor: drain → expire → budget → coalesce → reply → account.
 fn worker_loop(
     w: usize,
     index: &Arc<dyn AnnIndex>,
@@ -496,20 +546,60 @@ fn worker_loop(
         if live.is_empty() {
             continue;
         }
+        // Deadline → budget: a job admitted with most of its deadline
+        // already spent queueing gets a `max_dists` cap sized from the
+        // measured ns-per-distance, so it returns its best partial answer
+        // inside the deadline instead of blowing through it (the queue
+        // already rejected the fully expired; this rescues the almost
+        // expired). Healthy jobs — budget comfortably above the mean
+        // per-query work — are left untouched so batch grouping and
+        // results stay exactly as configured.
+        let hist_ns = stats.search_ns.load(Ordering::Relaxed);
+        let hist_dists = stats.search_dists.load(Ordering::Relaxed);
+        if hist_ns > 0 && hist_dists > 0 {
+            let ns_per_dist = (hist_ns as f64 / hist_dists as f64).max(1e-3);
+            let mean_dists = hist_dists / stats.completed.load(Ordering::Relaxed).max(1);
+            for job in &mut live {
+                if job.deadline_us == 0 {
+                    continue;
+                }
+                let spent_ns = now.duration_since(job.received).as_nanos() as u64;
+                let left_ns = (job.deadline_us as u64 * 1_000).saturating_sub(spent_ns);
+                let budget = ((left_ns as f64 / ns_per_dist) as usize).max(MIN_DEADLINE_DISTS);
+                if (budget as u64) < mean_dists.saturating_mul(2) {
+                    job.params.max_dists = match job.params.max_dists {
+                        0 => budget,
+                        d => d.min(budget),
+                    };
+                }
+            }
+        }
         queries.clear();
         for job in &mut live {
             queries.push((std::mem::take(&mut job.query), job.params));
         }
+        let exec_start = Instant::now();
         let results = execute_coalesced(index.as_ref(), &queries, &stats.dist_counter);
         stats.batches.fetch_add(1, Ordering::Relaxed);
         let size_slot = live.len().min(stats.batch_size_counts.len() - 1);
         stats.batch_size_counts[size_slot].fetch_add(1, Ordering::Relaxed);
         let done = Instant::now();
+        let batch_dists: u64 = results.iter().map(|r| r.stats.evaluated as u64).sum();
+        stats
+            .search_ns
+            .fetch_add(done.duration_since(exec_start).as_nanos() as u64, Ordering::Relaxed);
+        stats.search_dists.fetch_add(batch_dists, Ordering::Relaxed);
         {
             // One lock per batch, not per reply.
             let mut lat = stats.latency_us.lock().unwrap();
             for job in &live {
                 lat.record(done.duration_since(job.received).as_micros() as u64);
+            }
+        }
+        {
+            let mut dists = stats.dists_per_query.lock().unwrap();
+            for res in &results {
+                dists.record(res.stats.evaluated as u64);
             }
         }
         stats.completed.fetch_add(live.len() as u64, Ordering::Relaxed);
@@ -534,6 +624,7 @@ fn worker_loop(
 /// The connection reader: assigns sequence numbers, answers control
 /// frames, enqueues queries without waiting on them, and tears the
 /// reader/writer pair down on EOF or shutdown.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     index: &Arc<dyn AnnIndex>,
@@ -541,6 +632,7 @@ fn handle_connection(
     stats: &StatsInner,
     shutdown: &AtomicBool,
     coalesce: bool,
+    term: Option<gass_core::Termination>,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
@@ -590,7 +682,7 @@ fn handle_connection(
             }
             Ok(Request::Query(q)) => {
                 let reply = ReplyTo { outbox: Arc::clone(&outbox), seq };
-                enqueue_query(q, reply, index, queue, stats);
+                enqueue_query(q, reply, index, queue, stats, term);
             }
         }
     }
@@ -608,6 +700,7 @@ fn enqueue_query(
     index: &Arc<dyn AnnIndex>,
     queue: &BatchQueue<Job>,
     stats: &StatsInner,
+    term: Option<gass_core::Termination>,
 ) {
     if q.query.len() != index.dim() {
         stats.bad_requests.fetch_add(1, Ordering::Relaxed);
@@ -625,9 +718,12 @@ fn enqueue_query(
         });
         return;
     }
-    let params = QueryParams::new(q.k, q.beam_width.max(q.k))
+    let mut params = QueryParams::new(q.k, q.beam_width.max(q.k))
         .with_seed_count(q.seed_count.max(1))
         .with_rerank_factor(q.rerank_factor.max(1));
+    if let Some(t) = term {
+        params = params.with_term(t.policy).with_max_dists(t.max_dists);
+    }
     let job = Job {
         query: q.query,
         params,

@@ -8,7 +8,10 @@ use gass_core::fanout::{set_fanout_enabled, set_fanout_workers};
 use gass_core::mmap::set_mmap_enabled;
 use gass_core::quant::CodecSpec;
 use gass_core::sharded::{build_knn_sharded, ShardedIndex, ShardedParams};
-use gass_core::{AnnIndex, BoundedMaxHeap, DistCounter, Neighbor, QueryParams, VectorStore};
+use gass_core::{
+    AnnIndex, BoundedMaxHeap, DistCounter, Neighbor, QueryParams, TerminationPolicy,
+    VectorStore,
+};
 use proptest::prelude::*;
 
 fn store_of(points: &[Vec<f32>]) -> VectorStore {
@@ -42,7 +45,10 @@ proptest! {
         let counter = DistCounter::new();
         let idx = build_knn_sharded(&store, &ShardedParams::new(shards), 8, &counter);
         idx.set_nprobe(idx.num_shards());
-        let params = QueryParams::new(k, 24);
+        // Pinned Fixed: an adaptive policy (e.g. a GASS_TERM override)
+        // governs *routing* only — probed shards always search Fixed —
+        // so the manual per-shard loop must run Fixed to match.
+        let params = QueryParams::new(k, 24).with_term(TerminationPolicy::Fixed);
         let got = idx.search(&query, &params, &counter);
 
         let mut heap = BoundedMaxHeap::new(k);
@@ -153,7 +159,10 @@ fn sharded_persist_roundtrip_is_byte_stable_and_observationally_equal() {
     assert_eq!(back.num_shards(), idx.num_shards());
     assert_eq!(back.num_vectors(), idx.num_vectors());
     back.set_nprobe(back.num_shards());
-    let params = QueryParams::new(5, 32);
+    // Pinned Fixed so the manual per-shard merge matches the sharded
+    // search even under a GASS_TERM override (probed shards run Fixed
+    // regardless of the routing policy).
+    let params = QueryParams::new(5, 32).with_term(TerminationPolicy::Fixed);
     let queries = gass_data::synth::deep_like(10, 91);
     for qi in 0..queries.len() as u32 {
         let q = queries.get(qi);
